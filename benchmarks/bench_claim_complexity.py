@@ -1,0 +1,47 @@
+"""CLAIM-COMPLEXITY: O(n) time per event and O(n log n) per rollback.
+
+Microbenchmarks the three RDT-LGC handlers (receive, checkpoint, rollback) at
+increasing system sizes and reports the measured time per operation; the
+expected shape is linear growth for the per-event handlers (the work is the
+size-``n`` vector scan) and near-linear for the rollback (bounded by the at
+most ``n`` stored checkpoints).
+"""
+
+import pytest
+
+from repro.core.rdt_lgc import RdtLgc
+
+SIZES = [4, 16, 64, 256]
+
+
+def _collector_with_peers(num_processes: int) -> RdtLgc:
+    """A collector that has heard from every peer once (UC fully populated)."""
+    gc = RdtLgc(0, num_processes)
+    gc.on_checkpoint()
+    for peer in range(1, num_processes):
+        piggyback = [0] * num_processes
+        piggyback[peer] = 1
+        gc.on_checkpoint()
+        gc.on_receive(piggyback)
+    return gc
+
+
+@pytest.mark.parametrize("num_processes", SIZES)
+def test_event_handlers_scale_linearly(benchmark, num_processes):
+    gc = _collector_with_peers(num_processes)
+    piggyback = [0] * num_processes
+
+    def receive_and_checkpoint():
+        gc.on_receive(piggyback)  # no new information: pure O(n) scan
+        gc.on_checkpoint()
+
+    benchmark(receive_and_checkpoint)
+
+
+@pytest.mark.parametrize("num_processes", SIZES)
+def test_rollback_handler(benchmark, num_processes):
+    gc = _collector_with_peers(num_processes)
+    rollback_index = gc.storage.last_index()
+    last_interval = list(gc.dependency_vector)
+
+    benchmark(gc.on_rollback, rollback_index, last_interval)

@@ -1,0 +1,75 @@
+"""CLAIM-BOUND: per-process and global storage bounds across system sizes.
+
+Sweeps the number of processes over the worst-case schedule and a random
+workload, comparing RDT-LGC (bound ``n`` per process, ``n^2`` / ``n(n+1)``
+globally) against Wang-style coordinated collection (which on the same
+patterns can reach the smaller, globally-informed occupancy — the
+``n(n+1)/2``-bound family the paper cites).
+"""
+
+import pytest
+
+from repro.analysis.tables import TextTable
+from repro.scenarios.experiments import run_random_simulation, run_worst_case
+
+SIZES = [2, 4, 8]
+
+
+@pytest.mark.parametrize("workload_kind", ["worst-case", "uniform-random"])
+def test_claim_space_bounds(benchmark, emit_table, workload_kind):
+    def sweep():
+        rows = []
+        for n in SIZES:
+            if workload_kind == "worst-case":
+                lgc = run_worst_case(n, collector="rdt-lgc")
+                wang = run_worst_case(
+                    n, collector="wang-coordinated", collector_options={"period": 4.0}
+                )
+            else:
+                lgc = run_random_simulation(
+                    num_processes=n, duration=150.0, seed=n, collector="rdt-lgc"
+                )
+                wang = run_random_simulation(
+                    num_processes=n,
+                    duration=150.0,
+                    seed=n,
+                    collector="wang-coordinated",
+                    collector_options={"period": 15.0},
+                )
+            rows.append((n, lgc, wang))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    table = TextTable(
+        [
+            "n",
+            "bound n",
+            "rdt-lgc max/process",
+            "rdt-lgc total",
+            "wang total",
+            "wang control msgs",
+        ],
+        title=f"Space bounds ({workload_kind})",
+    )
+    for n, lgc, wang in rows:
+        table.add_row(
+            n,
+            n,
+            lgc.max_retained_any_process,
+            lgc.total_retained_final,
+            wang.total_retained_final,
+            wang.control_messages,
+        )
+    emit_table(f"claim_space_bounds_{workload_kind}", table.render())
+
+    for n, lgc, wang in rows:
+        # Per-process bound: n at rest, n + 1 transiently.
+        assert lgc.max_retained_any_process <= n + 1
+        assert all(r <= n for r in lgc.retained_final)
+        # The asynchronous collector never exchanges control messages.
+        assert lgc.control_messages == 0
+        assert wang.control_messages > 0
+        if workload_kind == "worst-case":
+            # Global knowledge collects the checkpoints causal knowledge cannot.
+            assert wang.total_retained_final <= lgc.total_retained_final

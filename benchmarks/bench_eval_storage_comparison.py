@@ -1,0 +1,102 @@
+"""EVAL-STORAGE: the empirical evaluation the paper defers to future work.
+
+Compares every garbage collector on several workload shapes: storage occupancy
+(peak, mean and final), collection ratio and control-message cost.  The
+expected qualitative shape: no-GC grows without bound; RDT-LGC bounds every
+process at ``n`` checkpoints with zero control messages; the coordinated
+schemes collect at least as much but pay control messages; the recovery-line
+scheme keeps more than Wang's because it cannot collect "holes".
+"""
+
+import pytest
+
+from repro.analysis.storage import summarize_occupancy
+from repro.analysis.tables import TextTable
+from repro.scenarios.experiments import run_random_simulation
+from repro.simulation.workloads import (
+    ClientServerWorkload,
+    PipelineWorkload,
+    RingWorkload,
+    UniformRandomWorkload,
+)
+
+COLLECTORS = [
+    ("none", {}),
+    ("rdt-lgc", {}),
+    ("all-process-line", {"period": 20.0}),
+    ("wang-coordinated", {"period": 20.0}),
+    ("manivannan-singhal", {"checkpoint_period": 8.0, "max_message_delay": 3.0}),
+]
+
+WORKLOADS = {
+    "uniform-random": lambda: UniformRandomWorkload(mean_checkpoint_gap=6.0),
+    "client-server": lambda: ClientServerWorkload(),
+    "pipeline": lambda: PipelineWorkload(),
+    "ring": lambda: RingWorkload(),
+}
+
+
+@pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+def test_eval_storage_comparison(benchmark, emit_table, workload_name):
+    num_processes = 4
+
+    def run_all():
+        results = {}
+        for collector, options in COLLECTORS:
+            results[collector] = run_random_simulation(
+                num_processes=num_processes,
+                duration=200.0,
+                seed=7,
+                collector=collector,
+                collector_options=options,
+                workload=WORKLOADS[workload_name](),
+                audit="safety",
+            )
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    table = TextTable(
+        [
+            "collector",
+            "peak total",
+            "mean total",
+            "final total",
+            "max/process",
+            "collected %",
+            "control msgs",
+            "safe",
+        ],
+        title=f"Storage occupancy comparison — {workload_name}, n = {num_processes}",
+    )
+    for collector, _ in COLLECTORS:
+        result = results[collector]
+        occupancy = summarize_occupancy(result)
+        table.add_row(
+            collector,
+            occupancy.peak_total,
+            occupancy.mean_total,
+            occupancy.final_total,
+            result.max_retained_any_process,
+            round(100 * result.collection_ratio, 1),
+            result.control_messages,
+            result.all_audits_safe,
+        )
+    emit_table(f"eval_storage_{workload_name}", table.render())
+
+    none_result = results["none"]
+    lgc = results["rdt-lgc"]
+    wang = results["wang-coordinated"]
+    line = results["all-process-line"]
+    # Every collector is safe.
+    assert all(results[name].all_audits_safe for name, _ in COLLECTORS)
+    # No-GC keeps everything; RDT-LGC bounds the per-process occupancy at n.
+    assert none_result.total_collected == 0
+    assert all(r <= num_processes for r in lgc.retained_final)
+    assert lgc.total_retained_final < none_result.total_retained_final
+    # Asynchronous vs coordinated: the control-message cost is real.
+    assert lgc.control_messages == 0
+    assert wang.control_messages > 0 and line.control_messages > 0
+    # Wang collects everything obsolete, so it never keeps more than the
+    # recovery-line scheme.
+    assert wang.total_retained_final <= line.total_retained_final

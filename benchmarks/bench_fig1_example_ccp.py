@@ -1,0 +1,57 @@
+"""FIG-1: regenerate the facts illustrated by Figure 1.
+
+The benchmark rebuilds the example CCP, re-derives every statement the paper
+makes about it (path classifications, consistency of the two highlighted
+global checkpoints, RD-trackability with and without ``m3``) and times the
+zigzag/RDT analysis machinery on it.
+"""
+
+from repro.analysis.tables import TextTable
+from repro.ccp.checkpoint import CheckpointId
+from repro.ccp.consistency import GlobalCheckpoint, is_consistent_global_checkpoint
+from repro.ccp.rdt import check_rdt
+from repro.ccp.zigzag import ZigzagAnalysis
+from repro.scenarios.figures import figure1_ccp
+from repro.viz.ascii_diagram import render_ccp
+
+
+def test_fig1_example_ccp(benchmark, emit_table):
+    ccp = figure1_ccp()
+
+    def analyse():
+        analysis = ZigzagAnalysis(ccp)
+        return {
+            "[m1,m2] causal": analysis.is_causal_sequence([0, 1]),
+            "[m1,m4] causal": analysis.is_causal_sequence([0, 2]),
+            "[m5,m4] zigzag": analysis.is_zigzag_sequence(
+                [3, 2], CheckpointId(0, 1), CheckpointId(2, 2)
+            ),
+            "[m5,m4] causal": analysis.is_causal_sequence([3, 2]),
+            "rdt": check_rdt(ccp, analysis=analysis, collect_witnesses=False).is_rdt,
+        }
+
+    facts = benchmark(analyse)
+    without_m3 = figure1_ccp(include_m3=False)
+    consistent = is_consistent_global_checkpoint(
+        ccp, GlobalCheckpoint((ccp.volatile_index(0), 1, 1))
+    )
+    inconsistent = is_consistent_global_checkpoint(ccp, GlobalCheckpoint((0, 1, 1)))
+
+    table = TextTable(["fact", "paper", "measured"], title="Figure 1 — example CCP")
+    table.add_row("[m1, m2] is a C-path", True, facts["[m1,m2] causal"])
+    table.add_row("[m1, m4] is a C-path", True, facts["[m1,m4] causal"])
+    table.add_row("[m5, m4] is a zigzag path", True, facts["[m5,m4] zigzag"])
+    table.add_row("[m5, m4] is non-causal (Z-path)", True, not facts["[m5,m4] causal"])
+    table.add_row("{v1, s2^1, s3^1} consistent", True, consistent)
+    table.add_row("{s1^0, s2^1, s3^1} consistent", False, inconsistent)
+    table.add_row("CCP is RD-trackable", True, facts["rdt"])
+    table.add_row(
+        "RD-trackable without m3", False, check_rdt(without_m3, collect_witnesses=False).is_rdt
+    )
+    emit_table("fig1_example_ccp", table.render() + "\n\n" + render_ccp(ccp))
+
+    assert facts["[m1,m2] causal"] and facts["[m1,m4] causal"]
+    assert facts["[m5,m4] zigzag"] and not facts["[m5,m4] causal"]
+    assert consistent and not inconsistent
+    assert facts["rdt"]
+    assert not check_rdt(without_m3, collect_witnesses=False).is_rdt

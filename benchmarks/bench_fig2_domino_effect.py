@@ -1,0 +1,62 @@
+"""FIG-2: useless checkpoints and the domino effect.
+
+Regenerates the figure's claim (every non-initial checkpoint is useless, one
+failure rolls the whole application back to its initial state) and contrasts it
+with the same traffic pattern run under an RDT protocol, where the rollback is
+bounded.  The benchmark times the combination of zigzag-cycle detection and
+recovery-line search on the hand-built pattern.
+"""
+
+from repro.analysis.tables import TextTable
+from repro.ccp.zigzag import ZigzagAnalysis
+from repro.recovery.recovery_line import recovery_line_brute_force
+from repro.scenarios.figures import figure2_ccp
+from repro.simulation.runner import SimulationConfig, SimulationRunner
+from repro.simulation.workloads import RingWorkload
+
+
+def test_fig2_domino_effect(benchmark, emit_table):
+    ccp = figure2_ccp()
+
+    def analyse():
+        useless = ZigzagAnalysis(ccp).useless_checkpoints()
+        line = recovery_line_brute_force(ccp, [0])
+        return useless, line
+
+    useless, line = benchmark(analyse)
+
+    config = SimulationConfig(
+        num_processes=2,
+        duration=80.0,
+        workload=RingWorkload(period=3.0, mean_checkpoint_gap=7.0),
+        protocol="fdas",
+        collector="none",
+        seed=11,
+        keep_final_ccp=True,
+    )
+    fdas_result = SimulationRunner(config).run()
+    fdas_ccp = fdas_result.final_ccp
+    assert fdas_ccp is not None
+    fdas_useless = ZigzagAnalysis(fdas_ccp).useless_checkpoints()
+    fdas_line = recovery_line_brute_force(fdas_ccp, [0])
+    fdas_lost = sum(
+        fdas_ccp.volatile_index(pid) - fdas_line.indices[pid] for pid in fdas_ccp.processes
+    )
+
+    table = TextTable(
+        ["scenario", "useless checkpoints", "recovery line (p1 fails)", "lost checkpoints"],
+        title="Figure 2 — domino effect vs an RDT protocol",
+    )
+    table.add_row(
+        "uncoordinated (Figure 2)",
+        len(useless),
+        line.indices,
+        sum(ccp.volatile_index(pid) - line.indices[pid] for pid in ccp.processes),
+    )
+    table.add_row("FDAS on ring traffic", len(fdas_useless), fdas_line.indices, fdas_lost)
+    emit_table("fig2_domino_effect", table.render())
+
+    assert len(useless) == 3           # every non-initial stable checkpoint
+    assert line.indices == (0, 0)      # full rollback to the initial state
+    assert fdas_useless == []          # RDT protocols have no useless checkpoints
+    assert fdas_lost < fdas_ccp.total_stable_checkpoints()

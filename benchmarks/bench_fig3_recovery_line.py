@@ -1,0 +1,43 @@
+"""FIG-3: recovery-line determination and obsolete-checkpoint identification.
+
+Regenerates the structure of Figure 3 on the equivalent 4-process scenario
+(see ``repro.scenarios.figures``): the recovery line for ``F = {p2, p3}``,
+the exclusion of ``p3``'s last stable checkpoint, and the Theorem-1 obsolete
+set (including a "hole").  The benchmark times Lemma-1 line computation plus
+the Theorem-1 oracle.
+"""
+
+from repro.analysis.tables import TextTable
+from repro.core.obsolete import obsolete_per_process, obsolete_stable_checkpoints_theorem1
+from repro.recovery.recovery_line import recovery_line, recovery_line_brute_force
+from repro.scenarios.figures import figure3_ccp
+
+
+def test_fig3_recovery_line(benchmark, emit_table):
+    ccp = figure3_ccp()
+
+    def analyse():
+        line = recovery_line(ccp, [1, 2])
+        obsolete = obsolete_stable_checkpoints_theorem1(ccp)
+        return line, obsolete
+
+    line, obsolete = benchmark(analyse)
+    brute = recovery_line_brute_force(ccp, [1, 2])
+    grouped = obsolete_per_process(ccp, obsolete)
+
+    table = TextTable(
+        ["quantity", "paper (Figure 3)", "measured (equivalent scenario)"],
+        title="Figure 3 — recovery line for F = {p2, p3}",
+    )
+    table.add_row("line excludes s3^last", "yes (s2^last -> s3^last)", line.indices[2] < ccp.last_stable(2))
+    table.add_row("line matches Definition 5", "unique by Lemma 1", line == brute)
+    table.add_row("recovery line components", "last non-preceded per process", line.indices)
+    table.add_row("obsolete checkpoints", "5 (incl. holes)", sum(len(g) for g in grouped))
+    table.add_row("obsolete per process", "{c7_2,c9_2,c8_3,c6_4,c8_4}", grouped)
+    emit_table("fig3_recovery_line", table.render())
+
+    assert line == brute
+    assert line.indices[1] == ccp.last_stable(1)
+    assert line.indices[2] < ccp.last_stable(2)
+    # The hole: an obsolete checkpoint between two retained ones of p1.
+    assert 2 in grouped[0] and 1 not in grouped[0] and 3 not in grouped[0]

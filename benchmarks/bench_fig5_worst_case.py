@@ -1,0 +1,48 @@
+"""FIG-5: the worst-case scenario and the space bounds of Section 4.5.
+
+Runs the worst-case schedule for several system sizes and reports the
+per-process and global storage occupancy against the paper's bounds: at most
+``n`` retained checkpoints per process (``n + 1`` transiently), ``n^2`` at rest
+globally after the final round, ``n (n + 1)`` transiently.
+"""
+
+import pytest
+
+from repro.analysis.tables import TextTable
+from repro.scenarios.experiments import run_worst_case
+
+
+@pytest.mark.parametrize("num_processes", [2, 4, 8])
+def test_fig5_worst_case(benchmark, emit_table, num_processes):
+    result = benchmark(run_worst_case, num_processes)
+
+    table = TextTable(
+        ["quantity", "paper bound", "measured"],
+        title=f"Figure 5 — worst case, n = {num_processes}",
+    )
+    table.add_row(
+        "retained per process (at rest)",
+        f"n = {num_processes}",
+        max(result.retained_final),
+    )
+    table.add_row(
+        "retained per process (transient)",
+        f"n + 1 = {num_processes + 1}",
+        result.max_retained_any_process,
+    )
+    table.add_row(
+        "global occupancy at rest",
+        f"n^2 = {num_processes ** 2}",
+        result.total_retained_final,
+    )
+    table.add_row(
+        "global occupancy (transient)",
+        f"n(n+1) = {num_processes * (num_processes + 1)}",
+        sum(result.max_retained_per_process),
+    )
+    emit_table(f"fig5_worst_case_n{num_processes}", table.render())
+
+    assert result.retained_final == tuple([num_processes] * num_processes)
+    assert result.max_retained_any_process <= num_processes + 1
+    assert result.total_retained_final == num_processes ** 2
+    assert sum(result.max_retained_per_process) <= num_processes * (num_processes + 1)

@@ -1,0 +1,13 @@
+"""Repository-level pytest configuration.
+
+Ensures the in-tree ``src`` layout is importable even when the package has not
+been installed (e.g. running ``pytest`` straight from a fresh checkout in an
+offline environment where editable installs are unavailable).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

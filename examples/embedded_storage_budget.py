@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Sizing stable storage for an embedded / mobile deployment.
+
+The paper's concluding remarks point at systems "where the storage space is
+limited or expensive, like embedded systems and mobile computing".  This
+example answers the question such a deployment would ask: *how much stable
+storage must each node provision if checkpoints are taken autonomously?*
+
+It sweeps the system size and, for each size, reports the worst-case
+per-process occupancy guaranteed by RDT-LGC (the paper's ``n`` bound, ``n + 1``
+transiently) next to what a long random execution actually uses — showing that
+the bound is tight in the adversarial pattern of Figure 5 but that typical
+executions sit well below it.
+"""
+
+from repro.analysis.tables import TextTable
+from repro.scenarios.experiments import run_random_simulation, run_worst_case
+
+
+def main() -> None:
+    table = TextTable(
+        [
+            "n",
+            "guaranteed bound",
+            "worst-case schedule (measured)",
+            "random workload p95-ish (max over run)",
+            "random workload final",
+        ],
+        title="Per-process stable-storage budget under RDT-LGC",
+    )
+    for n in (2, 4, 8, 12):
+        worst = run_worst_case(n)
+        random_run = run_random_simulation(
+            num_processes=n,
+            duration=300.0,
+            seed=n,
+            collector="rdt-lgc",
+            mean_checkpoint_gap=6.0,
+            keep_final_ccp=False,
+        )
+        table.add_row(
+            n,
+            f"{n} (+1 transient)",
+            max(worst.max_retained_per_process),
+            random_run.max_retained_any_process,
+            max(random_run.retained_final),
+        )
+    print(table.render())
+    print(
+        "\nProvisioning rule of thumb: n checkpoint slots per node are always "
+        "enough (plus one slot of headroom while a new checkpoint is written); "
+        "typical traffic keeps far fewer alive."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Failure injection and recovery with bounded rollback.
+
+Simulates a 5-process pipeline under the FDAS protocol with RDT-LGC garbage
+collection, injects three crashes at different points of the execution and
+shows, for every recovery session: which process failed, the recovery line the
+centralized manager computed (Lemma 1), how many general checkpoints were lost
+(always bounded — no domino effect, by RDT), and what Algorithm 3 collected
+while rebuilding each process's UC table.
+
+It also demonstrates that garbage collection never endangers recovery: after
+every session the audit confirms that all checkpoints required by Theorem 1
+were still on stable storage.
+"""
+
+from repro import FailureSchedule, SimulationConfig, SimulationRunner
+from repro.analysis.tables import TextTable
+from repro.simulation.workloads import PipelineWorkload
+
+
+def main() -> None:
+    config = SimulationConfig(
+        num_processes=5,
+        duration=400.0,
+        workload=PipelineWorkload(stage_period=2.0, mean_checkpoint_gap=10.0),
+        protocol="fdas",
+        collector="rdt-lgc",
+        failures=FailureSchedule.of([(120.0, 1), (230.0, 4), (310.0, 0)]),
+        seed=2024,
+        audit="full",
+    )
+    result = SimulationRunner(config).run()
+
+    table = TextTable(
+        ["time", "failed", "recovery line", "processes rolled back", "lost ckpts", "collected by Alg. 3"],
+        title="Recovery sessions (pipeline workload, FDAS + RDT-LGC)",
+    )
+    for record in result.recoveries:
+        table.add_row(
+            f"{record.time:.0f}",
+            f"p{record.faulty[0]}",
+            record.recovery_line,
+            record.rolled_back_processes,
+            record.lost_general_checkpoints,
+            record.collected_during_recovery,
+        )
+    print(table.render())
+
+    print()
+    print(f"checkpoints taken over the run : {result.total_checkpoints}")
+    print(f"collected during normal periods: {result.total_collected}")
+    print(f"retained per process at the end: {list(result.retained_final)}")
+    print(f"every audit safe (Theorem 4)   : {result.all_audits_safe}")
+    print(f"every audit optimal (Theorem 5): {result.all_audits_optimal}")
+    print(
+        "\nNote how each crash loses only the work since the failed process's "
+        "last checkpoint plus the orphaned suffixes of its peers — the RDT "
+        "property keeps rollbacks local, and garbage collection never removed "
+        "a checkpoint any recovery line needed."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: run a checkpointed distributed application with RDT-LGC.
+
+The example simulates four processes exchanging messages under the FDAS
+checkpointing protocol, with the paper's RDT-LGC garbage collector attached to
+each process.  It then prints the headline numbers: how many checkpoints were
+taken, how many were collected while the application ran, how many each
+process still holds (never more than ``n``), and the audit verdicts that the
+collector was safe (Theorem 4) and optimal (Theorem 5) throughout — including
+across an injected crash and the resulting recovery session.
+"""
+
+from repro import (
+    FailureSchedule,
+    SimulationConfig,
+    SimulationRunner,
+    UniformRandomWorkload,
+)
+from repro.analysis.tables import TextTable
+
+
+def main() -> None:
+    config = SimulationConfig(
+        num_processes=4,
+        duration=300.0,
+        workload=UniformRandomWorkload(mean_message_gap=2.0, mean_checkpoint_gap=8.0),
+        protocol="fdas",
+        collector="rdt-lgc",
+        failures=FailureSchedule.of([(180.0, 2)]),
+        seed=42,
+        audit="full",
+    )
+    result = SimulationRunner(config).run()
+
+    table = TextTable(["metric", "value"], title="Quickstart: FDAS + RDT-LGC, n = 4")
+    table.add_row("checkpoints taken (basic + forced)", result.total_checkpoints)
+    table.add_row("forced checkpoints", result.forced_checkpoints)
+    table.add_row("application messages", result.messages_sent)
+    table.add_row("control messages used by GC", result.control_messages)
+    table.add_row("checkpoints collected online", result.total_collected)
+    table.add_row("collection ratio", f"{result.collection_ratio:.1%}")
+    table.add_row("retained per process (final)", list(result.retained_final))
+    table.add_row("max retained by any process", result.max_retained_any_process)
+    table.add_row("recovery sessions", len(result.recoveries))
+    table.add_row("safe (Theorem 4) in every audit", result.all_audits_safe)
+    table.add_row("optimal (Theorem 5) in every audit", result.all_audits_optimal)
+    print(table.render())
+
+    for record in result.recoveries:
+        print(
+            f"\nrecovery at t={record.time:.1f}: process {record.faulty[0]} failed, "
+            f"restarted from line {record.recovery_line}, "
+            f"{record.lost_general_checkpoints} general checkpoints lost, "
+            f"{record.collected_during_recovery} stable checkpoints collected by Algorithm 3"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The package metadata lives in ``pyproject.toml``; this file exists so that the
+project can be installed in environments whose tooling predates PEP 660
+editable installs (``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

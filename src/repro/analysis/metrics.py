@@ -1,0 +1,54 @@
+"""Aggregation of repeated runs into summary statistics."""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence
+
+from repro.simulation.runner import SimulationResult
+
+
+@dataclass(frozen=True)
+class AggregateStats:
+    """Mean / spread of one scalar metric over repeated runs."""
+
+    mean: float
+    minimum: float
+    maximum: float
+    stdev: float
+    count: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.2f} (min {self.minimum:.2f}, max {self.maximum:.2f})"
+
+
+def aggregate(values: Iterable[float]) -> AggregateStats:
+    """Aggregate a sequence of scalar observations."""
+    observations = [float(v) for v in values]
+    if not observations:
+        raise ValueError("cannot aggregate an empty sequence")
+    return AggregateStats(
+        mean=statistics.fmean(observations),
+        minimum=min(observations),
+        maximum=max(observations),
+        stdev=statistics.pstdev(observations) if len(observations) > 1 else 0.0,
+        count=len(observations),
+    )
+
+
+def aggregate_results(
+    results: Sequence[SimulationResult],
+    metrics: Dict[str, Callable[[SimulationResult], float]],
+) -> Dict[str, AggregateStats]:
+    """Aggregate named metrics extracted from several runs.
+
+    ``metrics`` maps a metric name to an extractor, e.g.
+    ``{"peak": lambda r: r.peak_total_retained}``.
+    """
+    if not results:
+        raise ValueError("cannot aggregate zero results")
+    return {
+        name: aggregate(extractor(result) for result in results)
+        for name, extractor in metrics.items()
+    }

@@ -1,0 +1,50 @@
+"""Storage-occupancy analysis of simulation results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.simulation.runner import SimulationResult, StorageSample
+
+
+@dataclass(frozen=True)
+class OccupancySummary:
+    """Headline storage-occupancy numbers of one run."""
+
+    peak_total: int
+    mean_total: float
+    final_total: int
+    peak_per_process: int
+    mean_per_process: float
+
+    def as_row(self) -> Tuple[int, float, int, int, float]:
+        """The summary as a tuple (used by report tables)."""
+        return (
+            self.peak_total,
+            round(self.mean_total, 2),
+            self.final_total,
+            self.peak_per_process,
+            round(self.mean_per_process, 2),
+        )
+
+
+def occupancy_series(result: SimulationResult) -> List[Tuple[float, int]]:
+    """The (time, total retained checkpoints) series of one run."""
+    return [(sample.time, sample.total) for sample in result.samples]
+
+
+def summarize_occupancy(result: SimulationResult) -> OccupancySummary:
+    """Summarise the occupancy of one run."""
+    samples: Sequence[StorageSample] = result.samples
+    totals = [sample.total for sample in samples] or [result.total_retained_final]
+    num_processes = result.config.num_processes
+    per_process_peak = result.max_retained_any_process
+    mean_total = sum(totals) / len(totals)
+    return OccupancySummary(
+        peak_total=max(totals),
+        mean_total=mean_total,
+        final_total=result.total_retained_final,
+        peak_per_process=per_process_peak,
+        mean_per_process=mean_total / num_processes,
+    )

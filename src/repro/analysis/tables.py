@@ -1,0 +1,64 @@
+"""Plain-text tables for benchmark and example output."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence
+
+
+class TextTable:
+    """A minimal column-aligned text table.
+
+    Used by the benchmark harness to print the rows/series corresponding to
+    the paper's figures and to the evaluation study, so that the regenerated
+    numbers can be eyeballed directly in the pytest-benchmark output.
+    """
+
+    def __init__(self, columns: Sequence[str], *, title: str = "") -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self._columns = [str(c) for c in columns]
+        self._rows: List[List[str]] = []
+        self._title = title
+
+    def add_row(self, *values: Any) -> None:
+        """Append a row; values are converted with ``str``."""
+        if len(values) != len(self._columns):
+            raise ValueError(
+                f"expected {len(self._columns)} values, got {len(values)}"
+            )
+        self._rows.append([_format(value) for value in values])
+
+    def add_rows(self, rows: Iterable[Sequence[Any]]) -> None:
+        """Append several rows."""
+        for row in rows:
+            self.add_row(*row)
+
+    @property
+    def row_count(self) -> int:
+        """Number of data rows added so far."""
+        return len(self._rows)
+
+    def render(self) -> str:
+        """The table as a multi-line string."""
+        widths = [len(c) for c in self._columns]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines: List[str] = []
+        if self._title:
+            lines.append(self._title)
+        header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(self._columns))
+        lines.append(header)
+        lines.append("  ".join("-" * widths[i] for i in range(len(widths))))
+        for row in self._rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _format(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,133 @@
+"""Cuts and consistent cuts of a distributed execution (Definition 2).
+
+A *cut* contains an initial prefix of the event sequence of every process.  A
+cut is *consistent* iff it is left-closed under causal precedence: every event
+whose effect is inside the cut has all its causes inside the cut as well.
+Because each per-process part of a cut is a prefix, program-order closedness is
+automatic and the only way to violate consistency is to include the receive of
+a message without its send.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.causality.events import EventKind, EventLog
+
+
+@dataclass(frozen=True)
+class Cut:
+    """A cut of an execution: one prefix length per process.
+
+    ``lengths[pid]`` is the number of events of process ``pid`` included in the
+    cut (so ``lengths[pid] == 0`` means no event of that process is included).
+    """
+
+    lengths: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if any(length < 0 for length in self.lengths):
+            raise ValueError("cut prefix lengths must be non-negative")
+
+    @classmethod
+    def of(cls, lengths: Sequence[int]) -> "Cut":
+        """Build a cut from any sequence of prefix lengths."""
+        return cls(tuple(lengths))
+
+    @classmethod
+    def full(cls, log: EventLog) -> "Cut":
+        """The cut containing every event of ``log``."""
+        return cls(tuple(len(log.history(pid)) for pid in log.processes))
+
+    @property
+    def num_processes(self) -> int:
+        """Number of processes covered by the cut."""
+        return len(self.lengths)
+
+    def includes(self, pid: int, seq: int) -> bool:
+        """True if event ``(pid, seq)`` is inside the cut."""
+        return seq < self.lengths[pid]
+
+    def is_subcut_of(self, other: "Cut") -> bool:
+        """True if this cut is contained in (or equal to) ``other``."""
+        if self.num_processes != other.num_processes:
+            raise ValueError("cannot compare cuts over different process sets")
+        return all(a <= b for a, b in zip(self.lengths, other.lengths))
+
+    # ------------------------------------------------------------------
+    # Consistency
+    # ------------------------------------------------------------------
+    def is_consistent(self, log: EventLog) -> bool:
+        """Definition 2: left-closed under causal precedence.
+
+        Equivalent (for prefix cuts) to: every RECEIVE inside the cut has its
+        SEND inside the cut.
+        """
+        self._check_against(log)
+        for pid in log.processes:
+            for event in log.history(pid).events[: self.lengths[pid]]:
+                if event.kind is not EventKind.RECEIVE:
+                    continue
+                assert event.message_id is not None
+                send = log.message(event.message_id).send_event
+                if not self.includes(send.pid, send.seq):
+                    return False
+        return True
+
+    def inconsistency_witnesses(self, log: EventLog) -> List[int]:
+        """Message ids received inside the cut but sent outside it."""
+        self._check_against(log)
+        witnesses: List[int] = []
+        for pid in log.processes:
+            for event in log.history(pid).events[: self.lengths[pid]]:
+                if event.kind is not EventKind.RECEIVE:
+                    continue
+                assert event.message_id is not None
+                send = log.message(event.message_id).send_event
+                if not self.includes(send.pid, send.seq):
+                    witnesses.append(event.message_id)
+        return witnesses
+
+    def restrict(self, log: EventLog) -> EventLog:
+        """The sub-execution containing only the events inside the cut."""
+        self._check_against(log)
+        return log.prefix(list(self.lengths))
+
+    def _check_against(self, log: EventLog) -> None:
+        if self.num_processes != log.num_processes:
+            raise ValueError("cut and log have different numbers of processes")
+        for pid in log.processes:
+            if self.lengths[pid] > len(log.history(pid)):
+                raise ValueError(
+                    f"cut includes {self.lengths[pid]} events of process {pid}, "
+                    f"but only {len(log.history(pid))} were executed"
+                )
+
+
+def latest_consistent_cut(log: EventLog) -> Cut:
+    """The maximal consistent cut of ``log``.
+
+    For a complete log this is simply the full cut (every receive has a send),
+    but logs truncated mid-flight may include receives of dropped sends; this
+    helper shrinks prefixes until consistency holds.  The maximal consistent
+    cut is unique because consistent cuts are closed under componentwise
+    maximum.
+    """
+    lengths = [len(log.history(pid)) for pid in log.processes]
+    changed = True
+    while changed:
+        changed = False
+        cut = Cut.of(lengths)
+        for pid in log.processes:
+            for seq in range(lengths[pid]):
+                event = log.history(pid)[seq]
+                if event.kind is not EventKind.RECEIVE:
+                    continue
+                assert event.message_id is not None
+                send = log.message(event.message_id).send_event
+                if not cut.includes(send.pid, send.seq):
+                    lengths[pid] = seq
+                    changed = True
+                    break
+    return Cut.of(lengths)

@@ -1,0 +1,468 @@
+"""Event and message records for distributed executions.
+
+The system model follows Section 2 of the paper: a distributed system is a set
+of processes ``p_1 .. p_n`` that communicate only by exchanging messages.  A
+process execution is a sequence of events; events are *internal* (including
+local checkpoints) or *communication* events (send/receive).
+
+The classes in this module are plain, immutable records.  They carry no
+behaviour beyond validation and convenient accessors; all causal reasoning is
+done by :mod:`repro.causality.happens_before` and the CCP layer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+
+class EventKind(enum.Enum):
+    """The kind of an event in a process history."""
+
+    INTERNAL = "internal"
+    SEND = "send"
+    RECEIVE = "receive"
+    CHECKPOINT = "checkpoint"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class EventId:
+    """Identifies an event by process id and position in that process history.
+
+    ``seq`` is the zero-based index of the event in the process's local event
+    sequence (``e_i^0, e_i^1, ...`` in the paper's notation).
+    """
+
+    pid: int
+    seq: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"e{self.pid}^{self.seq}"
+
+
+@dataclass(frozen=True)
+class Event:
+    """A single event executed by a process.
+
+    Parameters
+    ----------
+    pid:
+        The process that executed the event.
+    seq:
+        The position of the event in the process's history.
+    kind:
+        One of :class:`EventKind`.
+    message_id:
+        For SEND/RECEIVE events, the id of the message involved.
+    checkpoint_index:
+        For CHECKPOINT events, the index of the checkpoint taken (``gamma`` in
+        ``s_i^gamma``).
+    time:
+        Optional simulated timestamp (used only for reporting; the algorithms
+        never rely on it, matching the asynchronous system model).
+    forced:
+        For CHECKPOINT events, whether the checkpoint was forced by the
+        communication-induced protocol (as opposed to a basic checkpoint).
+    """
+
+    pid: int
+    seq: int
+    kind: EventKind
+    message_id: Optional[int] = None
+    checkpoint_index: Optional[int] = None
+    time: float = 0.0
+    forced: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind in (EventKind.SEND, EventKind.RECEIVE):
+            if self.message_id is None:
+                raise ValueError(f"{self.kind} event requires a message_id")
+        if self.kind is EventKind.CHECKPOINT and self.checkpoint_index is None:
+            raise ValueError("CHECKPOINT event requires a checkpoint_index")
+
+    @property
+    def event_id(self) -> EventId:
+        """The :class:`EventId` of this event."""
+        return EventId(self.pid, self.seq)
+
+    def is_checkpoint(self) -> bool:
+        """True if this event records the taking of a local checkpoint."""
+        return self.kind is EventKind.CHECKPOINT
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        extra = ""
+        if self.kind in (EventKind.SEND, EventKind.RECEIVE):
+            extra = f"(m{self.message_id})"
+        elif self.kind is EventKind.CHECKPOINT:
+            extra = f"(c{self.pid}^{self.checkpoint_index})"
+        return f"{self.kind.value}@p{self.pid}#{self.seq}{extra}"
+
+
+@dataclass(frozen=True)
+class Message:
+    """An application message exchanged between two processes.
+
+    A message is *delivered* when both ``send_event`` and ``receive_event`` are
+    known.  Messages that were sent but never received (lost, or still in
+    transit at the cut under analysis) have ``receive_event is None``; they do
+    not contribute dependencies, matching the CCP definition in Section 2.2
+    which excludes lost and in-transit messages.
+    """
+
+    message_id: int
+    sender: int
+    receiver: int
+    send_event: EventId
+    receive_event: Optional[EventId] = None
+
+    @property
+    def delivered(self) -> bool:
+        """True if the message was received within the recorded execution."""
+        return self.receive_event is not None
+
+
+@dataclass
+class ProcessHistory:
+    """The ordered sequence of events executed by one process."""
+
+    pid: int
+    events: List[Event] = field(default_factory=list)
+
+    def append(self, event: Event) -> None:
+        """Append ``event``, validating process id and sequence number."""
+        if event.pid != self.pid:
+            raise ValueError(
+                f"event for process {event.pid} appended to history of {self.pid}"
+            )
+        if event.seq != len(self.events):
+            raise ValueError(
+                f"expected seq {len(self.events)} for process {self.pid}, "
+                f"got {event.seq}"
+            )
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def __getitem__(self, seq: int) -> Event:
+        return self.events[seq]
+
+    def checkpoint_events(self) -> List[Event]:
+        """All CHECKPOINT events in order."""
+        return [e for e in self.events if e.is_checkpoint()]
+
+    def last_checkpoint_index(self) -> int:
+        """Index of the last checkpoint taken, or -1 if none was taken."""
+        for event in reversed(self.events):
+            if event.is_checkpoint():
+                assert event.checkpoint_index is not None
+                return event.checkpoint_index
+        return -1
+
+
+class EventLog:
+    """A complete record of a distributed execution.
+
+    The log stores one :class:`ProcessHistory` per process and a registry of
+    messages.  It is the single source of truth from which causal orders,
+    cuts and checkpoint-and-communication patterns are derived.
+
+    The class enforces the structural invariants of the model:
+
+    * event sequence numbers are contiguous per process;
+    * each message id is sent exactly once and received at most once;
+    * a receive event can only be recorded after its send event exists.
+    """
+
+    def __init__(self, num_processes: int) -> None:
+        if num_processes <= 0:
+            raise ValueError("an execution needs at least one process")
+        self._histories: List[ProcessHistory] = [
+            ProcessHistory(pid) for pid in range(num_processes)
+        ]
+        self._messages: Dict[int, Message] = {}
+        self._next_message_id = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_processes(self) -> int:
+        """Number of processes in the execution."""
+        return len(self._histories)
+
+    @property
+    def processes(self) -> range:
+        """The process ids ``0 .. n-1``."""
+        return range(self.num_processes)
+
+    def history(self, pid: int) -> ProcessHistory:
+        """The event history of process ``pid``."""
+        return self._histories[pid]
+
+    def histories(self) -> Sequence[ProcessHistory]:
+        """All process histories, indexed by pid."""
+        return tuple(self._histories)
+
+    def event(self, event_id: EventId) -> Event:
+        """The event identified by ``event_id``."""
+        return self._histories[event_id.pid][event_id.seq]
+
+    def events(self) -> Iterator[Event]:
+        """Iterate over all events, grouped by process, in program order."""
+        for history in self._histories:
+            yield from history
+
+    def total_events(self) -> int:
+        """Total number of events across all processes."""
+        return sum(len(h) for h in self._histories)
+
+    def messages(self) -> List[Message]:
+        """All registered messages (delivered or not), ordered by id."""
+        return [self._messages[mid] for mid in sorted(self._messages)]
+
+    def delivered_messages(self) -> List[Message]:
+        """Messages that have both a send and a receive event."""
+        return [m for m in self.messages() if m.delivered]
+
+    def message(self, message_id: int) -> Message:
+        """The message with id ``message_id``."""
+        return self._messages[message_id]
+
+    def has_message(self, message_id: int) -> bool:
+        """True if a message with the given id was registered."""
+        return message_id in self._messages
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_internal(self, pid: int, *, time: float = 0.0) -> Event:
+        """Record an internal event at process ``pid``."""
+        event = Event(
+            pid=pid, seq=len(self._histories[pid]), kind=EventKind.INTERNAL, time=time
+        )
+        self._histories[pid].append(event)
+        return event
+
+    def add_checkpoint(
+        self, pid: int, checkpoint_index: int, *, time: float = 0.0, forced: bool = False
+    ) -> Event:
+        """Record a checkpoint event at process ``pid``.
+
+        Checkpoint indices must be taken in increasing order, starting at 0.
+        """
+        last = self._histories[pid].last_checkpoint_index()
+        if checkpoint_index != last + 1:
+            raise ValueError(
+                f"process {pid}: expected checkpoint index {last + 1}, "
+                f"got {checkpoint_index}"
+            )
+        event = Event(
+            pid=pid,
+            seq=len(self._histories[pid]),
+            kind=EventKind.CHECKPOINT,
+            checkpoint_index=checkpoint_index,
+            time=time,
+            forced=forced,
+        )
+        self._histories[pid].append(event)
+        return event
+
+    def add_send(
+        self,
+        sender: int,
+        receiver: int,
+        *,
+        message_id: Optional[int] = None,
+        time: float = 0.0,
+    ) -> Tuple[Event, Message]:
+        """Record the sending of a message from ``sender`` to ``receiver``.
+
+        Returns the send event and the (not-yet-delivered) message record.
+        """
+        if receiver not in self.processes:
+            raise ValueError(f"unknown receiver process {receiver}")
+        if message_id is None:
+            message_id = self._next_message_id
+        if message_id in self._messages:
+            raise ValueError(f"message id {message_id} already used")
+        self._next_message_id = max(self._next_message_id, message_id + 1)
+        event = Event(
+            pid=sender,
+            seq=len(self._histories[sender]),
+            kind=EventKind.SEND,
+            message_id=message_id,
+            time=time,
+        )
+        self._histories[sender].append(event)
+        message = Message(
+            message_id=message_id,
+            sender=sender,
+            receiver=receiver,
+            send_event=event.event_id,
+        )
+        self._messages[message_id] = message
+        return event, message
+
+    def add_receive(self, message_id: int, *, time: float = 0.0) -> Event:
+        """Record the receipt of a previously sent message."""
+        if message_id not in self._messages:
+            raise ValueError(f"receive of unknown message {message_id}")
+        message = self._messages[message_id]
+        if message.delivered:
+            raise ValueError(f"message {message_id} already received")
+        pid = message.receiver
+        event = Event(
+            pid=pid,
+            seq=len(self._histories[pid]),
+            kind=EventKind.RECEIVE,
+            message_id=message_id,
+            time=time,
+        )
+        self._histories[pid].append(event)
+        self._messages[message_id] = Message(
+            message_id=message.message_id,
+            sender=message.sender,
+            receiver=message.receiver,
+            send_event=message.send_event,
+            receive_event=event.event_id,
+        )
+        return event
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def prefix(self, lengths: Sequence[int]) -> "EventLog":
+        """Return a new :class:`EventLog` containing only a prefix per process.
+
+        ``lengths[pid]`` gives the number of events of ``pid`` to keep.  The
+        prefix need not be a consistent cut; messages whose receive event falls
+        outside the prefix become undelivered, and messages whose *send* event
+        falls outside are dropped entirely.
+        """
+        if len(lengths) != self.num_processes:
+            raise ValueError("one prefix length per process is required")
+        sub = EventLog(self.num_processes)
+        kept_sends: Dict[int, EventId] = {}
+        for pid in self.processes:
+            length = lengths[pid]
+            if not 0 <= length <= len(self._histories[pid]):
+                raise ValueError(
+                    f"invalid prefix length {length} for process {pid}"
+                )
+        # First pass: re-append events; sends register messages, receives are
+        # deferred to a second pass so that cross-process ordering of the
+        # original message ids is preserved.
+        deferred_receives: List[Event] = []
+        for pid in self.processes:
+            for event in self._histories[pid].events[: lengths[pid]]:
+                if event.kind is EventKind.SEND:
+                    assert event.message_id is not None
+                    kept_sends[event.message_id] = event.event_id
+        for pid in self.processes:
+            for event in self._histories[pid].events[: lengths[pid]]:
+                if event.kind is EventKind.INTERNAL:
+                    sub.add_internal(pid, time=event.time)
+                elif event.kind is EventKind.CHECKPOINT:
+                    assert event.checkpoint_index is not None
+                    sub.add_checkpoint(
+                        pid, event.checkpoint_index, time=event.time, forced=event.forced
+                    )
+                elif event.kind is EventKind.SEND:
+                    assert event.message_id is not None
+                    original = self._messages[event.message_id]
+                    sub.add_send(
+                        pid,
+                        original.receiver,
+                        message_id=event.message_id,
+                        time=event.time,
+                    )
+                else:  # RECEIVE
+                    deferred_receives.append(event)
+        # Second pass: receives, in global order of (pid, seq) is fine because
+        # add_receive only needs the send to exist.  Receives of dropped sends
+        # would violate cut-closedness under program order only if the caller
+        # passed a prefix where a receive is kept but its send is not; we keep
+        # the receive as an INTERNAL placeholder in that case to preserve the
+        # event numbering of the prefix.
+        deferred_receives.sort(key=lambda e: (e.pid, e.seq))
+        # add_receive appends at the end of the history, so replaying receives
+        # out of their original position would corrupt per-process order.  We
+        # rebuild instead: the loop above already appended all non-receive
+        # events in order, which breaks ordering whenever a receive is not the
+        # last event.  To keep this simple and correct we rebuild from scratch
+        # below whenever any receive exists.
+        if deferred_receives:
+            return self._rebuild_prefix(lengths, kept_sends)
+        return sub
+
+    def _rebuild_prefix(
+        self, lengths: Sequence[int], kept_sends: Dict[int, EventId]
+    ) -> "EventLog":
+        """Rebuild a prefix log preserving per-process event order exactly."""
+        sub = EventLog(self.num_processes)
+        # Replay events in an interleaving that respects message causality:
+        # repeatedly pick a process whose next event is enabled (a receive is
+        # enabled only once its send has been replayed).
+        cursors = [0] * self.num_processes
+        replayed_sends: Dict[int, int] = {}
+        total = sum(lengths)
+        replayed = 0
+        while replayed < total:
+            progressed = False
+            for pid in self.processes:
+                if cursors[pid] >= lengths[pid]:
+                    continue
+                event = self._histories[pid][cursors[pid]]
+                if event.kind is EventKind.RECEIVE:
+                    assert event.message_id is not None
+                    if event.message_id not in replayed_sends:
+                        # The send is either later in the replay or outside the
+                        # prefix; in the latter case record an internal event
+                        # placeholder so prefix lengths stay meaningful.
+                        if event.message_id not in kept_sends:
+                            sub.add_internal(pid, time=event.time)
+                            cursors[pid] += 1
+                            replayed += 1
+                            progressed = True
+                        continue
+                    sub.add_receive(event.message_id, time=event.time)
+                elif event.kind is EventKind.SEND:
+                    assert event.message_id is not None
+                    original = self._messages[event.message_id]
+                    sub.add_send(
+                        pid,
+                        original.receiver,
+                        message_id=event.message_id,
+                        time=event.time,
+                    )
+                    replayed_sends[event.message_id] = pid
+                elif event.kind is EventKind.CHECKPOINT:
+                    assert event.checkpoint_index is not None
+                    sub.add_checkpoint(
+                        pid, event.checkpoint_index, time=event.time, forced=event.forced
+                    )
+                else:
+                    sub.add_internal(pid, time=event.time)
+                cursors[pid] += 1
+                replayed += 1
+                progressed = True
+            if not progressed:
+                raise ValueError(
+                    "prefix is not replayable: a receive precedes its send "
+                    "within the requested prefix"
+                )
+        return sub
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EventLog(processes={self.num_processes}, "
+            f"events={self.total_events()}, messages={len(self._messages)})"
+        )

@@ -1,0 +1,107 @@
+"""Classic vector clocks.
+
+Vector clocks give a compact representation of Lamport's happened-before
+relation: event ``e`` causally precedes ``e'`` iff ``VC(e) < VC(e')`` in the
+componentwise order.  The library uses them as the ground-truth causal oracle
+(:mod:`repro.causality.happens_before`) against which the paper's dependency
+vectors (Equation 2) are property-tested.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence
+
+
+class VectorClock:
+    """An ``n``-entry vector clock.
+
+    Instances are mutable; :meth:`copy` returns an independent clock.  All
+    comparison helpers treat clocks of differing sizes as an error, because in
+    this library the number of processes is fixed for an execution.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: Iterable[int]) -> None:
+        self._entries: List[int] = list(entries)
+        if not self._entries:
+            raise ValueError("a vector clock needs at least one entry")
+        if any(v < 0 for v in self._entries):
+            raise ValueError("vector clock entries must be non-negative")
+
+    @classmethod
+    def zeros(cls, num_processes: int) -> "VectorClock":
+        """A clock of ``num_processes`` zero entries."""
+        return cls([0] * num_processes)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __getitem__(self, index: int) -> int:
+        return self._entries[index]
+
+    def __setitem__(self, index: int, value: int) -> None:
+        if value < 0:
+            raise ValueError("vector clock entries must be non-negative")
+        self._entries[index] = value
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._entries)
+
+    def as_tuple(self) -> tuple:
+        """The entries as an immutable tuple."""
+        return tuple(self._entries)
+
+    def copy(self) -> "VectorClock":
+        """An independent copy of this clock."""
+        return VectorClock(self._entries)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def tick(self, pid: int) -> None:
+        """Advance the local component of process ``pid`` by one."""
+        self._entries[pid] += 1
+
+    def merge(self, other: Sequence[int]) -> None:
+        """Componentwise maximum with ``other`` (message receipt rule)."""
+        if len(other) != len(self._entries):
+            raise ValueError("cannot merge vector clocks of different sizes")
+        for i, value in enumerate(other):
+            if value > self._entries[i]:
+                self._entries[i] = value
+
+    # ------------------------------------------------------------------
+    # Comparisons
+    # ------------------------------------------------------------------
+    def _check_size(self, other: "VectorClock") -> None:
+        if len(other) != len(self._entries):
+            raise ValueError("cannot compare vector clocks of different sizes")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VectorClock):
+            return NotImplemented
+        return self._entries == other._entries
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._entries))
+
+    def dominates(self, other: "VectorClock") -> bool:
+        """True if every entry of ``self`` is >= the corresponding entry."""
+        self._check_size(other)
+        return all(a >= b for a, b in zip(self._entries, other._entries))
+
+    def happened_before(self, other: "VectorClock") -> bool:
+        """True if ``self < other`` in the strict componentwise order."""
+        self._check_size(other)
+        return other.dominates(self) and self._entries != other._entries
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        """True if neither clock happened before the other."""
+        return not self.happened_before(other) and not other.happened_before(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"VectorClock({self._entries})"

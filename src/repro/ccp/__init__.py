@@ -1,0 +1,51 @@
+"""Checkpoint-and-Communication-Pattern (CCP) substrate.
+
+This subpackage turns a raw distributed execution (an
+:class:`repro.causality.EventLog`) into the checkpoint-level objects the paper
+reasons about:
+
+* :mod:`checkpoint` — checkpoint identities, stable vs volatile checkpoints and
+  checkpoint intervals (Section 2.2, Equation 1);
+* :mod:`pattern` — the :class:`CCP` itself: general checkpoints, ``last_s(i)``,
+  checkpoint-level causal precedence, ground-truth dependency vectors;
+* :mod:`builder` — a fluent builder for hand-specified CCPs (used to reproduce
+  the paper's figures exactly);
+* :mod:`zigzag` — Netzer–Xu zigzag paths, C-paths vs Z-paths, zigzag cycles and
+  useless checkpoints (Definition 3);
+* :mod:`rdt` — the rollback-dependency-trackability property checker
+  (Definition 4);
+* :mod:`consistency` — consistent global checkpoints and min/max consistent
+  global checkpoint queries;
+* :mod:`rollback_graph` — the rollback-dependency graph (R-graph) analysis
+  utility.
+"""
+
+from repro.ccp.builder import CCPBuilder
+from repro.ccp.checkpoint import Checkpoint, CheckpointId, CheckpointKind
+from repro.ccp.consistency import (
+    GlobalCheckpoint,
+    is_consistent_global_checkpoint,
+    max_consistent_global_checkpoint,
+    min_consistent_global_checkpoint,
+)
+from repro.ccp.pattern import CCP
+from repro.ccp.rdt import RDTReport, check_rdt
+from repro.ccp.rollback_graph import RollbackDependencyGraph
+from repro.ccp.zigzag import ZigzagAnalysis, ZigzagPath
+
+__all__ = [
+    "CCP",
+    "CCPBuilder",
+    "Checkpoint",
+    "CheckpointId",
+    "CheckpointKind",
+    "GlobalCheckpoint",
+    "RDTReport",
+    "RollbackDependencyGraph",
+    "ZigzagAnalysis",
+    "ZigzagPath",
+    "check_rdt",
+    "is_consistent_global_checkpoint",
+    "max_consistent_global_checkpoint",
+    "min_consistent_global_checkpoint",
+]

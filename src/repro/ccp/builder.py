@@ -1,0 +1,155 @@
+"""Fluent construction of hand-specified CCPs.
+
+The paper's figures (1 through 5) are small, hand-drawn checkpoint and
+communication patterns.  :class:`CCPBuilder` lets tests, examples and
+benchmarks describe such patterns declaratively::
+
+    builder = CCPBuilder(3)                # s_i^0 taken automatically
+    builder.send(0, 1, tag="m1")
+    builder.receive("m1")
+    builder.checkpoint(1)                  # s_1^1
+    ccp = builder.build()
+
+Alongside the event structure the builder simulates the dependency-vector
+propagation of Section 4.2, so the built CCP carries the exact vectors an RDT
+protocol would have piggybacked and stored.  This is what lets Figure 4 of the
+paper be reproduced value-for-value.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.causality.dependency_vector import DependencyVector
+from repro.causality.events import EventLog
+from repro.ccp.checkpoint import CheckpointId
+from repro.ccp.pattern import CCP
+
+
+class CCPBuilder:
+    """Incrementally describe a checkpoint and communication pattern."""
+
+    def __init__(
+        self,
+        num_processes: int,
+        *,
+        initial_checkpoints: bool = True,
+        track_dependency_vectors: bool = True,
+    ) -> None:
+        """Create a builder for ``num_processes`` processes.
+
+        Parameters
+        ----------
+        initial_checkpoints:
+            When True (the default, matching the paper's model) every process
+            starts by storing its initial stable checkpoint ``s_i^0``.
+        track_dependency_vectors:
+            When True the builder simulates dependency-vector propagation and
+            records the vector stored with every checkpoint.
+        """
+        if num_processes <= 0:
+            raise ValueError("a CCP needs at least one process")
+        self._log = EventLog(num_processes)
+        self._track = track_dependency_vectors
+        self._dvs = [
+            DependencyVector.initial(num_processes, pid) for pid in range(num_processes)
+        ]
+        self._message_tags: Dict[str, int] = {}
+        self._message_dvs: Dict[int, Tuple[int, ...]] = {}
+        self._recorded: Dict[CheckpointId, Tuple[int, ...]] = {}
+        self._next_auto_tag = 0
+        self._clock = 0.0
+        if initial_checkpoints:
+            for pid in range(num_processes):
+                self.checkpoint(pid)
+
+    # ------------------------------------------------------------------
+    # Construction verbs
+    # ------------------------------------------------------------------
+    @property
+    def num_processes(self) -> int:
+        """Number of processes in the pattern being built."""
+        return self._log.num_processes
+
+    def checkpoint(self, pid: int, *, forced: bool = False) -> CheckpointId:
+        """Take the next stable checkpoint of ``pid`` and return its id."""
+        index = self._log.history(pid).last_checkpoint_index() + 1
+        self._clock += 1.0
+        self._log.add_checkpoint(pid, index, time=self._clock, forced=forced)
+        cid = CheckpointId(pid, index)
+        if self._track:
+            self._recorded[cid] = self._dvs[pid].snapshot()
+            self._dvs[pid].advance_after_checkpoint()
+        return cid
+
+    def internal(self, pid: int) -> None:
+        """Record an internal (non-communication, non-checkpoint) event."""
+        self._clock += 1.0
+        self._log.add_internal(pid, time=self._clock)
+
+    def send(self, sender: int, receiver: int, *, tag: Optional[str] = None) -> str:
+        """Record the send of a message; returns the tag used to receive it."""
+        if tag is None:
+            tag = f"_auto{self._next_auto_tag}"
+            self._next_auto_tag += 1
+        if tag in self._message_tags:
+            raise ValueError(f"message tag {tag!r} already used")
+        self._clock += 1.0
+        _, message = self._log.add_send(sender, receiver, time=self._clock)
+        self._message_tags[tag] = message.message_id
+        if self._track:
+            self._message_dvs[message.message_id] = self._dvs[sender].piggyback()
+        return tag
+
+    def receive(self, tag: str) -> None:
+        """Record the receipt of a previously sent message."""
+        if tag not in self._message_tags:
+            raise ValueError(f"unknown message tag {tag!r}")
+        message_id = self._message_tags[tag]
+        self._clock += 1.0
+        event = self._log.add_receive(message_id, time=self._clock)
+        if self._track:
+            self._dvs[event.pid].absorb(self._message_dvs[message_id])
+
+    def message_exchange(
+        self, sender: int, receiver: int, *, tag: Optional[str] = None
+    ) -> str:
+        """Convenience: a send immediately followed by its receive."""
+        tag = self.send(sender, receiver, tag=tag)
+        self.receive(tag)
+        return tag
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+    def current_dv(self, pid: int) -> Tuple[int, ...]:
+        """The dependency vector currently held by ``pid`` (``DV(v_pid)``)."""
+        if not self._track:
+            raise ValueError("dependency-vector tracking is disabled")
+        return self._dvs[pid].snapshot()
+
+    def event_log(self) -> EventLog:
+        """The raw event log built so far (shared, not copied)."""
+        return self._log
+
+    def build(self) -> CCP:
+        """Build the CCP of the execution described so far.
+
+        The recorded dependency vectors of stable checkpoints and the current
+        vectors of the volatile checkpoints are attached to the pattern when
+        tracking is enabled.
+        """
+        recorded: Dict[CheckpointId, Tuple[int, ...]] = dict(self._recorded)
+        if self._track:
+            for pid in range(self.num_processes):
+                last = self._log.history(pid).last_checkpoint_index()
+                recorded[CheckpointId(pid, last + 1)] = self._dvs[pid].snapshot()
+        return CCP(self._log, recorded_dvs=recorded if self._track else None)
+
+    def message_id(self, tag: str) -> int:
+        """The internal message id assigned to ``tag``."""
+        return self._message_tags[tag]
+
+    def tags(self) -> List[str]:
+        """All message tags used so far, in creation order."""
+        return sorted(self._message_tags, key=self._message_tags.get)  # type: ignore[arg-type]

@@ -1,0 +1,215 @@
+"""Consistent global checkpoints and min/max queries.
+
+A *global checkpoint* picks one general checkpoint per process; it is
+*consistent* iff its members are pairwise consistent, i.e. no member causally
+precedes another (Section 2.2).  Netzer & Xu characterise the more general
+question of whether a set of checkpoints can be *extended* to a consistent
+global checkpoint: that holds iff no zigzag path connects any two of them
+(including a checkpoint to itself); under RDT the two notions coincide for
+full global checkpoints because every zigzag dependency is causal.
+
+This module also implements the classic min/max queries that the RDT property
+enables (Wang 1997): the maximum (respectively minimum) consistent global
+checkpoint containing a given set of local checkpoints, computed by simple
+fixpoint propagation over the causal relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.ccp.checkpoint import CheckpointId
+from repro.ccp.pattern import CCP
+from repro.ccp.zigzag import ZigzagAnalysis
+
+
+@dataclass(frozen=True)
+class GlobalCheckpoint:
+    """One general checkpoint per process, identified by index.
+
+    ``indices[pid]`` is the index of the chosen checkpoint of process ``pid``.
+    """
+
+    indices: Tuple[int, ...]
+
+    @classmethod
+    def of(cls, indices: Mapping[int, int] | List[int] | Tuple[int, ...]) -> "GlobalCheckpoint":
+        """Build from a mapping pid->index or a dense sequence of indices."""
+        if isinstance(indices, Mapping):
+            size = max(indices) + 1
+            dense = [0] * size
+            for pid, index in indices.items():
+                dense[pid] = index
+            return cls(tuple(dense))
+        return cls(tuple(indices))
+
+    @property
+    def num_processes(self) -> int:
+        """Number of processes covered."""
+        return len(self.indices)
+
+    def checkpoint_id(self, pid: int) -> CheckpointId:
+        """The member checkpoint of process ``pid``."""
+        return CheckpointId(pid, self.indices[pid])
+
+    def members(self) -> Iterator[CheckpointId]:
+        """Iterate over all member checkpoints."""
+        for pid, index in enumerate(self.indices):
+            yield CheckpointId(pid, index)
+
+    def total_index(self) -> int:
+        """Sum of member indices (used to compare how 'recent' lines are)."""
+        return sum(self.indices)
+
+    def rolled_back_count(self, ccp: CCP) -> int:
+        """Number of general checkpoints rolled back if this line is restored.
+
+        For each process, the checkpoints strictly after the chosen component
+        (up to and including the volatile one) are rolled back, which is the
+        quantity minimised by Definition 5.
+        """
+        total = 0
+        for pid in range(self.num_processes):
+            total += ccp.volatile_index(pid) - self.indices[pid]
+        return total
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "{" + ", ".join(str(cid) for cid in self.members()) + "}"
+
+
+def is_consistent_global_checkpoint(
+    ccp: CCP,
+    global_checkpoint: GlobalCheckpoint,
+    *,
+    method: str = "causal",
+    zigzag: Optional[ZigzagAnalysis] = None,
+) -> bool:
+    """Check consistency of a global checkpoint.
+
+    ``method='causal'`` applies the paper's definition (pairwise not causally
+    related).  ``method='zigzag'`` applies the Netzer–Xu condition (no zigzag
+    path between any two members, including self cycles); under RDT both
+    answers agree, which tests exploit.
+    """
+    if global_checkpoint.num_processes != ccp.num_processes:
+        raise ValueError("global checkpoint and CCP cover different process sets")
+    members = list(global_checkpoint.members())
+    for cid in members:
+        if not ccp.has_checkpoint(cid):
+            raise KeyError(f"{cid} is not a checkpoint of this CCP")
+    if method == "causal":
+        for first, second in combinations(members, 2):
+            if not ccp.consistent(first, second):
+                return False
+        return True
+    if method == "zigzag":
+        analysis = zigzag if zigzag is not None else ZigzagAnalysis(ccp)
+        for first in members:
+            for second in members:
+                if analysis.zigzag_exists(first, second):
+                    return False
+        return True
+    raise ValueError(f"unknown consistency method {method!r}")
+
+
+def _fixpoint(
+    ccp: CCP,
+    fixed: Mapping[int, int],
+    start: List[int],
+    adjust_down: bool,
+) -> Optional[GlobalCheckpoint]:
+    """Shared fixpoint used by the max (adjust_down) and min queries."""
+    candidate = list(start)
+    for pid, index in fixed.items():
+        if not ccp.has_checkpoint(CheckpointId(pid, index)):
+            raise KeyError(f"fixed checkpoint c{pid}^{index} is not in this CCP")
+        candidate[pid] = index
+    changed = True
+    while changed:
+        changed = False
+        for i in range(ccp.num_processes):
+            for j in range(ccp.num_processes):
+                if i == j:
+                    continue
+                first = CheckpointId(i, candidate[i])
+                second = CheckpointId(j, candidate[j])
+                if not ccp.causally_precedes(first, second):
+                    continue
+                # Inconsistent pair: first -> second.  Repair by moving the
+                # adjustable side.  Max query: any solution below the candidate
+                # must use an earlier checkpoint of the successor side, so roll
+                # j back (or i back when j is fixed).  Min query: any solution
+                # above the candidate must use a later checkpoint of the
+                # predecessor side, so advance i; a fixed predecessor means no
+                # solution exists at all.
+                if adjust_down:
+                    if j in fixed:
+                        if i in fixed:
+                            return None
+                        candidate[i] -= 1
+                        if candidate[i] < 0:
+                            return None
+                    else:
+                        candidate[j] -= 1
+                        if candidate[j] < 0:
+                            return None
+                else:
+                    if i in fixed:
+                        return None
+                    candidate[i] += 1
+                    if candidate[i] > ccp.volatile_index(i):
+                        return None
+                changed = True
+    result = GlobalCheckpoint(tuple(candidate))
+    if not is_consistent_global_checkpoint(ccp, result):
+        return None
+    return result
+
+
+def max_consistent_global_checkpoint(
+    ccp: CCP, fixed: Optional[Mapping[int, int]] = None
+) -> Optional[GlobalCheckpoint]:
+    """The maximum consistent global checkpoint containing ``fixed``.
+
+    ``fixed`` maps process ids to checkpoint indices that must be members.
+    Unconstrained processes start from their volatile checkpoint and are
+    rolled back until consistency holds (rollback propagation).  Returns
+    ``None`` if no consistent global checkpoint contains the fixed set.
+    Under RDT the fixpoint is the unique maximum (Wang 1997).
+    """
+    fixed = dict(fixed or {})
+    start = [ccp.volatile_index(pid) for pid in ccp.processes]
+    return _fixpoint(ccp, fixed, start, adjust_down=True)
+
+
+def min_consistent_global_checkpoint(
+    ccp: CCP, fixed: Optional[Mapping[int, int]] = None
+) -> Optional[GlobalCheckpoint]:
+    """The minimum consistent global checkpoint containing ``fixed``.
+
+    Unconstrained processes start from their initial checkpoint and are
+    advanced until consistency holds.  Returns ``None`` when impossible.
+    """
+    fixed = dict(fixed or {})
+    start = [0 for _ in ccp.processes]
+    return _fixpoint(ccp, fixed, start, adjust_down=False)
+
+
+def all_consistent_global_checkpoints(ccp: CCP) -> List[GlobalCheckpoint]:
+    """Enumerate every consistent global checkpoint (exponential; tests only)."""
+    results: List[GlobalCheckpoint] = []
+    limits = [ccp.volatile_index(pid) for pid in ccp.processes]
+
+    def recurse(prefix: List[int], pid: int) -> None:
+        if pid == ccp.num_processes:
+            candidate = GlobalCheckpoint(tuple(prefix))
+            if is_consistent_global_checkpoint(ccp, candidate):
+                results.append(candidate)
+            return
+        for index in range(limits[pid] + 1):
+            recurse(prefix + [index], pid + 1)
+
+    recurse([], 0)
+    return results

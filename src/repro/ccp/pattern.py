@@ -1,0 +1,345 @@
+"""The Checkpoint and Communication Pattern (CCP).
+
+A CCP is "the set of all checkpoints taken by all the processes in a
+consistent cut and the dependency relation between them created by the
+exchanged messages (excluding lost and in-transit messages)" (Section 2.2).
+
+The :class:`CCP` class is derived from an :class:`repro.causality.EventLog`
+(optionally restricted to a cut) and offers the checkpoint-level queries used
+by the rest of the library:
+
+* stable and volatile (general) checkpoints, ``last_s(i)``;
+* checkpoint-level causal precedence (ground truth, computed from the event
+  graph rather than from piggybacked vectors);
+* per-checkpoint ground-truth dependency vectors, which — for RDT executions —
+  coincide with the vectors an RDT protocol piggybacks (Equation 2);
+* message interval information needed by the zigzag-path analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.causality.cuts import Cut
+from repro.causality.events import Event, EventId, EventKind, EventLog
+from repro.causality.happens_before import CausalOrder
+from repro.ccp.checkpoint import Checkpoint, CheckpointId, CheckpointKind
+
+
+@dataclass(frozen=True)
+class MessageInterval:
+    """A delivered message annotated with its send and receive intervals.
+
+    The *send interval* is the index ``alpha`` such that the send event belongs
+    to ``I_sender^alpha``; likewise for the receive interval.  These are the
+    only facts about messages needed for zigzag-path analysis (Definition 3).
+    """
+
+    message_id: int
+    sender: int
+    receiver: int
+    send_interval: int
+    receive_interval: int
+    send_seq: int
+    receive_seq: int
+
+
+class CCP:
+    """A checkpoint and communication pattern over a recorded execution."""
+
+    def __init__(
+        self,
+        log: EventLog,
+        *,
+        causal_order: Optional[CausalOrder] = None,
+        recorded_dvs: Optional[Mapping[CheckpointId, Sequence[int]]] = None,
+    ) -> None:
+        """Build the CCP of the full recorded execution.
+
+        Parameters
+        ----------
+        log:
+            The execution.  It must be causally replayable (every receive has a
+            send); use :meth:`from_log` to restrict to a cut first.
+        causal_order:
+            A pre-computed :class:`CausalOrder` for ``log`` (rebuilt if absent).
+        recorded_dvs:
+            Dependency vectors recorded by the checkpointing middleware, keyed
+            by checkpoint id.  When present they are attached to the
+            corresponding :class:`Checkpoint` records; ground-truth vectors are
+            still available through :meth:`ground_truth_dv`.
+        """
+        self._log = log
+        self._order = causal_order if causal_order is not None else CausalOrder(log)
+        self._recorded_dvs = dict(recorded_dvs) if recorded_dvs else {}
+
+        self._stable_events: List[List[Event]] = [
+            log.history(pid).checkpoint_events() for pid in log.processes
+        ]
+        self._checkpoints: Dict[CheckpointId, Checkpoint] = {}
+        self._ground_truth_dvs: Dict[CheckpointId, Tuple[int, ...]] = {}
+        self._build_checkpoints()
+        self._messages = self._build_message_intervals()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_log(
+        cls,
+        log: EventLog,
+        cut: Optional[Cut] = None,
+        *,
+        recorded_dvs: Optional[Mapping[CheckpointId, Sequence[int]]] = None,
+    ) -> "CCP":
+        """Build the CCP defined by ``cut`` (default: the full execution)."""
+        if cut is not None:
+            log = cut.restrict(log)
+        return cls(log, recorded_dvs=recorded_dvs)
+
+    def _build_checkpoints(self) -> None:
+        for pid in self._log.processes:
+            for event in self._stable_events[pid]:
+                assert event.checkpoint_index is not None
+                cid = CheckpointId(pid, event.checkpoint_index)
+                self._checkpoints[cid] = Checkpoint(
+                    pid=pid,
+                    index=event.checkpoint_index,
+                    kind=CheckpointKind.STABLE,
+                    dependency_vector=self._recorded_or_none(cid),
+                    event_seq=event.seq,
+                    forced=event.forced,
+                    time=event.time,
+                )
+            volatile_index = self.last_stable(pid) + 1
+            vid = CheckpointId(pid, volatile_index)
+            self._checkpoints[vid] = Checkpoint(
+                pid=pid,
+                index=volatile_index,
+                kind=CheckpointKind.VOLATILE,
+                dependency_vector=self._recorded_or_none(vid),
+                event_seq=None,
+            )
+
+    def _recorded_or_none(self, cid: CheckpointId) -> Optional[Tuple[int, ...]]:
+        recorded = self._recorded_dvs.get(cid)
+        return tuple(recorded) if recorded is not None else None
+
+    def _build_message_intervals(self) -> List[MessageInterval]:
+        intervals: List[MessageInterval] = []
+        for message in self._log.delivered_messages():
+            send_event = self._log.event(message.send_event)
+            assert message.receive_event is not None
+            receive_event = self._log.event(message.receive_event)
+            intervals.append(
+                MessageInterval(
+                    message_id=message.message_id,
+                    sender=message.sender,
+                    receiver=message.receiver,
+                    send_interval=self.interval_of_event(send_event),
+                    receive_interval=self.interval_of_event(receive_event),
+                    send_seq=send_event.seq,
+                    receive_seq=receive_event.seq,
+                )
+            )
+        return intervals
+
+    # ------------------------------------------------------------------
+    # Basic structure
+    # ------------------------------------------------------------------
+    @property
+    def log(self) -> EventLog:
+        """The underlying event log."""
+        return self._log
+
+    @property
+    def causal_order(self) -> CausalOrder:
+        """The event-level causal order of the execution."""
+        return self._order
+
+    @property
+    def num_processes(self) -> int:
+        """Number of processes in the pattern."""
+        return self._log.num_processes
+
+    @property
+    def processes(self) -> range:
+        """Process ids ``0 .. n-1``."""
+        return self._log.processes
+
+    def last_stable(self, pid: int) -> int:
+        """``last_s(pid)``: index of the last stable checkpoint, or -1 if none."""
+        events = self._stable_events[pid]
+        if not events:
+            return -1
+        index = events[-1].checkpoint_index
+        assert index is not None
+        return index
+
+    def volatile_index(self, pid: int) -> int:
+        """Index of the volatile (general) checkpoint ``v_pid``."""
+        return self.last_stable(pid) + 1
+
+    def last_stable_id(self, pid: int) -> CheckpointId:
+        """``s_pid^last`` as a :class:`CheckpointId` (requires at least one stable)."""
+        last = self.last_stable(pid)
+        if last < 0:
+            raise ValueError(f"process {pid} has no stable checkpoint in this CCP")
+        return CheckpointId(pid, last)
+
+    def volatile_id(self, pid: int) -> CheckpointId:
+        """The volatile checkpoint ``v_pid`` as a :class:`CheckpointId`."""
+        return CheckpointId(pid, self.volatile_index(pid))
+
+    def stable_ids(self, pid: int) -> List[CheckpointId]:
+        """All stable checkpoint ids of ``pid``, in index order."""
+        return [CheckpointId(pid, e.checkpoint_index) for e in self._stable_events[pid]]  # type: ignore[arg-type]
+
+    def general_ids(self, pid: int) -> List[CheckpointId]:
+        """All general checkpoint ids of ``pid`` (stable then volatile)."""
+        return self.stable_ids(pid) + [self.volatile_id(pid)]
+
+    def all_checkpoints(self) -> List[Checkpoint]:
+        """Every checkpoint (stable and volatile) of every process."""
+        result: List[Checkpoint] = []
+        for pid in self.processes:
+            result.extend(self.checkpoint(cid) for cid in self.general_ids(pid))
+        return result
+
+    def has_checkpoint(self, cid: CheckpointId) -> bool:
+        """True if ``cid`` exists in this pattern."""
+        return cid in self._checkpoints
+
+    def checkpoint(self, cid: CheckpointId) -> Checkpoint:
+        """The :class:`Checkpoint` record for ``cid``."""
+        return self._checkpoints[cid]
+
+    def is_stable(self, cid: CheckpointId) -> bool:
+        """True if ``cid`` denotes a stable checkpoint of this pattern."""
+        return self.has_checkpoint(cid) and self._checkpoints[cid].is_stable
+
+    def is_volatile(self, cid: CheckpointId) -> bool:
+        """True if ``cid`` denotes the volatile checkpoint of its process."""
+        return self.has_checkpoint(cid) and self._checkpoints[cid].is_volatile
+
+    def total_stable_checkpoints(self) -> int:
+        """Total number of stable checkpoints across all processes."""
+        return sum(len(self._stable_events[pid]) for pid in self.processes)
+
+    # ------------------------------------------------------------------
+    # Intervals
+    # ------------------------------------------------------------------
+    def interval_of_event(self, event: Event | EventId) -> int:
+        """The checkpoint interval ``I_pid^gamma`` an event belongs to.
+
+        ``I_i^gamma`` spans from ``c_i^{gamma-1}`` (inclusive) to ``c_i^gamma``
+        (exclusive), so an event's interval is one more than the index of the
+        last checkpoint taken at or before it.
+        """
+        if isinstance(event, EventId):
+            event = self._log.event(event)
+        last = -1
+        for ckpt in self._stable_events[event.pid]:
+            if ckpt.seq <= event.seq:
+                assert ckpt.checkpoint_index is not None
+                last = ckpt.checkpoint_index
+            else:
+                break
+        return last + 1
+
+    def messages(self) -> List[MessageInterval]:
+        """Delivered messages annotated with send/receive intervals."""
+        return list(self._messages)
+
+    # ------------------------------------------------------------------
+    # Checkpoint-level causal precedence (ground truth)
+    # ------------------------------------------------------------------
+    def causally_precedes(self, first: CheckpointId, second: CheckpointId) -> bool:
+        """True iff general checkpoint ``first`` causally precedes ``second``.
+
+        Stable checkpoints are anchored at their CHECKPOINT event; the volatile
+        checkpoint of a process is anchored after the last event of that
+        process.  The volatile checkpoint therefore never precedes anything,
+        and is preceded by everything in the causal past of its process's last
+        event (including all of the process's own checkpoints).
+        """
+        self._require(first)
+        self._require(second)
+        if first == second:
+            return False
+        first_cp = self._checkpoints[first]
+        second_cp = self._checkpoints[second]
+        if first_cp.is_volatile:
+            return False
+        assert first_cp.event_seq is not None
+        first_event = EventId(first.pid, first_cp.event_seq)
+        if second_cp.is_stable:
+            assert second_cp.event_seq is not None
+            second_event = EventId(second.pid, second_cp.event_seq)
+            if first.pid == second.pid:
+                return first.index < second.index
+            return self._order.precedes(first_event, second_event)
+        # second is volatile: anchored after the last event of its process.
+        if first.pid == second.pid:
+            return True
+        history = self._log.history(second.pid)
+        if len(history) == 0:
+            return False
+        last_event = history[len(history) - 1].event_id
+        return first_event == last_event or self._order.precedes(first_event, last_event)
+
+    def consistent(self, first: CheckpointId, second: CheckpointId) -> bool:
+        """Two checkpoints are consistent iff neither causally precedes the other."""
+        return not self.causally_precedes(first, second) and not self.causally_precedes(
+            second, first
+        )
+
+    # ------------------------------------------------------------------
+    # Dependency vectors
+    # ------------------------------------------------------------------
+    def ground_truth_dv(self, cid: CheckpointId) -> Tuple[int, ...]:
+        """The transitive dependency vector implied by the event graph.
+
+        Entry ``a`` is one more than the index of the latest checkpoint of
+        ``p_a`` that causally precedes ``cid`` (0 if none).  For executions
+        driven by an RDT protocol this equals the vector the protocol stored
+        with the checkpoint (Equation 2), which tests verify.
+        """
+        self._require(cid)
+        cached = self._ground_truth_dvs.get(cid)
+        if cached is not None:
+            return cached
+        entries = [0] * self.num_processes
+        for pid in self.processes:
+            best = -1
+            for other in self.stable_ids(pid):
+                if other == cid:
+                    continue
+                if self.causally_precedes(other, cid):
+                    best = max(best, other.index)
+            entries[pid] = best + 1
+        result = tuple(entries)
+        self._ground_truth_dvs[cid] = result
+        return result
+
+    def dv(self, cid: CheckpointId) -> Tuple[int, ...]:
+        """The dependency vector of ``cid``: recorded if available, else ground truth."""
+        recorded = self._checkpoints[cid].dependency_vector
+        if recorded is not None:
+            return recorded
+        return self.ground_truth_dv(cid)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _require(self, cid: CheckpointId) -> None:
+        if cid not in self._checkpoints:
+            raise KeyError(f"checkpoint {cid} is not part of this CCP")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CCP(processes={self.num_processes}, "
+            f"stable={self.total_stable_checkpoints()}, "
+            f"messages={len(self._messages)})"
+        )

@@ -1,0 +1,95 @@
+"""Rollback-dependency graph (R-graph) analysis utility.
+
+The R-graph (Wang 1997) is the interval-level dependency structure used by
+classic algorithms for recovery-line calculation and rollback propagation.  In
+this library recovery lines are computed directly from the causal relation
+(Lemma 1), so the R-graph is provided as an *analysis* tool: it lets examples
+and tests reason about how a rollback of one checkpoint propagates to others,
+and it is the structure on which Wang's coordinated garbage collector
+(the paper's main point of comparison) conceptually operates.
+
+Node convention: each general checkpoint ``c_i^gamma`` represents the interval
+``I_i^{gamma+1}`` that *starts* at that checkpoint.  There is an edge
+``c_i^gamma -> c_j^delta`` iff
+
+* ``i == j`` and ``delta == gamma + 1`` (program order between intervals); or
+* a message sent in ``I_i^{gamma+1}`` is received in ``I_j^{delta+1}``.
+
+Rolling back checkpoint ``c`` invalidates its outgoing interval; reachability
+from ``c`` therefore over-approximates the set of checkpoints that must also
+be rolled back.  Under RDT this reachability coincides with causal
+reachability, which tests verify.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.ccp.checkpoint import CheckpointId
+from repro.ccp.pattern import CCP
+
+
+class RollbackDependencyGraph:
+    """The R-graph of a CCP with reachability queries."""
+
+    def __init__(self, ccp: CCP) -> None:
+        self._ccp = ccp
+        self._successors: Dict[CheckpointId, Set[CheckpointId]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        ccp = self._ccp
+        for pid in ccp.processes:
+            ids = ccp.general_ids(pid)
+            for cid in ids:
+                self._successors.setdefault(cid, set())
+            for earlier, later in zip(ids, ids[1:]):
+                self._successors[earlier].add(later)
+        for message in ccp.messages():
+            source = CheckpointId(message.sender, message.send_interval - 1)
+            target = CheckpointId(message.receiver, message.receive_interval - 1)
+            if source in self._successors and target in self._successors:
+                self._successors[source].add(target)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def successors(self, cid: CheckpointId) -> Set[CheckpointId]:
+        """Direct successors of ``cid`` in the R-graph."""
+        return set(self._successors[cid])
+
+    def reachable(self, cid: CheckpointId) -> Set[CheckpointId]:
+        """All checkpoints reachable from ``cid`` (excluding ``cid`` itself)."""
+        seen: Set[CheckpointId] = set()
+        stack = list(self._successors[cid])
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self._successors[current])
+        seen.discard(cid)
+        return seen
+
+    def rollback_closure(self, rolled_back: List[CheckpointId]) -> Set[CheckpointId]:
+        """Checkpoints invalidated (transitively) by rolling back ``rolled_back``.
+
+        The result includes the given checkpoints themselves plus everything
+        reachable from them: if an interval is undone, every interval that
+        received one of its messages must be undone too.
+        """
+        closure: Set[CheckpointId] = set()
+        for cid in rolled_back:
+            if cid not in self._successors:
+                raise KeyError(f"{cid} is not a checkpoint of this CCP")
+            closure.add(cid)
+            closure |= self.reachable(cid)
+        return closure
+
+    def edge_count(self) -> int:
+        """Total number of edges in the graph."""
+        return sum(len(s) for s in self._successors.values())
+
+    def node_count(self) -> int:
+        """Total number of nodes (general checkpoints)."""
+        return len(self._successors)

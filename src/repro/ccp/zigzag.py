@@ -1,0 +1,222 @@
+"""Zigzag paths, Z-paths, C-paths and useless checkpoints (Netzer & Xu).
+
+Definition 3 of the paper: a sequence of messages ``[m1, ..., mk]`` is a
+*zigzag path* from ``c_a^alpha`` to ``c_b^beta`` iff
+
+(i)   ``p_a`` sends ``m1`` after ``c_a^alpha``;
+(ii)  if ``m_i`` is received by ``p_c``, then ``m_{i+1}`` is sent by ``p_c`` in
+      the same or a later checkpoint interval;
+(iii) ``p_b`` receives ``mk`` before ``c_b^beta``.
+
+A zigzag path is *causal* (a C-path) if the receipt of each message but the
+last causally precedes the send of the next one; otherwise it is a
+(non-causal) Z-path.  A zigzag path from a checkpoint to itself is a *zigzag
+cycle* and renders the checkpoint *useless*.
+
+The :class:`ZigzagAnalysis` class computes the zigzag relation over a
+:class:`repro.ccp.CCP` by reachability over a message graph: there is an edge
+``m -> m'`` iff ``m'`` is sent by the receiver of ``m`` in the same or a later
+interval than the one in which ``m`` was received.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.ccp.checkpoint import CheckpointId
+from repro.ccp.pattern import CCP, MessageInterval
+
+
+@dataclass(frozen=True)
+class ZigzagPath:
+    """A concrete zigzag path between two checkpoints.
+
+    ``message_ids`` lists the messages in order; ``causal`` tells whether the
+    path is a C-path (every hand-off is causal) or a Z-path.
+    """
+
+    source: CheckpointId
+    target: CheckpointId
+    message_ids: Tuple[int, ...]
+    causal: bool
+
+    def __len__(self) -> int:
+        return len(self.message_ids)
+
+
+class ZigzagAnalysis:
+    """Zigzag-path queries over a CCP."""
+
+    def __init__(self, ccp: CCP) -> None:
+        self._ccp = ccp
+        self._messages: Dict[int, MessageInterval] = {
+            m.message_id: m for m in ccp.messages()
+        }
+        self._successors: Dict[int, List[int]] = self._build_message_graph()
+        self._reachable_cache: Dict[int, FrozenSet[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Message graph
+    # ------------------------------------------------------------------
+    def _build_message_graph(self) -> Dict[int, List[int]]:
+        successors: Dict[int, List[int]] = {mid: [] for mid in self._messages}
+        by_sender: Dict[int, List[MessageInterval]] = {}
+        for message in self._messages.values():
+            by_sender.setdefault(message.sender, []).append(message)
+        for message in self._messages.values():
+            # m -> m' iff m' is sent by m's receiver in the same or a later
+            # checkpoint interval than the one in which m was received.
+            for candidate in by_sender.get(message.receiver, []):
+                if candidate.message_id == message.message_id:
+                    continue
+                if candidate.send_interval >= message.receive_interval:
+                    successors[message.message_id].append(candidate.message_id)
+        return successors
+
+    def _reachable(self, message_id: int) -> FrozenSet[int]:
+        """Messages reachable from ``message_id`` in the hand-off graph (incl. itself)."""
+        cached = self._reachable_cache.get(message_id)
+        if cached is not None:
+            return cached
+        seen: Set[int] = {message_id}
+        stack = [message_id]
+        while stack:
+            current = stack.pop()
+            for succ in self._successors[current]:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        result = frozenset(seen)
+        self._reachable_cache[message_id] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Relation queries
+    # ------------------------------------------------------------------
+    def _start_messages(self, source: CheckpointId) -> List[int]:
+        """Messages sent by the source process after ``source`` (condition i)."""
+        return [
+            m.message_id
+            for m in self._messages.values()
+            if m.sender == source.pid and m.send_interval >= source.index + 1
+        ]
+
+    def _is_end_message(self, message_id: int, target: CheckpointId) -> bool:
+        """Condition (iii): received by the target process before the target checkpoint."""
+        message = self._messages[message_id]
+        return message.receiver == target.pid and message.receive_interval <= target.index
+
+    def zigzag_exists(self, source: CheckpointId, target: CheckpointId) -> bool:
+        """True iff some zigzag path connects ``source`` to ``target`` (``source ~> target``)."""
+        for start in self._start_messages(source):
+            for reachable in self._reachable(start):
+                if self._is_end_message(reachable, target):
+                    return True
+        return False
+
+    def find_zigzag_path(
+        self, source: CheckpointId, target: CheckpointId
+    ) -> Optional[ZigzagPath]:
+        """A concrete (shortest) zigzag path from ``source`` to ``target``, if any."""
+        best: Optional[List[int]] = None
+        for start in self._start_messages(source):
+            path = self._shortest_to_end(start, target)
+            if path is not None and (best is None or len(path) < len(best)):
+                best = path
+        if best is None:
+            return None
+        return ZigzagPath(
+            source=source,
+            target=target,
+            message_ids=tuple(best),
+            causal=self.is_causal_sequence(best),
+        )
+
+    def _shortest_to_end(self, start: int, target: CheckpointId) -> Optional[List[int]]:
+        parents: Dict[int, Optional[int]] = {start: None}
+        queue = deque([start])
+        while queue:
+            current = queue.popleft()
+            if self._is_end_message(current, target):
+                path: List[int] = []
+                node: Optional[int] = current
+                while node is not None:
+                    path.append(node)
+                    node = parents[node]
+                return list(reversed(path))
+            for succ in self._successors[current]:
+                if succ not in parents:
+                    parents[succ] = current
+                    queue.append(succ)
+        return None
+
+    # ------------------------------------------------------------------
+    # Path classification (Definition 3 checker)
+    # ------------------------------------------------------------------
+    def is_zigzag_sequence(
+        self,
+        message_ids: Sequence[int],
+        source: CheckpointId,
+        target: CheckpointId,
+    ) -> bool:
+        """Check a concrete message sequence against Definition 3."""
+        if not message_ids:
+            return False
+        messages = [self._messages[mid] for mid in message_ids]
+        first, last = messages[0], messages[-1]
+        if first.sender != source.pid or first.send_interval < source.index + 1:
+            return False
+        if last.receiver != target.pid or last.receive_interval > target.index:
+            return False
+        for current, nxt in zip(messages, messages[1:]):
+            if nxt.sender != current.receiver:
+                return False
+            if nxt.send_interval < current.receive_interval:
+                return False
+        return True
+
+    def is_causal_sequence(self, message_ids: Sequence[int]) -> bool:
+        """True iff each receipt causally precedes the next send (C-path hand-offs)."""
+        messages = [self._messages[mid] for mid in message_ids]
+        for current, nxt in zip(messages, messages[1:]):
+            if nxt.sender != current.receiver:
+                return False
+            if nxt.send_seq <= current.receive_seq:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Cycles and useless checkpoints
+    # ------------------------------------------------------------------
+    def has_zigzag_cycle(self, checkpoint: CheckpointId) -> bool:
+        """True iff a zigzag path connects ``checkpoint`` to itself (Z-cycle)."""
+        return self.zigzag_exists(checkpoint, checkpoint)
+
+    def useless_checkpoints(self) -> List[CheckpointId]:
+        """All checkpoints involved in a zigzag cycle (cannot be in any consistent global checkpoint)."""
+        useless: List[CheckpointId] = []
+        for pid in self._ccp.processes:
+            for cid in self._ccp.general_ids(pid):
+                if self.has_zigzag_cycle(cid):
+                    useless.append(cid)
+        return useless
+
+    def zigzag_pairs(self) -> List[Tuple[CheckpointId, CheckpointId]]:
+        """All ordered pairs ``(c, c')`` with a zigzag path from ``c`` to ``c'``."""
+        pairs: List[Tuple[CheckpointId, CheckpointId]] = []
+        all_ids = [
+            cid for pid in self._ccp.processes for cid in self._ccp.general_ids(pid)
+        ]
+        for source in all_ids:
+            starts = self._start_messages(source)
+            if not starts:
+                continue
+            reachable: Set[int] = set()
+            for start in starts:
+                reachable |= self._reachable(start)
+            for target in all_ids:
+                if any(self._is_end_message(mid, target) for mid in reachable):
+                    pairs.append((source, target))
+        return pairs

@@ -1,0 +1,52 @@
+"""The paper's contribution: the RDT-LGC asynchronous garbage collector.
+
+Modules
+-------
+``ccb``
+    The Checkpoint Control Block (CCB) record of Algorithm 1.
+``uncollected``
+    The ``UC`` (Uncollected Checkpoints) table with the ``release`` / ``link``
+    / ``newCCB`` procedures of Algorithm 1.
+``rdt_lgc``
+    :class:`RdtLgc`, the per-process garbage collector: Algorithm 2 for normal
+    execution periods and Algorithm 3 for recovery sessions (both the
+    global-information ``LI`` variant and the causal-knowledge ``DV`` variant).
+``merged_fdas``
+    Algorithm 4: the FDAS checkpointing protocol with RDT-LGC merged into it.
+``obsolete``
+    Oracles for the paper's characterisations: Definition 7 (needlessness, by
+    exhaustive search), Theorem 1 (obsolete from global knowledge), Theorem 2 /
+    Corollary 1 (obsolete from causal knowledge).
+``optimality``
+    The auditor that checks, against the oracles, that a garbage collector is
+    safe (Theorem 4) and optimal (Theorem 5).
+"""
+
+from repro.core.ccb import CheckpointControlBlock
+from repro.core.merged_fdas import FdasWithRdtLgc
+from repro.core.obsolete import (
+    needless_stable_checkpoints,
+    obsolete_stable_checkpoints_corollary1,
+    obsolete_stable_checkpoints_theorem1,
+    obsolete_stable_checkpoints_theorem2,
+    retained_stable_checkpoints_theorem1,
+    retained_stable_checkpoints_theorem2,
+)
+from repro.core.optimality import GcAudit, audit_garbage_collection
+from repro.core.rdt_lgc import RdtLgc
+from repro.core.uncollected import UncollectedTable
+
+__all__ = [
+    "CheckpointControlBlock",
+    "FdasWithRdtLgc",
+    "GcAudit",
+    "RdtLgc",
+    "UncollectedTable",
+    "audit_garbage_collection",
+    "needless_stable_checkpoints",
+    "obsolete_stable_checkpoints_corollary1",
+    "obsolete_stable_checkpoints_theorem1",
+    "obsolete_stable_checkpoints_theorem2",
+    "retained_stable_checkpoints_theorem1",
+    "retained_stable_checkpoints_theorem2",
+]

@@ -1,0 +1,40 @@
+"""Checkpoint Control Blocks (Algorithm 1).
+
+A CCB represents one uncollected stable checkpoint of the local process.  It
+stores the checkpoint index and a reference counter of how many ``UC`` entries
+(i.e. how many remote processes, in the sense of Theorem 2) currently deny the
+elimination of that checkpoint.  When the counter drops to zero the checkpoint
+is obsolete (by Corollary 1) and is eliminated from stable storage.
+"""
+
+from __future__ import annotations
+
+
+class CheckpointControlBlock:
+    """Record of {checkpoint index, reference counter} for one stable checkpoint."""
+
+    __slots__ = ("index", "ref_count")
+
+    def __init__(self, index: int, ref_count: int = 1) -> None:
+        if index < 0:
+            raise ValueError("checkpoint indices are non-negative")
+        if ref_count < 0:
+            raise ValueError("reference counts are non-negative")
+        self.index = index
+        self.ref_count = ref_count
+
+    def acquire(self) -> None:
+        """Add one reference (a ``UC`` entry now points at this CCB)."""
+        self.ref_count += 1
+
+    def release(self) -> bool:
+        """Drop one reference; return True if the CCB became unreferenced."""
+        if self.ref_count <= 0:
+            raise RuntimeError(
+                f"CCB for checkpoint {self.index} released more times than acquired"
+            )
+        self.ref_count -= 1
+        return self.ref_count == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CCB(index={self.index}, rc={self.ref_count})"

@@ -1,0 +1,104 @@
+"""Safety and optimality audits for garbage collectors.
+
+The paper proves two properties of RDT-LGC:
+
+* **Safety** (Theorem 4): every eliminated checkpoint is obsolete — i.e. the
+  retained set always contains every checkpoint that Theorem 1 still deems
+  necessary;
+* **Optimality** (Theorem 5): every checkpoint identifiable as obsolete from
+  causal knowledge alone (Theorem 2) has been eliminated.
+
+:func:`audit_garbage_collection` checks both against the oracles of
+:mod:`repro.core.obsolete`, given the global CCP at some instant and the
+per-process sets of stable checkpoints actually retained at that instant.  It
+is used by property-based tests, by the simulator's self-checking mode and by
+the optimality benchmark (CLAIM-OPT in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Set
+
+from repro.ccp.checkpoint import CheckpointId
+from repro.ccp.pattern import CCP
+from repro.core.obsolete import (
+    retained_stable_checkpoints_theorem1,
+    retained_stable_checkpoints_theorem2,
+)
+
+
+@dataclass
+class GcAudit:
+    """Outcome of auditing one instant of one execution."""
+
+    safety_violations: List[CheckpointId] = field(default_factory=list)
+    optimality_violations: List[CheckpointId] = field(default_factory=list)
+    retained_total: int = 0
+    required_total: int = 0
+    collectible_total: int = 0
+
+    @property
+    def is_safe(self) -> bool:
+        """True if every checkpoint required by Theorem 1 is still retained."""
+        return not self.safety_violations
+
+    @property
+    def is_optimal(self) -> bool:
+        """True if every Theorem-2-obsolete checkpoint has been eliminated."""
+        return not self.optimality_violations
+
+    @property
+    def ok(self) -> bool:
+        """True if the collector is both safe and optimal at this instant."""
+        return self.is_safe and self.is_optimal
+
+
+def _retained_as_ids(retained: Mapping[int, Iterable[int]]) -> Set[CheckpointId]:
+    ids: Set[CheckpointId] = set()
+    for pid, indices in retained.items():
+        for index in indices:
+            ids.add(CheckpointId(pid, index))
+    return ids
+
+
+def audit_garbage_collection(
+    ccp: CCP,
+    retained: Mapping[int, Iterable[int]],
+    *,
+    require_optimality: bool = True,
+) -> GcAudit:
+    """Audit the retained checkpoint sets of every process against the oracles.
+
+    Parameters
+    ----------
+    ccp:
+        The global checkpoint and communication pattern at the instant being
+        audited (typically built from the simulator's trace).
+    retained:
+        Mapping ``pid -> iterable of stable checkpoint indices`` currently on
+        that process's stable storage.
+    require_optimality:
+        When False only the safety check is performed (useful for auditing
+        non-optimal baselines such as the no-GC or coordinated collectors).
+    """
+    retained_ids = _retained_as_ids(retained)
+    required = retained_stable_checkpoints_theorem1(ccp)
+    allowed = retained_stable_checkpoints_theorem2(ccp)
+    audit = GcAudit(
+        retained_total=len(retained_ids),
+        required_total=len(required),
+        collectible_total=ccp.total_stable_checkpoints() - len(allowed),
+    )
+    audit.safety_violations = sorted(required - retained_ids)
+    if require_optimality:
+        audit.optimality_violations = sorted(retained_ids - allowed)
+    return audit
+
+
+def retained_from_storages(storages: Mapping[int, "object"]) -> Dict[int, List[int]]:
+    """Convenience: extract retained indices from a mapping of stable storages."""
+    result: Dict[int, List[int]] = {}
+    for pid, storage in storages.items():
+        result[pid] = list(storage.retained_indices())  # type: ignore[attr-defined]
+    return result

@@ -1,0 +1,51 @@
+"""The "recovery line of all processes" garbage collector.
+
+This is the simple control-message scheme described by Bhargava & Lian and in
+the Elnozahy et al. survey (references [5, 8] of the paper): periodically
+compute the recovery line for the failure of *all* processes and discard every
+stable checkpoint strictly older than the line.  Checkpoints above the line
+that are nevertheless obsolete (the "holes" Wang's scheme and RDT-LGC do
+collect) are kept, which is why this approach does not bound the number of
+uncollected checkpoints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.gc.coordinated import CoordinatedCollectorBase, GcReport
+
+
+class AllProcessLineCollector(CoordinatedCollectorBase):
+    """Discard everything below the all-process recovery line."""
+
+    name = "all-process-line"
+    asynchronous = False
+    uses_time_assumptions = False
+    uses_control_messages = True
+
+    def compute_decisions(self, reports: Dict[int, GcReport]) -> Dict[int, List[int]]:
+        """Lemma 1 with ``F = Pi``, evaluated on the gathered reports.
+
+        For every process ``i`` the line component is the largest reported
+        general checkpoint not causally preceded by the (effective) last stable
+        checkpoint of any process; everything strictly below it is discarded.
+        """
+        effective_last = self.effective_last_indices(reports)
+        decisions: Dict[int, List[int]] = {}
+        for pid, report in reports.items():
+            general: List = list(report.checkpoints) + [
+                (report.last_stable + 1, report.volatile_dv)
+            ]
+            component = 0
+            for index, dv in general:
+                preceded = any(
+                    dv[f] > effective_last[f]
+                    for f in range(self._num_processes)
+                    if effective_last[f] >= 0
+                )
+                if not preceded:
+                    component = max(component, index)
+            discard = [index for index, _ in report.checkpoints if index < component]
+            decisions[pid] = discard
+        return decisions

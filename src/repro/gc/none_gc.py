@@ -1,0 +1,20 @@
+"""The no-garbage-collection baseline.
+
+Keeps every stable checkpoint forever.  It is trivially safe and maximally
+wasteful; the evaluation benchmarks use it to show the storage growth that any
+garbage collector is supposed to curb ("the price of autonomy in
+communication-induced checkpointing protocols is storage space").
+"""
+
+from __future__ import annotations
+
+from repro.gc.base import GarbageCollector
+
+
+class NoGarbageCollector(GarbageCollector):
+    """Never eliminates a checkpoint."""
+
+    name = "none"
+    asynchronous = True
+    uses_time_assumptions = False
+    uses_control_messages = False

@@ -1,0 +1,99 @@
+"""Simulator-facing adapter for RDT-LGC.
+
+The stand-alone :class:`repro.core.RdtLgc` owns its dependency vector and
+writes checkpoints to storage itself, exactly as Algorithms 1-3 are written.
+Inside the simulator, however, the node owns the dependency vector and the
+storage (so that *any* protocol can be paired with *any* collector); this
+adapter therefore re-expresses RDT-LGC's bookkeeping over the shared
+:class:`repro.core.UncollectedTable` and the shared rollback helpers, driven
+purely by the node's notifications.  The observable behaviour — which
+checkpoints are eliminated, and when — is identical to the stand-alone class,
+which the integration tests check.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.rollback import retention_assignments
+from repro.core.uncollected import UncollectedTable
+from repro.gc.base import GarbageCollector
+from repro.storage.stable import StableStorage
+
+
+class RdtLgcCollector(GarbageCollector):
+    """RDT-LGC as a pluggable collector (asynchronous, Definition 8)."""
+
+    name = "rdt-lgc"
+    asynchronous = True
+    uses_time_assumptions = False
+    uses_control_messages = False
+
+    def __init__(self, pid: int, num_processes: int, storage: StableStorage) -> None:
+        super().__init__(pid, num_processes, storage)
+        self._uc = UncollectedTable(num_processes, on_eliminate=storage.eliminate)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def uncollected(self) -> UncollectedTable:
+        """The ``UC`` table (exposed for audits and tests)."""
+        return self._uc
+
+    def uc_view(self) -> Tuple[Optional[int], ...]:
+        """The ``UC`` entries as checkpoint indices (None for ``Null``)."""
+        return self._uc.view()
+
+    def collected_indices(self) -> List[int]:
+        """Checkpoint indices eliminated so far, in order."""
+        return self._uc.eliminated_history()
+
+    # ------------------------------------------------------------------
+    # Algorithm 2
+    # ------------------------------------------------------------------
+    def on_receive(
+        self,
+        piggybacked: Sequence[int],
+        updated_entries: Sequence[int],
+        dv: Sequence[int],
+    ) -> None:
+        """Re-point ``UC[j]`` at the last stable checkpoint for every new dependency."""
+        for j in updated_entries:
+            self._uc.release(j)
+            self._uc.link(j, self._pid)
+
+    def on_checkpoint_stored(
+        self, index: int, dv: Sequence[int], *, forced: bool, time: float
+    ) -> None:
+        """Release the previous last checkpoint's ``UC[i]`` reference; protect the new one."""
+        self._uc.release(self._pid)
+        self._uc.new_ccb(self._pid, index)
+
+    # ------------------------------------------------------------------
+    # Algorithm 3
+    # ------------------------------------------------------------------
+    def on_rollback(
+        self,
+        rollback_index: int,
+        last_interval_vector: Optional[Sequence[int]],
+        dv: Sequence[int],
+    ) -> List[int]:
+        """Rebuild ``UC`` after a rollback and collect the checkpoints left unreferenced."""
+        reference = (
+            tuple(last_interval_vector) if last_interval_vector is not None else tuple(dv)
+        )
+        assignments = retention_assignments(self._storage, dv, reference)
+        return self._uc.rebuild(assignments, self._storage.retained_indices())
+
+    def on_peer_rollback(
+        self, last_interval_vector: Sequence[int], dv: Sequence[int]
+    ) -> List[int]:
+        """Release every ``UC[f]`` whose process no longer precedes this one's state."""
+        eliminated: List[int] = []
+        for f in range(self._num_processes):
+            if dv[f] < last_interval_vector[f]:
+                index = self._uc.release(f)
+                if index is not None:
+                    eliminated.append(index)
+        return eliminated

@@ -1,0 +1,68 @@
+"""Registry of garbage collectors, keyed by name.
+
+Benchmarks and examples sweep over collectors by name; collector-specific
+options (coordination period, time window) are passed as keyword arguments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.gc.all_process_line import AllProcessLineCollector
+from repro.gc.base import GarbageCollector
+from repro.gc.manivannan_singhal import ManivannanSinghalCollector
+from repro.gc.none_gc import NoGarbageCollector
+from repro.gc.rdt_lgc_collector import RdtLgcCollector
+from repro.gc.wang_coordinated import WangCoordinatedCollector
+from repro.storage.stable import StableStorage
+
+_COLLECTORS: Dict[str, Type[GarbageCollector]] = {
+    cls.name: cls
+    for cls in (
+        NoGarbageCollector,
+        RdtLgcCollector,
+        AllProcessLineCollector,
+        WangCoordinatedCollector,
+        ManivannanSinghalCollector,
+    )
+}
+
+
+def available_collectors(*, asynchronous_only: bool = False) -> List[str]:
+    """Names of all registered collectors (optionally only asynchronous ones)."""
+    return [
+        name
+        for name, cls in sorted(_COLLECTORS.items())
+        if not asynchronous_only or cls.asynchronous
+    ]
+
+
+def collector_class(name: str) -> Type[GarbageCollector]:
+    """The collector class registered under ``name``."""
+    try:
+        return _COLLECTORS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown garbage collector {name!r}; "
+            f"available: {', '.join(sorted(_COLLECTORS))}"
+        ) from None
+
+
+def make_collector(
+    name: str, pid: int, num_processes: int, storage: StableStorage, **options: object
+) -> GarbageCollector:
+    """Instantiate the collector registered under ``name`` for one process."""
+    return collector_class(name)(pid, num_processes, storage, **options)  # type: ignore[arg-type]
+
+
+def register_collector(cls: Type[GarbageCollector]) -> Type[GarbageCollector]:
+    """Register a custom collector class (usable as a decorator)."""
+    if not issubclass(cls, GarbageCollector):
+        raise TypeError("collectors must subclass GarbageCollector")
+    _COLLECTORS[cls.name] = cls
+    return cls
+
+
+def unregister_collector(name: str) -> None:
+    """Remove a previously registered custom collector (no-op if absent)."""
+    _COLLECTORS.pop(name, None)

@@ -1,0 +1,56 @@
+"""Wang et al. 1995 style coordinated garbage collection.
+
+A coordinator periodically gathers global dependency information and tells
+every process exactly which of its stable checkpoints are obsolete according
+to the full characterisation (Theorem 1 of the paper, which for RD-trackable
+patterns coincides with Wang et al.'s characterisation).  This collector
+eliminates *all* obsolete checkpoints — including the "holes" the all-process
+recovery-line scheme misses — and therefore achieves the global
+``n(n+1)/2`` bound, at the price of control-message exchanges and a
+coordinator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.gc.coordinated import CoordinatedCollectorBase, GcReport
+
+
+class WangCoordinatedCollector(CoordinatedCollectorBase):
+    """Discard every checkpoint that global knowledge proves obsolete."""
+
+    name = "wang-coordinated"
+    asynchronous = False
+    uses_time_assumptions = False
+    uses_control_messages = True
+
+    def compute_decisions(self, reports: Dict[int, GcReport]) -> Dict[int, List[int]]:
+        """Theorem 1 evaluated on the gathered reports (with effective last indices)."""
+        effective_last = self.effective_last_indices(reports)
+        decisions: Dict[int, List[int]] = {}
+        for pid, report in reports.items():
+            decisions[pid] = self._obsolete_for(report, effective_last)
+        return decisions
+
+    def _obsolete_for(
+        self, report: GcReport, effective_last: Sequence[int]
+    ) -> List[int]:
+        checkpoints: List[Tuple[int, Tuple[int, ...]]] = list(report.checkpoints)
+        obsolete: List[int] = []
+        for position, (index, dv) in enumerate(checkpoints):
+            if index == report.last_stable:
+                # The last stable checkpoint is never obsolete.
+                continue
+            if position + 1 < len(checkpoints):
+                successor_dv = checkpoints[position + 1][1]
+            else:
+                successor_dv = report.volatile_dv
+            retained = any(
+                successor_dv[f] > effective_last[f] and dv[f] <= effective_last[f]
+                for f in range(self._num_processes)
+                if effective_last[f] >= 0
+            )
+            if not retained:
+                obsolete.append(index)
+        return obsolete

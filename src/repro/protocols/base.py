@@ -1,0 +1,81 @@
+"""Base interface for communication-induced checkpointing protocols.
+
+A protocol instance belongs to one process.  It never touches stable storage
+or the network itself; it only observes the local event stream (sends,
+receives, checkpoints) and answers a single question: *must a forced
+checkpoint be taken before this incoming message is delivered?*  The
+surrounding middleware (:class:`repro.simulation.node.SimulationNode`) owns
+the dependency vector, performs the piggybacking and applies the decision.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import ClassVar, Sequence
+
+
+class CheckpointingProtocol(abc.ABC):
+    """Forced-checkpoint policy of one process."""
+
+    #: Short protocol name used in reports and the registry.
+    name: ClassVar[str] = "abstract"
+    #: Whether the protocol guarantees rollback-dependency trackability.
+    ensures_rdt: ClassVar[bool] = False
+
+    def __init__(self, pid: int, num_processes: int) -> None:
+        if not 0 <= pid < num_processes:
+            raise ValueError(f"pid {pid} out of range for {num_processes} processes")
+        self._pid = pid
+        self._num_processes = num_processes
+
+    @property
+    def pid(self) -> int:
+        """The owning process id."""
+        return self._pid
+
+    @property
+    def num_processes(self) -> int:
+        """Number of processes in the system."""
+        return self._num_processes
+
+    # ------------------------------------------------------------------
+    # Event notifications
+    # ------------------------------------------------------------------
+    def notify_send(self) -> None:
+        """Called right before an application message is sent."""
+
+    def notify_receive(self) -> None:
+        """Called right after an application message has been delivered."""
+
+    def notify_checkpoint(self) -> None:
+        """Called right after a checkpoint (basic or forced) has been taken."""
+
+    def reset_after_rollback(self) -> None:
+        """Called when the process restarts from a checkpoint after a failure."""
+        self.notify_checkpoint()
+
+    # ------------------------------------------------------------------
+    # The decision
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def should_force_checkpoint(
+        self, current_dv: Sequence[int], piggybacked: Sequence[int]
+    ) -> bool:
+        """Decide whether to force a checkpoint before delivering a message.
+
+        ``current_dv`` is the process's dependency vector at the moment the
+        message arrives; ``piggybacked`` is the vector carried by the message.
+        """
+
+    # ------------------------------------------------------------------
+    # Helpers shared by concrete protocols
+    # ------------------------------------------------------------------
+    @staticmethod
+    def brings_new_information(
+        current_dv: Sequence[int], piggybacked: Sequence[int]
+    ) -> bool:
+        """True if delivering the message would update some ``DV`` entry."""
+        return any(value > current_dv[j] for j, value in enumerate(piggybacked))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(pid={self._pid})"

@@ -1,0 +1,44 @@
+"""Checkpoint-Before-Receive (CBR).
+
+The most eager RDT protocol in the library: a forced checkpoint is taken
+before delivering a message whenever the current checkpoint interval already
+contains any event.  As a consequence every interval contains at most one
+receive and that receive is the interval's first event, so every zigzag
+hand-off (a send following a receive in the same or a later interval) is in
+fact causal — all zigzag paths are causal paths and RDT holds trivially.
+
+CBR takes many more forced checkpoints than FDI or FDAS; it is included as the
+upper end of the protocol spectrum for the evaluation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.protocols.base import CheckpointingProtocol
+
+
+class CheckpointBeforeReceiveProtocol(CheckpointingProtocol):
+    """Force a checkpoint before any receive that is not the first event of its interval."""
+
+    name = "cbr"
+    ensures_rdt = True
+
+    def __init__(self, pid: int, num_processes: int) -> None:
+        super().__init__(pid, num_processes)
+        self._interval_has_activity = False
+
+    def notify_send(self) -> None:
+        self._interval_has_activity = True
+
+    def notify_receive(self) -> None:
+        self._interval_has_activity = True
+
+    def notify_checkpoint(self) -> None:
+        self._interval_has_activity = False
+
+    def should_force_checkpoint(
+        self, current_dv: Sequence[int], piggybacked: Sequence[int]
+    ) -> bool:
+        """Force whenever the interval already has a send or a receive."""
+        return self._interval_has_activity

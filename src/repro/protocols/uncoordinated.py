@@ -1,0 +1,28 @@
+"""The purely uncoordinated protocol (no forced checkpoints).
+
+Processes take only basic checkpoints, whenever their local policy decides.
+Dependency vectors are still piggybacked (so the pattern can be analysed), but
+nothing prevents non-causal zigzag paths: checkpoints can become useless and a
+failure can trigger the domino effect (Figure 2 of the paper).  This protocol
+exists as the negative baseline for the RDT property tests and for the
+domino-effect benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.protocols.base import CheckpointingProtocol
+
+
+class UncoordinatedProtocol(CheckpointingProtocol):
+    """Never forces a checkpoint."""
+
+    name = "uncoordinated"
+    ensures_rdt = False
+
+    def should_force_checkpoint(
+        self, current_dv: Sequence[int], piggybacked: Sequence[int]
+    ) -> bool:
+        """Uncoordinated checkpointing never forces a checkpoint."""
+        return False

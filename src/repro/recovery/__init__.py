@@ -1,0 +1,33 @@
+"""Rollback-recovery substrate.
+
+The paper assumes "a centralized recovery manager which stops the execution of
+non-faulty processes, takes their volatile state, calculates and propagates the
+recovery line" (Section 2.4).  This subpackage provides:
+
+* :mod:`recovery_line` — recovery-line determination: the closed-form
+  characterisation of Lemma 1 for RD-trackable patterns and an exhaustive
+  oracle used to validate it;
+* :mod:`rollback_plan` — the per-process directives (rollback index ``RI`` and
+  last-interval vector ``LI``) propagated by the manager, exactly the inputs of
+  Algorithm 3;
+* :mod:`manager` — the centralized recovery manager used by the simulator's
+  failure injector.
+"""
+
+from repro.recovery.manager import RecoveryManager, RecoveryOutcome
+from repro.recovery.recovery_line import (
+    recovery_line,
+    recovery_line_brute_force,
+    rolled_back_checkpoints,
+)
+from repro.recovery.rollback_plan import ProcessRollback, RollbackPlan
+
+__all__ = [
+    "ProcessRollback",
+    "RecoveryManager",
+    "RecoveryOutcome",
+    "RollbackPlan",
+    "recovery_line",
+    "recovery_line_brute_force",
+    "rolled_back_checkpoints",
+]

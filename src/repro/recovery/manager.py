@@ -1,0 +1,75 @@
+"""Centralized recovery manager (Section 2.4).
+
+The manager embodies the paper's recovery assumption: when failures occur, it
+stops the execution of non-faulty processes, observes the global CCP, computes
+the recovery line and propagates, to every process, its rollback index and the
+last-interval vector ``LI`` consumed by Algorithm 3.
+
+The manager is a pure function of the observed CCP; applying the plan to live
+simulated processes is the job of :mod:`repro.simulation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Tuple
+
+from repro.ccp.checkpoint import CheckpointId
+from repro.ccp.consistency import GlobalCheckpoint
+from repro.ccp.pattern import CCP
+from repro.recovery.recovery_line import recovery_line, rolled_back_checkpoints
+from repro.recovery.rollback_plan import ProcessRollback, RollbackPlan
+
+
+@dataclass(frozen=True)
+class RecoveryOutcome:
+    """Summary of one recovery session (used by metrics and benchmarks)."""
+
+    plan: RollbackPlan
+    rolled_back: Tuple[CheckpointId, ...]
+    lost_general_checkpoints: int
+    rolled_back_processes: int
+
+    @property
+    def recovery_line(self) -> GlobalCheckpoint:
+        """The recovery line restored by this session."""
+        return self.plan.recovery_line
+
+
+class RecoveryManager:
+    """Computes rollback plans from a global view of the execution."""
+
+    def plan(self, ccp: CCP, faulty: Iterable[int]) -> RollbackPlan:
+        """Compute the recovery line ``R_F`` and the per-process directives."""
+        faulty_tuple = tuple(sorted(set(faulty)))
+        line = recovery_line(ccp, faulty_tuple)
+        rollbacks: List[ProcessRollback] = []
+        last_interval: List[int] = []
+        for pid in ccp.processes:
+            component = line.indices[pid]
+            if component <= ccp.last_stable(pid):
+                # The component is a stable checkpoint: the process rolls back
+                # to it, and its next interval is component + 1.
+                rollbacks.append(ProcessRollback(pid=pid, rollback_index=component))
+                last_interval.append(component + 1)
+            else:
+                # The component is the volatile checkpoint: no rollback, the
+                # process keeps executing interval last_s + 1 == component.
+                last_interval.append(component)
+        return RollbackPlan(
+            faulty=faulty_tuple,
+            recovery_line=line,
+            rollbacks=tuple(rollbacks),
+            last_interval_vector=tuple(last_interval),
+        )
+
+    def outcome(self, ccp: CCP, faulty: Iterable[int]) -> RecoveryOutcome:
+        """Compute the plan together with lost-work accounting."""
+        plan = self.plan(ccp, faulty)
+        rolled = tuple(rolled_back_checkpoints(ccp, plan.recovery_line))
+        return RecoveryOutcome(
+            plan=plan,
+            rolled_back=rolled,
+            lost_general_checkpoints=len(rolled),
+            rolled_back_processes=len(plan.rollbacks),
+        )

@@ -1,0 +1,90 @@
+"""Convenience experiment builders shared by tests, examples and benchmarks.
+
+These helpers assemble :class:`repro.simulation.SimulationConfig` objects for
+the experiment shapes used throughout the repository: a generic random run, a
+protocol/collector comparison sweep and the Figure-5 worst-case run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping, Optional
+
+from repro.simulation.failures import FailureSchedule
+from repro.simulation.network import NetworkConfig
+from repro.simulation.runner import SimulationConfig, SimulationResult, SimulationRunner
+from repro.simulation.workloads import UniformRandomWorkload, Workload, WorstCaseWorkload
+
+
+def random_run_config(
+    *,
+    num_processes: int = 4,
+    duration: float = 120.0,
+    seed: int = 0,
+    protocol: str = "fdas",
+    collector: str = "rdt-lgc",
+    collector_options: Optional[Mapping[str, object]] = None,
+    crashes: int = 0,
+    audit: str = "off",
+    mean_message_gap: float = 2.0,
+    mean_checkpoint_gap: float = 8.0,
+    drop_probability: float = 0.0,
+    workload: Optional[Workload] = None,
+    keep_final_ccp: bool = True,
+) -> SimulationConfig:
+    """A complete configuration for one randomized experiment."""
+    rng = random.Random(seed * 7919 + 13)
+    failures = (
+        FailureSchedule.random(
+            num_processes=num_processes, duration=duration, count=crashes, rng=rng
+        )
+        if crashes
+        else FailureSchedule.none()
+    )
+    if workload is None:
+        workload = UniformRandomWorkload(
+            mean_message_gap=mean_message_gap,
+            mean_checkpoint_gap=mean_checkpoint_gap,
+        )
+    return SimulationConfig(
+        num_processes=num_processes,
+        duration=duration,
+        workload=workload,
+        protocol=protocol,
+        collector=collector,
+        collector_options=dict(collector_options or {}),
+        network=NetworkConfig(drop_probability=drop_probability),
+        failures=failures,
+        seed=seed,
+        audit=audit,
+        keep_final_ccp=keep_final_ccp,
+    )
+
+
+def run_random_simulation(**kwargs) -> SimulationResult:
+    """Build the configuration via :func:`random_run_config` and run it."""
+    return SimulationRunner(random_run_config(**kwargs)).run()
+
+
+def run_worst_case(
+    num_processes: int,
+    *,
+    collector: str = "rdt-lgc",
+    protocol: str = "fdas",
+    audit: str = "off",
+    collector_options: Optional[Mapping[str, object]] = None,
+) -> SimulationResult:
+    """Run the Figure-5 worst-case schedule for ``num_processes`` processes."""
+    workload = WorstCaseWorkload(round_length=10.0)
+    config = SimulationConfig(
+        num_processes=num_processes,
+        duration=workload.required_duration(num_processes),
+        workload=workload,
+        protocol=protocol,
+        collector=collector,
+        collector_options=dict(collector_options or {}),
+        seed=1,
+        audit=audit,
+        keep_final_ccp=True,
+    )
+    return SimulationRunner(config).run()

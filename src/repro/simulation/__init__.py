@@ -1,0 +1,57 @@
+"""Deterministic discrete-event simulation substrate.
+
+The paper's system model — asynchronous processes, message passing with loss
+and reordering, crash failures with stable storage — is realised here as a
+seeded, deterministic discrete-event simulation:
+
+* :mod:`engine` — the event queue and simulated clock;
+* :mod:`network` — point-to-point channels with latency, jitter, loss and the
+  ability to drop in-flight messages during recovery sessions;
+* :mod:`node` — a simulated process: application behaviour, checkpointing
+  protocol, dependency vector, stable storage and garbage collector;
+* :mod:`trace` — the global execution recorder that turns a run into an
+  :class:`repro.causality.EventLog` / :class:`repro.ccp.CCP` for analysis;
+* :mod:`workloads` — workload generators (random peer-to-peer, client/server,
+  pipeline, ring, the Figure-5 worst case, and fully scripted schedules);
+* :mod:`failures` — crash schedules;
+* :mod:`runner` — configuration and orchestration of complete experiments.
+"""
+
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.failures import FailureSchedule
+from repro.simulation.network import Network, NetworkConfig
+from repro.simulation.node import SimulationNode
+from repro.simulation.runner import SimulationConfig, SimulationResult, SimulationRunner
+from repro.simulation.trace import TraceRecorder
+from repro.simulation.workloads import (
+    Action,
+    ActionKind,
+    ClientServerWorkload,
+    PipelineWorkload,
+    RingWorkload,
+    ScriptedWorkload,
+    UniformRandomWorkload,
+    Workload,
+    WorstCaseWorkload,
+)
+
+__all__ = [
+    "Action",
+    "ActionKind",
+    "ClientServerWorkload",
+    "FailureSchedule",
+    "Network",
+    "NetworkConfig",
+    "PipelineWorkload",
+    "RingWorkload",
+    "ScriptedWorkload",
+    "SimulationConfig",
+    "SimulationEngine",
+    "SimulationNode",
+    "SimulationResult",
+    "SimulationRunner",
+    "TraceRecorder",
+    "UniformRandomWorkload",
+    "Workload",
+    "WorstCaseWorkload",
+]

@@ -1,0 +1,101 @@
+"""Discrete-event simulation engine.
+
+A small, dependency-free engine: callbacks are scheduled at absolute simulated
+times and executed in time order; ties are broken by scheduling order, which
+(together with a seeded random generator) makes every run fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Callable, List, Optional, Tuple
+
+Callback = Callable[[], None]
+
+
+class SimulationEngine:
+    """Event queue and simulated clock."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now = 0.0
+        self._sequence = 0
+        self._queue: List[Tuple[float, int, Callback]] = []
+        self._rng = random.Random(seed)
+        self._processed_events = 0
+
+    # ------------------------------------------------------------------
+    # Clock and randomness
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """The current simulated time."""
+        return self._now
+
+    @property
+    def rng(self) -> random.Random:
+        """The seeded random generator shared by the run."""
+        return self._rng
+
+    @property
+    def processed_events(self) -> int:
+        """Number of callbacks executed so far."""
+        return self._processed_events
+
+    def pending_events(self) -> int:
+        """Number of callbacks still queued."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(self, time: float, callback: Callback) -> None:
+        """Run ``callback`` at absolute simulated time ``time``."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule an event in the past ({time} < {self._now})"
+            )
+        heapq.heappush(self._queue, (time, self._sequence, callback))
+        self._sequence += 1
+
+    def schedule_after(self, delay: float, callback: Callback) -> None:
+        """Run ``callback`` after ``delay`` simulated time units."""
+        if delay < 0:
+            raise ValueError("delays must be non-negative")
+        self.schedule_at(self._now + delay, callback)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Process queued events in time order.
+
+        Stops when the queue is empty, when the next event lies beyond
+        ``until`` (the clock is then advanced to ``until``), or after
+        ``max_events`` callbacks.
+        """
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                return
+            time, _, callback = self._queue[0]
+            if until is not None and time > until:
+                self._now = until
+                return
+            heapq.heappop(self._queue)
+            self._now = time
+            callback()
+            self._processed_events += 1
+            executed += 1
+        if until is not None and until > self._now:
+            self._now = until
+
+    def step(self) -> bool:
+        """Process a single event; returns False if the queue was empty."""
+        if not self._queue:
+            return False
+        time, _, callback = heapq.heappop(self._queue)
+        self._now = time
+        callback()
+        self._processed_events += 1
+        return True

@@ -1,0 +1,65 @@
+"""Crash schedules for failure injection.
+
+The paper's model: a process can fail by crash, losing its volatile state but
+keeping its stable storage, and it eventually recovers.  A
+:class:`FailureSchedule` lists the crashes to inject in a run; each crash
+triggers a full recovery session orchestrated by the runner via the
+centralized :class:`repro.recovery.RecoveryManager`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, List, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Crash:
+    """A single injected failure."""
+
+    time: float
+    pid: int
+
+
+@dataclass(frozen=True)
+class FailureSchedule:
+    """An ordered list of crashes to inject."""
+
+    crashes: Tuple[Crash, ...] = ()
+
+    @classmethod
+    def none(cls) -> "FailureSchedule":
+        """A schedule with no failures."""
+        return cls(())
+
+    @classmethod
+    def of(cls, crashes: Iterable[Tuple[float, int]]) -> "FailureSchedule":
+        """Build a schedule from ``(time, pid)`` pairs."""
+        return cls(tuple(sorted(Crash(time, pid) for time, pid in crashes)))
+
+    @classmethod
+    def random(
+        cls,
+        *,
+        num_processes: int,
+        duration: float,
+        count: int,
+        rng: random.Random,
+        warmup_fraction: float = 0.2,
+    ) -> "FailureSchedule":
+        """``count`` crashes of random processes at random times after a warm-up."""
+        if count < 0:
+            raise ValueError("the number of crashes must be non-negative")
+        start = duration * warmup_fraction
+        crashes = [
+            Crash(rng.uniform(start, duration), rng.randrange(num_processes))
+            for _ in range(count)
+        ]
+        return cls(tuple(sorted(crashes)))
+
+    def __len__(self) -> int:
+        return len(self.crashes)
+
+    def __iter__(self):
+        return iter(self.crashes)

@@ -1,0 +1,166 @@
+"""Message transport between simulated processes.
+
+Channels follow the paper's model: messages cannot be corrupted, but they can
+be lost and delivered out of order.  Delivery latency is sampled per message
+(base latency plus uniform jitter), which naturally produces reordering; a
+configurable drop probability produces loss.  Control messages (used only by
+the coordinated garbage-collection baselines) travel over the same transport
+but are never dropped — those baselines explicitly assume reliable control
+exchanges, which is part of the paper's point.
+
+During a recovery session the runner calls :meth:`Network.drop_in_flight`,
+which discards every application message still in transit: a rolled-back
+sender's messages must not be delivered to the restarted computation, and the
+model permits treating the others as lost.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.simulation.engine import SimulationEngine
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Latency, jitter and loss parameters of the transport."""
+
+    base_latency: float = 1.0
+    jitter: float = 0.5
+    drop_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_latency < 0 or self.jitter < 0:
+            raise ValueError("latencies must be non-negative")
+        if not 0.0 <= self.drop_probability < 1.0:
+            raise ValueError("drop probability must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class AppMessage:
+    """An application message in transit."""
+
+    message_id: int
+    sender: int
+    receiver: int
+    piggyback: Tuple[int, ...]
+    payload: Any = None
+
+
+@dataclass
+class NetworkStats:
+    """Counters kept by the transport."""
+
+    app_sent: int = 0
+    app_delivered: int = 0
+    app_dropped: int = 0
+    app_discarded_by_recovery: int = 0
+    control_sent: int = 0
+    control_delivered: int = 0
+
+
+class Network:
+    """Point-to-point transport shared by all simulated processes."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        config: Optional[NetworkConfig] = None,
+    ) -> None:
+        self._engine = engine
+        self._config = config if config is not None else NetworkConfig()
+        self._app_handler: Optional[Callable[[AppMessage], None]] = None
+        self._control_handler: Optional[Callable[[int, int, Any], None]] = None
+        self._next_message_id = 0
+        self._in_flight: Dict[int, AppMessage] = {}
+        # Control-message latencies are drawn from a separate generator so that
+        # attaching a coordinated garbage collector does not perturb the
+        # application execution: experiments comparing collectors then see the
+        # exact same application-level run.
+        self._control_rng = random.Random(engine.rng.randint(0, 2**31))
+        self.stats = NetworkStats()
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    @property
+    def config(self) -> NetworkConfig:
+        """The transport parameters."""
+        return self._config
+
+    def on_app_delivery(self, handler: Callable[[AppMessage], None]) -> None:
+        """Register the callback invoked when an application message is delivered."""
+        self._app_handler = handler
+
+    def on_control_delivery(self, handler: Callable[[int, int, Any], None]) -> None:
+        """Register the callback for control messages: ``handler(sender, receiver, payload)``."""
+        self._control_handler = handler
+
+    # ------------------------------------------------------------------
+    # Application messages
+    # ------------------------------------------------------------------
+    def send_app_message(
+        self,
+        sender: int,
+        receiver: int,
+        piggyback: Tuple[int, ...],
+        payload: Any = None,
+    ) -> AppMessage:
+        """Send an application message; returns the in-transit record."""
+        message = AppMessage(
+            message_id=self._next_message_id,
+            sender=sender,
+            receiver=receiver,
+            piggyback=tuple(piggyback),
+            payload=payload,
+        )
+        self._next_message_id += 1
+        self.stats.app_sent += 1
+        rng = self._engine.rng
+        if self._config.drop_probability and rng.random() < self._config.drop_probability:
+            self.stats.app_dropped += 1
+            return message
+        self._in_flight[message.message_id] = message
+        latency = self._config.base_latency + rng.uniform(0.0, self._config.jitter)
+        self._engine.schedule_after(latency, lambda m=message: self._deliver_app(m))
+        return message
+
+    def _deliver_app(self, message: AppMessage) -> None:
+        if message.message_id not in self._in_flight:
+            return  # discarded by a recovery session while in transit
+        del self._in_flight[message.message_id]
+        self.stats.app_delivered += 1
+        if self._app_handler is None:
+            raise RuntimeError("no application delivery handler registered")
+        self._app_handler(message)
+
+    def in_flight_count(self) -> int:
+        """Number of application messages currently in transit."""
+        return len(self._in_flight)
+
+    def drop_in_flight(self) -> int:
+        """Discard every in-transit application message (recovery sessions)."""
+        discarded = len(self._in_flight)
+        self.stats.app_discarded_by_recovery += discarded
+        self._in_flight.clear()
+        return discarded
+
+    # ------------------------------------------------------------------
+    # Control messages
+    # ------------------------------------------------------------------
+    def send_control_message(self, sender: int, receiver: int, payload: Any) -> None:
+        """Send a reliable control message (never dropped)."""
+        self.stats.control_sent += 1
+        latency = self._config.base_latency + self._control_rng.uniform(
+            0.0, self._config.jitter
+        )
+
+        def deliver() -> None:
+            self.stats.control_delivered += 1
+            if self._control_handler is None:
+                raise RuntimeError("no control delivery handler registered")
+            self._control_handler(sender, receiver, payload)
+
+        self._engine.schedule_after(latency, deliver)

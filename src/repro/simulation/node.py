@@ -1,0 +1,227 @@
+"""A simulated process: application, checkpointing middleware and garbage collector.
+
+The node is the *mechanism*: it owns the dependency vector (the only control
+information piggybacked on application messages, per the paper's model), the
+stable storage and the message I/O.  The *policies* are plugged in:
+
+* a :class:`repro.protocols.CheckpointingProtocol` decides when forced
+  checkpoints are taken;
+* a :class:`repro.gc.GarbageCollector` decides which stable checkpoints to
+  eliminate (and may, for the coordinated baselines, use the node's control
+  plane).
+
+The event ordering required by Section 4.5 — a forced checkpoint triggered by
+a message is stored *before* the receipt is processed and before any garbage
+collection related to that receipt — is enforced in :meth:`deliver`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.causality.dependency_vector import DependencyVector
+from repro.gc.base import ControlPlane, GarbageCollector
+from repro.protocols.base import CheckpointingProtocol
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.network import AppMessage, Network
+from repro.simulation.trace import TraceRecorder
+from repro.storage.stable import StableStorage
+
+
+class _NodeControlPlane(ControlPlane):
+    """Adapter giving a node's collector access to control messages and timers."""
+
+    def __init__(self, node: "SimulationNode") -> None:
+        self._node = node
+
+    def send_control(self, destination: int, payload: Any) -> None:
+        self._node.network.send_control_message(self._node.pid, destination, payload)
+
+    def broadcast_control(self, payload: Any) -> None:
+        for pid in range(self._node.num_processes):
+            if pid != self._node.pid:
+                self.send_control(pid, payload)
+
+    def schedule_timer(self, delay: float) -> None:
+        engine = self._node.engine
+        engine.schedule_after(
+            delay, lambda: self._node.collector.on_timer(engine.now)
+        )
+
+    def current_time(self) -> float:
+        return self._node.engine.now
+
+
+class SimulationNode:
+    """One process of the simulated distributed application."""
+
+    def __init__(
+        self,
+        pid: int,
+        num_processes: int,
+        *,
+        engine: SimulationEngine,
+        network: Network,
+        trace: TraceRecorder,
+        protocol: CheckpointingProtocol,
+        collector: GarbageCollector,
+        storage: StableStorage,
+    ) -> None:
+        self._pid = pid
+        self._num_processes = num_processes
+        self._engine = engine
+        self._network = network
+        self._trace = trace
+        self._protocol = protocol
+        self._collector = collector
+        self._storage = storage
+        self._dv = DependencyVector.initial(num_processes, pid)
+        self._crashed = False
+        self.messages_sent = 0
+        self.messages_received = 0
+        self.basic_checkpoints = 0
+        self.forced_checkpoints = 0
+        self.rollbacks = 0
+        collector.attach_control_plane(_NodeControlPlane(self))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pid(self) -> int:
+        """The process id."""
+        return self._pid
+
+    @property
+    def num_processes(self) -> int:
+        """Number of processes in the system."""
+        return self._num_processes
+
+    @property
+    def engine(self) -> SimulationEngine:
+        """The simulation engine."""
+        return self._engine
+
+    @property
+    def network(self) -> Network:
+        """The shared transport."""
+        return self._network
+
+    @property
+    def protocol(self) -> CheckpointingProtocol:
+        """The checkpointing protocol policy."""
+        return self._protocol
+
+    @property
+    def collector(self) -> GarbageCollector:
+        """The attached garbage collector."""
+        return self._collector
+
+    @property
+    def storage(self) -> StableStorage:
+        """The process's stable storage."""
+        return self._storage
+
+    @property
+    def current_dv(self) -> Tuple[int, ...]:
+        """The process's current dependency vector."""
+        return self._dv.as_tuple()
+
+    @property
+    def crashed(self) -> bool:
+        """True while the process is down (between crash and recovery)."""
+        return self._crashed
+
+    # ------------------------------------------------------------------
+    # Application events
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Store the initial stable checkpoint ``s_pid^0`` (the model requires it)."""
+        self.take_checkpoint(forced=False)
+
+    def send_message(self, destination: int, payload: Any = None) -> None:
+        """Send an application message to ``destination``."""
+        if self._crashed:
+            return
+        if destination == self._pid:
+            raise ValueError("a process does not send application messages to itself")
+        self._protocol.notify_send()
+        self._collector.on_send(self._dv.as_tuple())
+        piggyback = self._dv.piggyback()
+        message = self._network.send_app_message(
+            self._pid, destination, piggyback, payload
+        )
+        self._trace.record_send(self._pid, destination, message.message_id, self._engine.now)
+        self.messages_sent += 1
+
+    def deliver(self, message: AppMessage) -> None:
+        """Deliver an application message to this process."""
+        if self._crashed:
+            return
+        if self._protocol.should_force_checkpoint(self._dv.as_tuple(), message.piggyback):
+            self.take_checkpoint(forced=True)
+        self._trace.record_receive(message.message_id, self._engine.now)
+        updated = self._dv.absorb(message.piggyback)
+        self._protocol.notify_receive()
+        self._collector.on_receive(message.piggyback, updated, self._dv.as_tuple())
+        self.messages_received += 1
+
+    def take_checkpoint(self, *, forced: bool = False, payload: Any = None) -> int:
+        """Take a basic or forced checkpoint; returns its index."""
+        if self._crashed:
+            return self._storage.last_index()
+        index = self._dv.current_interval()
+        now = self._engine.now
+        self._storage.store(
+            index, self._dv.as_tuple(), payload=payload, forced=forced, time=now
+        )
+        self._trace.record_checkpoint(
+            self._pid, index, self._dv.as_tuple(), forced=forced, time=now
+        )
+        self._collector.on_checkpoint_stored(
+            index, self._dv.as_tuple(), forced=forced, time=now
+        )
+        self._protocol.notify_checkpoint()
+        self._dv.advance_after_checkpoint()
+        if forced:
+            self.forced_checkpoints += 1
+        else:
+            self.basic_checkpoints += 1
+        return index
+
+    # ------------------------------------------------------------------
+    # Failures and recovery
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Lose the volatile state; the process stays down until recovery."""
+        self._crashed = True
+
+    def apply_rollback(
+        self,
+        rollback_index: int,
+        last_interval_vector: Optional[Sequence[int]],
+    ) -> List[int]:
+        """Restart from stable checkpoint ``rollback_index``.
+
+        The node discards later checkpoints, recreates its dependency vector
+        from the restored checkpoint, resets the protocol state and lets the
+        garbage collector run its recovery-session logic (Algorithm 3 for
+        RDT-LGC).  Returns the checkpoint indices the collector eliminated.
+        """
+        self._storage.eliminate_after(rollback_index)
+        restored = self._storage.get(rollback_index)
+        self._dv.restore(restored.dependency_vector)
+        self._dv.advance_after_checkpoint()
+        self._protocol.reset_after_rollback()
+        collected = self._collector.on_rollback(
+            rollback_index, last_interval_vector, self._dv.as_tuple()
+        )
+        self._crashed = False
+        self.rollbacks += 1
+        return collected
+
+    def apply_peer_rollback(self, last_interval_vector: Sequence[int]) -> List[int]:
+        """Recovery session in which this process keeps its volatile state."""
+        return self._collector.on_peer_rollback(
+            last_interval_vector, self._dv.as_tuple()
+        )

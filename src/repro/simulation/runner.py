@@ -1,0 +1,403 @@
+"""Experiment orchestration: configuration, execution and results.
+
+:class:`SimulationRunner` wires together the engine, network, trace recorder,
+nodes (protocol + collector + storage), workload, failure injection and the
+optional online audits, runs the experiment and returns a
+:class:`SimulationResult` with everything the analysis layer and the
+benchmarks need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.ccp.pattern import CCP
+from repro.core.optimality import GcAudit, audit_garbage_collection
+from repro.gc.registry import make_collector
+from repro.protocols.registry import make_protocol
+from repro.recovery.manager import RecoveryManager
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.failures import FailureSchedule
+from repro.simulation.network import Network, NetworkConfig
+from repro.simulation.node import SimulationNode
+from repro.simulation.trace import TraceRecorder
+from repro.simulation.workloads import Action, ActionKind, Workload
+from repro.storage.stable import StableStorage
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything needed to reproduce one run."""
+
+    num_processes: int
+    duration: float
+    workload: Workload
+    protocol: str = "fdas"
+    collector: str = "rdt-lgc"
+    collector_options: Mapping[str, Any] = field(default_factory=dict)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    failures: FailureSchedule = field(default_factory=FailureSchedule.none)
+    seed: int = 0
+    sample_interval: Optional[float] = None
+    audit: str = "off"
+    keep_final_ccp: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_processes <= 0:
+            raise ValueError("a simulation needs at least one process")
+        if self.duration <= 0:
+            raise ValueError("the duration must be positive")
+        if self.audit not in ("off", "safety", "full"):
+            raise ValueError("audit must be one of 'off', 'safety', 'full'")
+
+
+@dataclass(frozen=True)
+class StorageSample:
+    """Storage occupancy at one sampling instant."""
+
+    time: float
+    retained_per_process: Tuple[int, ...]
+
+    @property
+    def total(self) -> int:
+        """Total number of retained stable checkpoints across all processes."""
+        return sum(self.retained_per_process)
+
+
+@dataclass(frozen=True)
+class RecoveryRecord:
+    """Summary of one recovery session."""
+
+    time: float
+    faulty: Tuple[int, ...]
+    recovery_line: Tuple[int, ...]
+    rolled_back_processes: int
+    lost_general_checkpoints: int
+    collected_during_recovery: int
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """Result of one online audit."""
+
+    time: float
+    label: str
+    is_safe: bool
+    is_optimal: bool
+    safety_violations: int
+    optimality_violations: int
+
+
+@dataclass
+class SimulationResult:
+    """Everything measured during one run."""
+
+    config: SimulationConfig
+    protocol: str
+    collector: str
+    duration: float
+    basic_checkpoints: int
+    forced_checkpoints: int
+    messages_sent: int
+    messages_delivered: int
+    messages_dropped: int
+    control_messages: int
+    total_collected: int
+    retained_final: Tuple[int, ...]
+    max_retained_per_process: Tuple[int, ...]
+    total_stored: int
+    samples: List[StorageSample]
+    recoveries: List[RecoveryRecord]
+    audits: List[AuditRecord]
+    final_ccp: Optional[CCP] = None
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    @property
+    def total_checkpoints(self) -> int:
+        """All checkpoints taken (basic plus forced)."""
+        return self.basic_checkpoints + self.forced_checkpoints
+
+    @property
+    def total_retained_final(self) -> int:
+        """Stable checkpoints left on storage at the end of the run."""
+        return sum(self.retained_final)
+
+    @property
+    def max_retained_any_process(self) -> int:
+        """The worst per-process high-water mark observed."""
+        return max(self.max_retained_per_process) if self.max_retained_per_process else 0
+
+    @property
+    def peak_total_retained(self) -> int:
+        """The largest sampled global storage occupancy."""
+        if not self.samples:
+            return self.total_retained_final
+        return max(sample.total for sample in self.samples)
+
+    @property
+    def collection_ratio(self) -> float:
+        """Fraction of stored checkpoints eventually collected."""
+        if self.total_stored == 0:
+            return 0.0
+        return self.total_collected / self.total_stored
+
+    @property
+    def all_audits_safe(self) -> bool:
+        """True if no audit observed a safety violation."""
+        return all(audit.is_safe for audit in self.audits)
+
+    @property
+    def all_audits_optimal(self) -> bool:
+        """True if no audit observed an optimality violation."""
+        return all(audit.is_optimal for audit in self.audits)
+
+    def summary(self) -> Dict[str, Any]:
+        """A flat dictionary of the headline numbers (used by report tables)."""
+        return {
+            "protocol": self.protocol,
+            "collector": self.collector,
+            "processes": self.config.num_processes,
+            "checkpoints": self.total_checkpoints,
+            "forced": self.forced_checkpoints,
+            "messages": self.messages_sent,
+            "control_messages": self.control_messages,
+            "collected": self.total_collected,
+            "retained_final": self.total_retained_final,
+            "max_retained_per_process": self.max_retained_any_process,
+            "peak_total_retained": self.peak_total_retained,
+            "collection_ratio": round(self.collection_ratio, 4),
+            "recoveries": len(self.recoveries),
+        }
+
+
+class SimulationRunner:
+    """Builds and runs one experiment from a :class:`SimulationConfig`."""
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self._config = config
+        self._engine = SimulationEngine(seed=config.seed)
+        self._network = Network(self._engine, config.network)
+        self._trace = TraceRecorder(config.num_processes)
+        self._recovery_manager = RecoveryManager()
+        self._nodes: List[SimulationNode] = []
+        self._samples: List[StorageSample] = []
+        self._recoveries: List[RecoveryRecord] = []
+        self._audits: List[AuditRecord] = []
+        self._build_nodes()
+        self._network.on_app_delivery(self._deliver_app)
+        self._network.on_control_delivery(self._deliver_control)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_nodes(self) -> None:
+        config = self._config
+        for pid in range(config.num_processes):
+            storage = StableStorage(pid)
+            protocol = make_protocol(config.protocol, pid, config.num_processes)
+            collector = make_collector(
+                config.collector,
+                pid,
+                config.num_processes,
+                storage,
+                **dict(config.collector_options),
+            )
+            node = SimulationNode(
+                pid,
+                config.num_processes,
+                engine=self._engine,
+                network=self._network,
+                trace=self._trace,
+                protocol=protocol,
+                collector=collector,
+                storage=storage,
+            )
+            self._nodes.append(node)
+
+    @property
+    def nodes(self) -> List[SimulationNode]:
+        """The simulated processes (useful for tests and custom drivers)."""
+        return self._nodes
+
+    @property
+    def engine(self) -> SimulationEngine:
+        """The simulation engine."""
+        return self._engine
+
+    @property
+    def trace(self) -> TraceRecorder:
+        """The global trace recorder."""
+        return self._trace
+
+    # ------------------------------------------------------------------
+    # Delivery plumbing
+    # ------------------------------------------------------------------
+    def _deliver_app(self, message) -> None:
+        self._nodes[message.receiver].deliver(message)
+
+    def _deliver_control(self, sender: int, receiver: int, payload: Any) -> None:
+        self._nodes[receiver].collector.on_control_message(
+            sender, payload, self._engine.now
+        )
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Execute the configured experiment and return its results."""
+        config = self._config
+        for node in self._nodes:
+            node.start()
+        actions = config.workload.generate(
+            config.num_processes, config.duration, self._engine.rng
+        )
+        for action in actions:
+            self._engine.schedule_at(action.time, self._make_action_handler(action))
+        for crash in config.failures:
+            self._engine.schedule_at(
+                crash.time, lambda pid=crash.pid: self._handle_crash(pid)
+            )
+        sample_interval = config.sample_interval
+        if sample_interval is None:
+            sample_interval = max(config.duration / 50.0, 1.0)
+        self._schedule_sampling(sample_interval)
+        self._engine.run(until=config.duration)
+        self._take_sample()
+        if config.audit != "off":
+            self._run_audit("final")
+        return self._build_result()
+
+    def _make_action_handler(self, action: Action):
+        node = self._nodes[action.pid]
+        if action.kind is ActionKind.SEND:
+            return lambda: node.send_message(action.target)
+        return lambda: node.take_checkpoint(forced=False)
+
+    # ------------------------------------------------------------------
+    # Sampling and audits
+    # ------------------------------------------------------------------
+    def _schedule_sampling(self, interval: float) -> None:
+        def sample_and_reschedule() -> None:
+            self._take_sample()
+            if self._engine.now + interval <= self._config.duration:
+                self._engine.schedule_after(interval, sample_and_reschedule)
+
+        self._engine.schedule_after(interval, sample_and_reschedule)
+
+    def _take_sample(self) -> None:
+        self._samples.append(
+            StorageSample(
+                time=self._engine.now,
+                retained_per_process=tuple(
+                    node.storage.retained_count() for node in self._nodes
+                ),
+            )
+        )
+
+    def current_ccp(self) -> CCP:
+        """The CCP of the execution recorded so far."""
+        volatile = {node.pid: node.current_dv for node in self._nodes}
+        return self._trace.ccp(volatile_dvs=volatile)
+
+    def _run_audit(self, label: str) -> GcAudit:
+        ccp = self.current_ccp()
+        retained = {node.pid: node.storage.retained_indices() for node in self._nodes}
+        audit = audit_garbage_collection(
+            ccp, retained, require_optimality=self._config.audit == "full"
+        )
+        self._audits.append(
+            AuditRecord(
+                time=self._engine.now,
+                label=label,
+                is_safe=audit.is_safe,
+                is_optimal=audit.is_optimal,
+                safety_violations=len(audit.safety_violations),
+                optimality_violations=len(audit.optimality_violations),
+            )
+        )
+        return audit
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+    def _handle_crash(self, pid: int) -> None:
+        node = self._nodes[pid]
+        if node.storage.retained_count() == 0:
+            raise RuntimeError(f"process {pid} crashed before storing any checkpoint")
+        node.crash()
+        self._network.drop_in_flight()
+        ccp = self.current_ccp()
+        plan = self._recovery_manager.plan(ccp, [pid])
+        collected = 0
+        for process in self._nodes:
+            directive = plan.rollback_for(process.pid)
+            if directive is not None:
+                collected += len(
+                    process.apply_rollback(
+                        directive.rollback_index, plan.last_interval_vector
+                    )
+                )
+            else:
+                collected += len(
+                    process.apply_peer_rollback(plan.last_interval_vector)
+                )
+        self._trace.apply_recovery(plan)
+        lost = sum(
+            ccp.volatile_index(p) - plan.recovery_line.indices[p]
+            for p in range(self._config.num_processes)
+        )
+        self._recoveries.append(
+            RecoveryRecord(
+                time=self._engine.now,
+                faulty=(pid,),
+                recovery_line=plan.recovery_line.indices,
+                rolled_back_processes=len(plan.rollbacks),
+                lost_general_checkpoints=lost,
+                collected_during_recovery=collected,
+            )
+        )
+        if self._config.audit != "off":
+            self._run_audit(f"after-recovery@{self._engine.now:.1f}")
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def _build_result(self) -> SimulationResult:
+        config = self._config
+        stats = self._network.stats
+        final_ccp = self.current_ccp() if config.keep_final_ccp else None
+        control_messages = stats.control_sent
+        return SimulationResult(
+            config=config,
+            protocol=config.protocol,
+            collector=config.collector,
+            duration=config.duration,
+            basic_checkpoints=sum(node.basic_checkpoints for node in self._nodes),
+            forced_checkpoints=sum(node.forced_checkpoints for node in self._nodes),
+            messages_sent=stats.app_sent,
+            messages_delivered=stats.app_delivered,
+            messages_dropped=stats.app_dropped,
+            control_messages=control_messages,
+            total_collected=sum(
+                node.storage.total_eliminated() for node in self._nodes
+            ),
+            retained_final=tuple(
+                node.storage.retained_count() for node in self._nodes
+            ),
+            max_retained_per_process=tuple(
+                node.storage.max_retained() for node in self._nodes
+            ),
+            total_stored=sum(node.storage.total_stored() for node in self._nodes),
+            samples=self._samples,
+            recoveries=self._recoveries,
+            audits=self._audits,
+            final_ccp=final_ccp,
+        )
+
+
+def run_simulation(config: SimulationConfig) -> SimulationResult:
+    """Convenience wrapper: build a runner, run it, return the result."""
+    return SimulationRunner(config).run()

@@ -1,0 +1,155 @@
+"""Global execution recorder.
+
+The :class:`TraceRecorder` observes everything the simulated processes do and
+maintains the corresponding :class:`repro.causality.EventLog`, together with
+the dependency vectors the middleware stored with each stable checkpoint.  At
+any point it can be turned into a :class:`repro.ccp.CCP` for analysis: the CCP
+of the recorded execution is exactly the pattern the paper's characterisations
+are stated over, so the recorder is what connects the *online* algorithms to
+the *offline* oracles in tests and benchmarks.
+
+Recovery sessions rewrite history: the post-rollback state of the system is the
+recovery-line cut, so :meth:`apply_recovery` truncates each rolled-back
+process's history at its recovery-line component (the resulting prefix is a
+consistent cut because the recovery line is consistent) and forgets the
+checkpoints that were rolled back.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.causality.events import EventKind, EventLog
+from repro.ccp.checkpoint import CheckpointId
+from repro.ccp.pattern import CCP
+from repro.recovery.rollback_plan import RollbackPlan
+
+
+class TraceRecorder:
+    """Records a simulated execution as an event log plus checkpoint vectors."""
+
+    def __init__(self, num_processes: int) -> None:
+        self._num_processes = num_processes
+        self._log = EventLog(num_processes)
+        self._recorded_dvs: Dict[CheckpointId, Tuple[int, ...]] = {}
+        self._dropped_messages: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_processes(self) -> int:
+        """Number of processes being traced."""
+        return self._num_processes
+
+    @property
+    def log(self) -> EventLog:
+        """The current event log (post-rollback history only)."""
+        return self._log
+
+    def recorded_checkpoint_dvs(self) -> Dict[CheckpointId, Tuple[int, ...]]:
+        """Dependency vectors stored with the currently existing stable checkpoints."""
+        return dict(self._recorded_dvs)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_send(
+        self, sender: int, receiver: int, message_id: int, time: float
+    ) -> None:
+        """Record the sending of an application message."""
+        self._log.add_send(sender, receiver, message_id=message_id, time=time)
+
+    def record_receive(self, message_id: int, time: float) -> None:
+        """Record the delivery of an application message.
+
+        Deliveries of messages whose send was erased by a recovery session are
+        ignored (the runner prevents them anyway by dropping in-flight
+        messages, so this is a belt-and-braces guard).
+        """
+        if message_id in self._dropped_messages or not self._log.has_message(message_id):
+            return
+        self._log.add_receive(message_id, time=time)
+
+    def record_checkpoint(
+        self,
+        pid: int,
+        index: int,
+        dependency_vector: Sequence[int],
+        *,
+        forced: bool,
+        time: float,
+    ) -> None:
+        """Record a stable checkpoint and the vector stored with it."""
+        self._log.add_checkpoint(pid, index, time=time, forced=forced)
+        self._recorded_dvs[CheckpointId(pid, index)] = tuple(dependency_vector)
+
+    def record_internal(self, pid: int, time: float) -> None:
+        """Record an internal application event (used by scripted scenarios)."""
+        self._log.add_internal(pid, time=time)
+
+    # ------------------------------------------------------------------
+    # Recovery sessions
+    # ------------------------------------------------------------------
+    def apply_recovery(self, plan: RollbackPlan) -> None:
+        """Truncate the recorded history at the recovery line of ``plan``."""
+        lengths: List[int] = []
+        for pid in range(self._num_processes):
+            rollback = plan.rollback_for(pid)
+            history = self._log.history(pid)
+            if rollback is None:
+                lengths.append(len(history))
+                continue
+            cutoff = None
+            for event in history:
+                if (
+                    event.kind is EventKind.CHECKPOINT
+                    and event.checkpoint_index == rollback.rollback_index
+                ):
+                    cutoff = event.seq + 1
+                    break
+            if cutoff is None:
+                raise RuntimeError(
+                    f"recovery line references checkpoint "
+                    f"s{pid}^{rollback.rollback_index} which is not in the trace"
+                )
+            lengths.append(cutoff)
+        surviving_messages = set()
+        for pid in range(self._num_processes):
+            for event in self._log.history(pid).events[: lengths[pid]]:
+                if event.kind is EventKind.SEND:
+                    surviving_messages.add(event.message_id)
+        for message in self._log.messages():
+            if message.message_id not in surviving_messages:
+                self._dropped_messages.add(message.message_id)
+        self._log = self._log.prefix(lengths)
+        for pid in range(self._num_processes):
+            rollback = plan.rollback_for(pid)
+            if rollback is None:
+                continue
+            stale = [
+                cid
+                for cid in self._recorded_dvs
+                if cid.pid == pid and cid.index > rollback.rollback_index
+            ]
+            for cid in stale:
+                del self._recorded_dvs[cid]
+
+    # ------------------------------------------------------------------
+    # Analysis snapshots
+    # ------------------------------------------------------------------
+    def ccp(
+        self, volatile_dvs: Optional[Mapping[int, Sequence[int]]] = None
+    ) -> CCP:
+        """The CCP of the recorded execution.
+
+        ``volatile_dvs`` optionally supplies the processes' current dependency
+        vectors so that the volatile checkpoints carry recorded (rather than
+        only ground-truth) vectors.
+        """
+        recorded: Dict[CheckpointId, Tuple[int, ...]] = dict(self._recorded_dvs)
+        if volatile_dvs is not None:
+            for pid, dv in volatile_dvs.items():
+                last = self._log.history(pid).last_checkpoint_index()
+                recorded[CheckpointId(pid, last + 1)] = tuple(dv)
+        return CCP(self._log, recorded_dvs=recorded)

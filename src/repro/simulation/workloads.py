@@ -1,0 +1,280 @@
+"""Workload generators.
+
+A workload describes *what the application does*: when each process sends
+messages to whom and when it takes basic checkpoints.  Workloads generate a
+deterministic list of timed :class:`Action` records from a seeded random
+generator; the runner schedules them on the engine.  Forced checkpoints are
+not part of the workload — they are decided online by the checkpointing
+protocol.
+
+Provided workloads:
+
+* :class:`UniformRandomWorkload` — every process messages uniformly random
+  peers and takes basic checkpoints at exponential intervals (the generic
+  workload of the evaluation study);
+* :class:`ClientServerWorkload` — clients call a single server, which answers;
+  models the asymmetric communication the paper's motivation mentions;
+* :class:`PipelineWorkload` — a linear pipeline of stages, stage ``i`` feeding
+  stage ``i+1``;
+* :class:`RingWorkload` — a token-style ring, each process feeding its
+  successor;
+* :class:`WorstCaseWorkload` — the round-based schedule that drives RDT-LGC to
+  its ``n`` retained checkpoints per process bound (Figure 5);
+* :class:`ScriptedWorkload` — an explicit list of actions, used to reproduce
+  the paper's hand-drawn figures event for event.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+
+class ActionKind(enum.Enum):
+    """What a workload action asks a process to do."""
+
+    SEND = "send"
+    CHECKPOINT = "checkpoint"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Action:
+    """A timed application action."""
+
+    time: float
+    pid: int
+    kind: ActionKind
+    target: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is ActionKind.SEND and self.target is None:
+            raise ValueError("SEND actions need a target process")
+
+
+class Workload(abc.ABC):
+    """Base class for workload generators."""
+
+    name = "abstract"
+
+    @abc.abstractmethod
+    def generate(
+        self, num_processes: int, duration: float, rng: random.Random
+    ) -> List[Action]:
+        """Produce the timed actions of one run."""
+
+    @staticmethod
+    def _sorted(actions: List[Action]) -> List[Action]:
+        return sorted(actions, key=lambda a: (a.time, a.pid))
+
+
+class UniformRandomWorkload(Workload):
+    """Peer-to-peer traffic with random partners and random basic checkpoints."""
+
+    name = "uniform-random"
+
+    def __init__(
+        self,
+        *,
+        mean_message_gap: float = 2.0,
+        mean_checkpoint_gap: float = 10.0,
+    ) -> None:
+        if mean_message_gap <= 0 or mean_checkpoint_gap <= 0:
+            raise ValueError("mean gaps must be positive")
+        self._message_gap = mean_message_gap
+        self._checkpoint_gap = mean_checkpoint_gap
+
+    def generate(
+        self, num_processes: int, duration: float, rng: random.Random
+    ) -> List[Action]:
+        actions: List[Action] = []
+        for pid in range(num_processes):
+            time = rng.expovariate(1.0 / self._message_gap)
+            while time < duration and num_processes > 1:
+                target = rng.randrange(num_processes - 1)
+                if target >= pid:
+                    target += 1
+                actions.append(Action(time, pid, ActionKind.SEND, target))
+                time += rng.expovariate(1.0 / self._message_gap)
+            time = rng.expovariate(1.0 / self._checkpoint_gap)
+            while time < duration:
+                actions.append(Action(time, pid, ActionKind.CHECKPOINT))
+                time += rng.expovariate(1.0 / self._checkpoint_gap)
+        return self._sorted(actions)
+
+
+class ClientServerWorkload(Workload):
+    """Clients send requests to process 0, which answers each client."""
+
+    name = "client-server"
+
+    def __init__(
+        self,
+        *,
+        mean_request_gap: float = 3.0,
+        server_think_time: float = 1.0,
+        mean_checkpoint_gap: float = 12.0,
+    ) -> None:
+        if mean_request_gap <= 0 or mean_checkpoint_gap <= 0 or server_think_time < 0:
+            raise ValueError("workload parameters must be positive")
+        self._request_gap = mean_request_gap
+        self._think_time = server_think_time
+        self._checkpoint_gap = mean_checkpoint_gap
+
+    def generate(
+        self, num_processes: int, duration: float, rng: random.Random
+    ) -> List[Action]:
+        if num_processes < 2:
+            raise ValueError("the client/server workload needs at least two processes")
+        actions: List[Action] = []
+        server = 0
+        for client in range(1, num_processes):
+            time = rng.expovariate(1.0 / self._request_gap)
+            while time < duration:
+                actions.append(Action(time, client, ActionKind.SEND, server))
+                reply_time = time + self._think_time + rng.uniform(0.0, self._think_time)
+                if reply_time < duration:
+                    actions.append(Action(reply_time, server, ActionKind.SEND, client))
+                time += rng.expovariate(1.0 / self._request_gap)
+        for pid in range(num_processes):
+            time = rng.expovariate(1.0 / self._checkpoint_gap)
+            while time < duration:
+                actions.append(Action(time, pid, ActionKind.CHECKPOINT))
+                time += rng.expovariate(1.0 / self._checkpoint_gap)
+        return self._sorted(actions)
+
+
+class PipelineWorkload(Workload):
+    """A linear pipeline: stage ``i`` periodically feeds stage ``i + 1``."""
+
+    name = "pipeline"
+
+    def __init__(
+        self,
+        *,
+        stage_period: float = 2.0,
+        mean_checkpoint_gap: float = 10.0,
+    ) -> None:
+        if stage_period <= 0 or mean_checkpoint_gap <= 0:
+            raise ValueError("workload parameters must be positive")
+        self._stage_period = stage_period
+        self._checkpoint_gap = mean_checkpoint_gap
+
+    def generate(
+        self, num_processes: int, duration: float, rng: random.Random
+    ) -> List[Action]:
+        actions: List[Action] = []
+        for pid in range(num_processes - 1):
+            time = self._stage_period * (1.0 + 0.1 * pid)
+            while time < duration:
+                actions.append(Action(time, pid, ActionKind.SEND, pid + 1))
+                time += self._stage_period
+        for pid in range(num_processes):
+            time = rng.expovariate(1.0 / self._checkpoint_gap)
+            while time < duration:
+                actions.append(Action(time, pid, ActionKind.CHECKPOINT))
+                time += rng.expovariate(1.0 / self._checkpoint_gap)
+        return self._sorted(actions)
+
+
+class RingWorkload(Workload):
+    """Each process periodically sends to its successor on a ring."""
+
+    name = "ring"
+
+    def __init__(
+        self,
+        *,
+        period: float = 3.0,
+        mean_checkpoint_gap: float = 10.0,
+    ) -> None:
+        if period <= 0 or mean_checkpoint_gap <= 0:
+            raise ValueError("workload parameters must be positive")
+        self._period = period
+        self._checkpoint_gap = mean_checkpoint_gap
+
+    def generate(
+        self, num_processes: int, duration: float, rng: random.Random
+    ) -> List[Action]:
+        actions: List[Action] = []
+        for pid in range(num_processes):
+            time = self._period * (1.0 + pid / max(num_processes, 1))
+            while time < duration:
+                actions.append(
+                    Action(time, pid, ActionKind.SEND, (pid + 1) % num_processes)
+                )
+                time += self._period
+            time = rng.expovariate(1.0 / self._checkpoint_gap)
+            while time < duration:
+                actions.append(Action(time, pid, ActionKind.CHECKPOINT))
+                time += rng.expovariate(1.0 / self._checkpoint_gap)
+        return self._sorted(actions)
+
+
+class WorstCaseWorkload(Workload):
+    """The schedule that drives every process to retain ``n`` stable checkpoints.
+
+    Round ``k`` (``k = 1 .. n``): every process takes a basic checkpoint, then
+    process ``k - 1`` broadcasts one message to every other process.  Each
+    broadcast carries new causal information only about its sender, so at the
+    receiver it pins (via ``UC``) the receiver's *current* last checkpoint —
+    a different one each round.  A final round of checkpoints leaves every
+    process retaining exactly ``n`` stable checkpoints, the paper's tight
+    per-process bound (Figure 5); the transient global occupancy during that
+    final round is ``n (n + 1)``.
+    """
+
+    name = "worst-case"
+
+    def __init__(self, *, round_length: float = 10.0) -> None:
+        if round_length <= 0:
+            raise ValueError("round length must be positive")
+        self._round_length = round_length
+
+    def generate(
+        self, num_processes: int, duration: float, rng: random.Random
+    ) -> List[Action]:
+        actions: List[Action] = []
+        for round_index in range(1, num_processes + 1):
+            base = round_index * self._round_length
+            for pid in range(num_processes):
+                actions.append(Action(base, pid, ActionKind.CHECKPOINT))
+            sender = round_index - 1
+            for pid in range(num_processes):
+                if pid != sender:
+                    actions.append(
+                        Action(base + self._round_length / 2, sender, ActionKind.SEND, pid)
+                    )
+        final = (num_processes + 1) * self._round_length
+        for pid in range(num_processes):
+            actions.append(Action(final, pid, ActionKind.CHECKPOINT))
+        return self._sorted(actions)
+
+    def required_duration(self, num_processes: int) -> float:
+        """The simulated time needed to play the full schedule."""
+        return (num_processes + 2) * self._round_length
+
+
+class ScriptedWorkload(Workload):
+    """An explicit, fully deterministic list of actions."""
+
+    name = "scripted"
+
+    def __init__(self, actions: Sequence[Action]) -> None:
+        self._actions = list(actions)
+
+    def generate(
+        self, num_processes: int, duration: float, rng: random.Random
+    ) -> List[Action]:
+        for action in self._actions:
+            if action.pid >= num_processes:
+                raise ValueError(
+                    f"scripted action references process {action.pid} but the "
+                    f"run has only {num_processes} processes"
+                )
+        return self._sorted(list(self._actions))

@@ -1,0 +1,5 @@
+"""Visualisation helpers (ASCII space-time diagrams of CCPs)."""
+
+from repro.viz.ascii_diagram import render_ccp, render_gc_trace
+
+__all__ = ["render_ccp", "render_gc_trace"]

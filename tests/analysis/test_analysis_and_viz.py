@@ -1,0 +1,96 @@
+"""Tests for the analysis helpers and the ASCII diagrams."""
+
+import pytest
+
+from repro.analysis.metrics import aggregate, aggregate_results
+from repro.analysis.storage import occupancy_series, summarize_occupancy
+from repro.analysis.tables import TextTable
+from repro.scenarios.experiments import run_random_simulation
+from repro.scenarios.figures import figure1_ccp
+from repro.viz.ascii_diagram import render_ccp, render_gc_trace
+
+
+class TestAggregation:
+    def test_aggregate_statistics(self):
+        stats = aggregate([1.0, 2.0, 3.0])
+        assert stats.mean == 2.0
+        assert stats.minimum == 1.0
+        assert stats.maximum == 3.0
+        assert stats.count == 3
+
+    def test_aggregate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate([])
+
+    def test_aggregate_results_over_seeds(self):
+        results = [
+            run_random_simulation(duration=40.0, seed=seed, num_processes=3)
+            for seed in (0, 1)
+        ]
+        stats = aggregate_results(
+            results,
+            {
+                "peak": lambda r: r.peak_total_retained,
+                "collected": lambda r: r.total_collected,
+            },
+        )
+        assert set(stats) == {"peak", "collected"}
+        assert stats["peak"].count == 2
+
+    def test_aggregate_results_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_results([], {"x": lambda r: 0.0})
+
+
+class TestOccupancy:
+    def test_series_and_summary(self):
+        result = run_random_simulation(duration=60.0, seed=3, num_processes=3)
+        series = occupancy_series(result)
+        assert series and all(total >= 0 for _, total in series)
+        summary = summarize_occupancy(result)
+        assert summary.peak_total >= summary.final_total >= 0
+        assert summary.peak_per_process <= result.config.num_processes + 1
+        assert len(summary.as_row()) == 5
+
+
+class TestTextTable:
+    def test_render_aligns_columns(self):
+        table = TextTable(["name", "value"], title="demo")
+        table.add_row("alpha", 1)
+        table.add_row("b", 123.456)
+        text = table.render()
+        assert "demo" in text
+        assert "alpha" in text and "123.46" in text
+        assert table.row_count == 2
+
+    def test_row_arity_checked(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_needs_columns(self):
+        with pytest.raises(ValueError):
+            TextTable([])
+
+    def test_add_rows(self):
+        table = TextTable(["a"])
+        table.add_rows([[1], [2]])
+        assert table.row_count == 2
+
+
+class TestAsciiDiagrams:
+    def test_render_ccp_mentions_every_process(self):
+        text = render_ccp(figure1_ccp())
+        assert "p0:" in text and "p1:" in text and "p2:" in text
+        assert "[0]" in text
+
+    def test_render_ccp_respects_max_width(self):
+        text = render_ccp(figure1_ccp(), max_width=40)
+        assert all(len(line) <= 40 for line in text.splitlines())
+
+    def test_render_gc_trace(self):
+        text = render_gc_trace(
+            [("p2 s^1", (1, 1, 0), (0, 1, None)), ("p2 final", (1, 4, 2), (0, 3, 1))]
+        )
+        assert "p2 s^1" in text
+        assert "*" in text  # Null entries rendered as the paper's asterisk

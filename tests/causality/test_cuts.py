@@ -1,0 +1,68 @@
+"""Tests for cuts and consistent cuts (Definition 2)."""
+
+import pytest
+
+from repro.causality.cuts import Cut, latest_consistent_cut
+from repro.causality.events import EventLog
+
+
+def _log_with_message() -> EventLog:
+    log = EventLog(2)
+    log.add_checkpoint(0, 0)
+    log.add_checkpoint(1, 0)
+    _, m = log.add_send(0, 1)
+    log.add_receive(m.message_id)
+    log.add_checkpoint(1, 1)
+    return log
+
+
+class TestCut:
+    def test_full_cut_is_consistent(self):
+        log = _log_with_message()
+        assert Cut.full(log).is_consistent(log)
+
+    def test_cut_with_orphan_receive_is_inconsistent(self):
+        log = _log_with_message()
+        # Include the receive (p1 has 2 events) but not the send (p0 has 1 event).
+        cut = Cut.of([1, 2])
+        assert not cut.is_consistent(log)
+        assert cut.inconsistency_witnesses(log) == [0]
+
+    def test_cut_without_receive_is_consistent(self):
+        log = _log_with_message()
+        assert Cut.of([2, 1]).is_consistent(log)
+
+    def test_negative_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Cut.of([-1, 0])
+
+    def test_lengths_must_match_log(self):
+        log = _log_with_message()
+        with pytest.raises(ValueError):
+            Cut.of([1, 1, 1]).is_consistent(log)
+        with pytest.raises(ValueError):
+            Cut.of([10, 0]).is_consistent(log)
+
+    def test_includes_and_subcut(self):
+        cut = Cut.of([2, 1])
+        assert cut.includes(0, 1)
+        assert not cut.includes(0, 2)
+        assert Cut.of([1, 1]).is_subcut_of(cut)
+        assert not cut.is_subcut_of(Cut.of([1, 1]))
+
+    def test_restrict_produces_sub_log(self):
+        log = _log_with_message()
+        sub = Cut.of([2, 1]).restrict(log)
+        assert sub.total_events() == 3
+        assert len(sub.delivered_messages()) == 0
+
+
+class TestLatestConsistentCut:
+    def test_full_log_already_consistent(self):
+        log = _log_with_message()
+        assert latest_consistent_cut(log) == Cut.full(log)
+
+    def test_latest_consistent_cut_is_consistent_and_maximal(self):
+        log = _log_with_message()
+        cut = latest_consistent_cut(log)
+        assert cut.is_consistent(log)

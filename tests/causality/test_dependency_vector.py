@@ -1,0 +1,122 @@
+"""Unit tests for the transitive dependency vector mechanism (Section 4.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.causality.dependency_vector import DependencyVector, causally_precedes
+
+
+class TestDependencyVectorBasics:
+    def test_initial_is_all_zeros(self):
+        dv = DependencyVector.initial(4, owner=2)
+        assert dv.as_tuple() == (0, 0, 0, 0)
+        assert dv.owner == 2
+
+    def test_owner_must_be_in_range(self):
+        with pytest.raises(ValueError):
+            DependencyVector([0, 0], owner=2)
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ValueError):
+            DependencyVector([0, -1], owner=0)
+
+    def test_advance_after_checkpoint_increments_own_entry(self):
+        dv = DependencyVector.initial(3, owner=1)
+        assert dv.advance_after_checkpoint() == 1
+        assert dv.advance_after_checkpoint() == 2
+        assert dv.as_tuple() == (0, 2, 0)
+
+    def test_current_interval_tracks_own_entry(self):
+        dv = DependencyVector.initial(3, owner=0)
+        assert dv.current_interval() == 0
+        dv.advance_after_checkpoint()
+        assert dv.current_interval() == 1
+
+    def test_piggyback_equals_snapshot(self):
+        dv = DependencyVector([1, 2, 3], owner=0)
+        assert dv.piggyback() == (1, 2, 3)
+        assert dv.snapshot() == dv.as_tuple()
+
+    def test_copy_is_independent(self):
+        dv = DependencyVector([1, 2], owner=0)
+        other = dv.copy()
+        other.advance_after_checkpoint()
+        assert dv.as_tuple() == (1, 2)
+
+
+class TestAbsorb:
+    def test_absorb_returns_updated_entries(self):
+        dv = DependencyVector([2, 0, 1], owner=0)
+        updated = dv.absorb((1, 3, 1))
+        assert updated == [1]
+        assert dv.as_tuple() == (2, 3, 1)
+
+    def test_absorb_is_componentwise_maximum(self):
+        dv = DependencyVector([2, 0, 1], owner=0)
+        dv.absorb((0, 5, 4))
+        assert dv.as_tuple() == (2, 5, 4)
+
+    def test_absorb_rejects_wrong_size(self):
+        dv = DependencyVector.initial(2, owner=0)
+        with pytest.raises(ValueError):
+            dv.absorb((1, 2, 3))
+
+    def test_absorb_no_new_information(self):
+        dv = DependencyVector([3, 3, 3], owner=1)
+        assert dv.absorb((1, 1, 1)) == []
+
+
+class TestEquationTwoAndThree:
+    def test_last_known_checkpoint_is_entry_minus_one(self):
+        dv = DependencyVector([2, 1, 0], owner=0)
+        assert dv.last_known_checkpoint(0) == 1
+        assert dv.last_known_checkpoint(1) == 0
+        assert dv.last_known_checkpoint(2) == -1
+
+    def test_knows_checkpoint_equation_two(self):
+        dv = DependencyVector([2, 1, 0], owner=0)
+        assert dv.knows_checkpoint(0, 1)
+        assert not dv.knows_checkpoint(0, 2)
+        assert not dv.knows_checkpoint(2, 0)
+
+    def test_module_level_causally_precedes(self):
+        assert causally_precedes(1, 0, (0, 1, 0))
+        assert not causally_precedes(1, 1, (0, 1, 0))
+
+
+class TestRestore:
+    def test_restore_overwrites_entries(self):
+        dv = DependencyVector([5, 5, 5], owner=0)
+        dv.restore((1, 2, 3))
+        assert dv.as_tuple() == (1, 2, 3)
+
+    def test_restore_rejects_bad_input(self):
+        dv = DependencyVector.initial(3, owner=0)
+        with pytest.raises(ValueError):
+            dv.restore((1, 2))
+        with pytest.raises(ValueError):
+            dv.restore((1, -2, 0))
+
+
+class TestProperties:
+    @given(
+        st.lists(st.integers(0, 10), min_size=2, max_size=6),
+        st.data(),
+    )
+    def test_absorb_is_monotone_and_idempotent(self, entries, data):
+        dv = DependencyVector(entries, owner=0)
+        incoming = tuple(
+            data.draw(st.integers(0, 12)) for _ in range(len(entries))
+        )
+        before = dv.as_tuple()
+        dv.absorb(incoming)
+        after = dv.as_tuple()
+        assert all(a >= b for a, b in zip(after, before))
+        assert dv.absorb(incoming) == []  # idempotent
+
+    @given(st.lists(st.integers(0, 10), min_size=1, max_size=6))
+    def test_equality_and_hash_consistency(self, entries):
+        a = DependencyVector(entries, owner=0)
+        b = DependencyVector(entries, owner=0)
+        assert a == b and hash(a) == hash(b)

@@ -1,0 +1,157 @@
+"""Unit tests for the event log substrate."""
+
+import pytest
+
+from repro.causality.events import Event, EventId, EventKind, EventLog
+
+
+class TestEvent:
+    def test_send_requires_message_id(self):
+        with pytest.raises(ValueError):
+            Event(pid=0, seq=0, kind=EventKind.SEND)
+
+    def test_receive_requires_message_id(self):
+        with pytest.raises(ValueError):
+            Event(pid=0, seq=0, kind=EventKind.RECEIVE)
+
+    def test_checkpoint_requires_index(self):
+        with pytest.raises(ValueError):
+            Event(pid=0, seq=0, kind=EventKind.CHECKPOINT)
+
+    def test_event_id_roundtrip(self):
+        event = Event(pid=2, seq=5, kind=EventKind.INTERNAL)
+        assert event.event_id == EventId(2, 5)
+
+    def test_is_checkpoint(self):
+        event = Event(pid=0, seq=0, kind=EventKind.CHECKPOINT, checkpoint_index=0)
+        assert event.is_checkpoint()
+        assert not Event(pid=0, seq=1, kind=EventKind.INTERNAL).is_checkpoint()
+
+
+class TestEventLogConstruction:
+    def test_requires_at_least_one_process(self):
+        with pytest.raises(ValueError):
+            EventLog(0)
+
+    def test_add_internal_assigns_sequence_numbers(self):
+        log = EventLog(2)
+        first = log.add_internal(0)
+        second = log.add_internal(0)
+        assert (first.seq, second.seq) == (0, 1)
+
+    def test_add_checkpoint_enforces_contiguous_indices(self):
+        log = EventLog(1)
+        log.add_checkpoint(0, 0)
+        with pytest.raises(ValueError):
+            log.add_checkpoint(0, 2)
+
+    def test_checkpoint_indices_start_at_zero(self):
+        log = EventLog(1)
+        with pytest.raises(ValueError):
+            log.add_checkpoint(0, 1)
+
+    def test_send_to_unknown_process_rejected(self):
+        log = EventLog(2)
+        with pytest.raises(ValueError):
+            log.add_send(0, 5)
+
+    def test_send_and_receive_round_trip(self):
+        log = EventLog(2)
+        _, message = log.add_send(0, 1)
+        assert not message.delivered
+        log.add_receive(message.message_id)
+        assert log.message(message.message_id).delivered
+
+    def test_receive_of_unknown_message_rejected(self):
+        log = EventLog(2)
+        with pytest.raises(ValueError):
+            log.add_receive(42)
+
+    def test_double_receive_rejected(self):
+        log = EventLog(2)
+        _, message = log.add_send(0, 1)
+        log.add_receive(message.message_id)
+        with pytest.raises(ValueError):
+            log.add_receive(message.message_id)
+
+    def test_duplicate_message_id_rejected(self):
+        log = EventLog(2)
+        log.add_send(0, 1, message_id=7)
+        with pytest.raises(ValueError):
+            log.add_send(1, 0, message_id=7)
+
+    def test_explicit_message_ids_do_not_collide_with_auto_ids(self):
+        log = EventLog(2)
+        log.add_send(0, 1, message_id=3)
+        _, auto = log.add_send(0, 1)
+        assert auto.message_id == 4
+
+
+class TestEventLogQueries:
+    def _sample_log(self) -> EventLog:
+        log = EventLog(3)
+        for pid in range(3):
+            log.add_checkpoint(pid, 0)
+        _, m = log.add_send(0, 1)
+        log.add_receive(m.message_id)
+        log.add_checkpoint(1, 1)
+        log.add_send(2, 0)  # never received
+        return log
+
+    def test_total_events(self):
+        log = self._sample_log()
+        assert log.total_events() == 7
+
+    def test_delivered_messages_excludes_in_transit(self):
+        log = self._sample_log()
+        assert len(log.messages()) == 2
+        assert len(log.delivered_messages()) == 1
+
+    def test_history_last_checkpoint_index(self):
+        log = self._sample_log()
+        assert log.history(1).last_checkpoint_index() == 1
+        assert log.history(2).last_checkpoint_index() == 0
+
+    def test_event_lookup(self):
+        log = self._sample_log()
+        event = log.event(EventId(1, 1))
+        assert event.kind is EventKind.RECEIVE
+
+    def test_history_rejects_foreign_events(self):
+        log = EventLog(2)
+        foreign = Event(pid=1, seq=0, kind=EventKind.INTERNAL)
+        with pytest.raises(ValueError):
+            log.history(0).append(foreign)
+
+
+class TestEventLogPrefix:
+    def test_prefix_drops_receives_of_dropped_sends_gracefully(self):
+        log = EventLog(2)
+        log.add_checkpoint(0, 0)
+        log.add_checkpoint(1, 0)
+        _, m = log.add_send(0, 1)
+        log.add_receive(m.message_id)
+        # Keep the receive but drop the send: the receive is replaced by an
+        # internal placeholder so per-process event counts are preserved.
+        sub = log.prefix([1, 2])
+        assert sub.total_events() == 3
+        assert len(sub.delivered_messages()) == 0
+
+    def test_prefix_preserves_consistent_cut(self):
+        log = EventLog(2)
+        log.add_checkpoint(0, 0)
+        log.add_checkpoint(1, 0)
+        _, m = log.add_send(0, 1)
+        log.add_receive(m.message_id)
+        log.add_checkpoint(1, 1)
+        sub = log.prefix([2, 3])
+        assert sub.total_events() == 5
+        assert len(sub.delivered_messages()) == 1
+        assert sub.history(1).last_checkpoint_index() == 1
+
+    def test_prefix_validates_lengths(self):
+        log = EventLog(2)
+        with pytest.raises(ValueError):
+            log.prefix([1])
+        with pytest.raises(ValueError):
+            log.prefix([5, 0])

@@ -1,0 +1,87 @@
+"""Tests for the happened-before oracle (Definition 1)."""
+
+import pytest
+
+from repro.causality.events import EventId, EventLog
+from repro.causality.happens_before import CausalOrder
+
+
+def _two_process_log() -> EventLog:
+    log = EventLog(2)
+    log.add_checkpoint(0, 0)
+    log.add_checkpoint(1, 0)
+    _, m1 = log.add_send(0, 1)
+    log.add_receive(m1.message_id)
+    log.add_checkpoint(1, 1)
+    _, m2 = log.add_send(1, 0)
+    log.add_receive(m2.message_id)
+    return log
+
+
+class TestCausalOrder:
+    def test_program_order(self):
+        order = CausalOrder(_two_process_log())
+        assert order.precedes(EventId(0, 0), EventId(0, 1))
+        assert not order.precedes(EventId(0, 1), EventId(0, 0))
+
+    def test_message_order(self):
+        order = CausalOrder(_two_process_log())
+        # send of m1 is event (0,1); receive is (1,1)
+        assert order.precedes(EventId(0, 1), EventId(1, 1))
+
+    def test_transitivity_through_messages(self):
+        order = CausalOrder(_two_process_log())
+        # p0's initial checkpoint precedes p1's second checkpoint via m1
+        assert order.precedes(EventId(0, 0), EventId(1, 2))
+        # and p1's send of m2 precedes p0's receive of it
+        assert order.precedes(EventId(1, 3), EventId(0, 2))
+
+    def test_no_self_precedence(self):
+        order = CausalOrder(_two_process_log())
+        event = EventId(0, 0)
+        assert not order.precedes(event, event)
+
+    def test_concurrency(self):
+        order = CausalOrder(_two_process_log())
+        assert order.concurrent(EventId(0, 0), EventId(1, 0))
+
+    def test_causal_past(self):
+        log = _two_process_log()
+        order = CausalOrder(log)
+        past = set(order.causal_past(EventId(1, 2)))
+        assert EventId(0, 0) in past
+        assert EventId(0, 1) in past
+        assert EventId(1, 0) in past
+        assert EventId(0, 2) not in past
+
+    def test_latest_checkpoint_known(self):
+        log = _two_process_log()
+        order = CausalOrder(log)
+        # At p1's checkpoint 1 (event (1,2)), the latest checkpoint of p0 known is 0.
+        assert order.latest_checkpoint_known(EventId(1, 2), 0) == 0
+        # At p0's receive of m2, the latest known checkpoint of p1 is 1.
+        assert order.latest_checkpoint_known(EventId(0, 2), 1) == 1
+
+    def test_unreplayable_log_rejected(self):
+        log = EventLog(2)
+        # Hand-craft a receive whose send is not replayable by erasing the
+        # sender's history after the fact.
+        _, m = log.add_send(0, 1)
+        log.add_receive(m.message_id)
+        log.history(0).events.clear()
+        with pytest.raises(ValueError):
+            CausalOrder(log)
+
+    def test_timestamps_match_vector_clock_semantics(self):
+        log = _two_process_log()
+        order = CausalOrder(log)
+        for first in log.events():
+            for second in log.events():
+                if first.event_id == second.event_id:
+                    continue
+                expected = order.timestamp(first).happened_before(
+                    order.timestamp(second)
+                ) or (
+                    first.pid == second.pid and first.seq < second.seq
+                )
+                assert order.precedes(first, second) == expected

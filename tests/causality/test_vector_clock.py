@@ -1,0 +1,112 @@
+"""Unit and property tests for vector clocks."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.causality.vector_clock import VectorClock
+
+
+class TestVectorClockBasics:
+    def test_zeros(self):
+        clock = VectorClock.zeros(3)
+        assert clock.as_tuple() == (0, 0, 0)
+
+    def test_requires_entries(self):
+        with pytest.raises(ValueError):
+            VectorClock([])
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ValueError):
+            VectorClock([1, -1])
+
+    def test_tick_and_merge(self):
+        clock = VectorClock.zeros(3)
+        clock.tick(1)
+        clock.merge([2, 0, 1])
+        assert clock.as_tuple() == (2, 1, 1)
+
+    def test_merge_size_mismatch(self):
+        with pytest.raises(ValueError):
+            VectorClock.zeros(2).merge([1, 2, 3])
+
+    def test_setitem_rejects_negative(self):
+        clock = VectorClock.zeros(2)
+        with pytest.raises(ValueError):
+            clock[0] = -1
+
+    def test_copy_is_independent(self):
+        clock = VectorClock([1, 2])
+        other = clock.copy()
+        other.tick(0)
+        assert clock.as_tuple() == (1, 2)
+
+    def test_equality_and_hash(self):
+        assert VectorClock([1, 2]) == VectorClock([1, 2])
+        assert hash(VectorClock([1, 2])) == hash(VectorClock([1, 2]))
+        assert VectorClock([1, 2]) != VectorClock([2, 1])
+
+
+class TestVectorClockOrder:
+    def test_happened_before_strict(self):
+        earlier = VectorClock([1, 0])
+        later = VectorClock([1, 1])
+        assert earlier.happened_before(later)
+        assert not later.happened_before(earlier)
+        assert not earlier.happened_before(earlier)
+
+    def test_concurrent(self):
+        a = VectorClock([1, 0])
+        b = VectorClock([0, 1])
+        assert a.concurrent_with(b)
+        assert b.concurrent_with(a)
+
+    def test_comparison_size_mismatch(self):
+        with pytest.raises(ValueError):
+            VectorClock([1]).happened_before(VectorClock([1, 2]))
+
+
+entry_lists = st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=6)
+
+
+class TestVectorClockProperties:
+    @given(entry_lists)
+    def test_clock_never_precedes_itself(self, entries):
+        clock = VectorClock(entries)
+        assert not clock.happened_before(clock)
+
+    @given(st.integers(1, 6).flatmap(
+        lambda n: st.tuples(
+            st.lists(st.integers(0, 20), min_size=n, max_size=n),
+            st.lists(st.integers(0, 20), min_size=n, max_size=n),
+        )
+    ))
+    def test_antisymmetry(self, pair):
+        a, b = VectorClock(pair[0]), VectorClock(pair[1])
+        assert not (a.happened_before(b) and b.happened_before(a))
+
+    @given(st.integers(1, 5).flatmap(
+        lambda n: st.tuples(
+            st.lists(st.integers(0, 10), min_size=n, max_size=n),
+            st.lists(st.integers(0, 10), min_size=n, max_size=n),
+            st.lists(st.integers(0, 10), min_size=n, max_size=n),
+        )
+    ))
+    def test_transitivity(self, triple):
+        a, b, c = (VectorClock(t) for t in triple)
+        if a.happened_before(b) and b.happened_before(c):
+            assert a.happened_before(c)
+
+    @given(st.integers(1, 6).flatmap(
+        lambda n: st.tuples(
+            st.lists(st.integers(0, 20), min_size=n, max_size=n),
+            st.lists(st.integers(0, 20), min_size=n, max_size=n),
+        )
+    ))
+    def test_merge_is_least_upper_bound(self, pair):
+        a, b = VectorClock(pair[0]), VectorClock(pair[1])
+        merged = a.copy()
+        merged.merge(b.as_tuple())
+        assert merged.dominates(a)
+        assert merged.dominates(b)
+        assert all(m == max(x, y) for m, x, y in zip(merged, a, b))

@@ -1,0 +1,39 @@
+"""Unit tests for checkpoint identities and records."""
+
+import pytest
+
+from repro.ccp.checkpoint import Checkpoint, CheckpointId, CheckpointKind
+
+
+class TestCheckpointId:
+    def test_ordering_is_by_pid_then_index(self):
+        assert CheckpointId(0, 5) < CheckpointId(1, 0)
+        assert CheckpointId(1, 1) < CheckpointId(1, 2)
+
+    def test_predecessor_and_successor(self):
+        cid = CheckpointId(2, 3)
+        assert cid.predecessor() == CheckpointId(2, 2)
+        assert cid.successor() == CheckpointId(2, 4)
+
+    def test_initial_checkpoint_has_no_predecessor(self):
+        with pytest.raises(ValueError):
+            CheckpointId(0, 0).predecessor()
+
+    def test_string_form(self):
+        assert str(CheckpointId(1, 2)) == "c1^2"
+
+
+class TestCheckpoint:
+    def test_stable_flags(self):
+        ckpt = Checkpoint(pid=0, index=1, kind=CheckpointKind.STABLE, event_seq=4)
+        assert ckpt.is_stable and not ckpt.is_volatile
+        assert str(ckpt) == "s0^1"
+
+    def test_volatile_flags(self):
+        ckpt = Checkpoint(pid=2, index=3, kind=CheckpointKind.VOLATILE)
+        assert ckpt.is_volatile and not ckpt.is_stable
+        assert str(ckpt) == "v2"
+
+    def test_checkpoint_id_property(self):
+        ckpt = Checkpoint(pid=1, index=4, kind=CheckpointKind.STABLE, event_seq=0)
+        assert ckpt.checkpoint_id == CheckpointId(1, 4)

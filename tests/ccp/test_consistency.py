@@ -1,0 +1,100 @@
+"""Tests for consistent global checkpoints and min/max queries."""
+
+import pytest
+
+from repro.ccp.checkpoint import CheckpointId
+from repro.ccp.consistency import (
+    GlobalCheckpoint,
+    all_consistent_global_checkpoints,
+    is_consistent_global_checkpoint,
+    max_consistent_global_checkpoint,
+    min_consistent_global_checkpoint,
+)
+
+
+class TestGlobalCheckpoint:
+    def test_of_mapping_and_sequence(self):
+        assert GlobalCheckpoint.of({0: 1, 1: 2}) == GlobalCheckpoint((1, 2))
+        assert GlobalCheckpoint.of([1, 2]).indices == (1, 2)
+
+    def test_members(self):
+        gc = GlobalCheckpoint((1, 0))
+        assert list(gc.members()) == [CheckpointId(0, 1), CheckpointId(1, 0)]
+
+    def test_rolled_back_count(self, figure1_ccp):
+        line = GlobalCheckpoint((0, 0, 0))
+        # p0 loses 2 general checkpoints (s^1 and v), p1 loses 2, p2 loses 3.
+        assert line.rolled_back_count(figure1_ccp) == 7
+
+
+class TestConsistencyChecks:
+    def test_paper_examples_from_figure1(self, figure1_ccp):
+        consistent = GlobalCheckpoint((figure1_ccp.volatile_index(0), 1, 1))
+        inconsistent = GlobalCheckpoint((0, 1, 1))
+        assert is_consistent_global_checkpoint(figure1_ccp, consistent)
+        assert not is_consistent_global_checkpoint(figure1_ccp, inconsistent)
+
+    def test_zigzag_method_agrees_on_rdt_pattern(self, figure1_ccp):
+        for candidate in all_consistent_global_checkpoints(figure1_ccp):
+            assert is_consistent_global_checkpoint(
+                figure1_ccp, candidate, method="zigzag"
+            )
+
+    def test_unknown_method_rejected(self, figure1_ccp):
+        with pytest.raises(ValueError):
+            is_consistent_global_checkpoint(
+                figure1_ccp, GlobalCheckpoint((0, 0, 0)), method="nope"
+            )
+
+    def test_wrong_size_rejected(self, figure1_ccp):
+        with pytest.raises(ValueError):
+            is_consistent_global_checkpoint(figure1_ccp, GlobalCheckpoint((0, 0)))
+
+    def test_unknown_member_rejected(self, figure1_ccp):
+        with pytest.raises(KeyError):
+            is_consistent_global_checkpoint(figure1_ccp, GlobalCheckpoint((9, 0, 0)))
+
+    def test_initial_line_always_consistent(self, figure2_ccp):
+        assert is_consistent_global_checkpoint(figure2_ccp, GlobalCheckpoint((0, 0)))
+
+
+class TestMinMaxQueries:
+    def test_max_without_constraints_is_all_volatile_when_consistent(self, figure1_ccp):
+        result = max_consistent_global_checkpoint(figure1_ccp)
+        assert result is not None
+        assert result.indices == tuple(
+            figure1_ccp.volatile_index(pid) for pid in figure1_ccp.processes
+        )
+
+    def test_max_with_fixed_member(self, figure1_ccp):
+        result = max_consistent_global_checkpoint(figure1_ccp, fixed={0: 0})
+        assert result is not None
+        assert result.indices[0] == 0
+        assert is_consistent_global_checkpoint(figure1_ccp, result)
+        # It must dominate every other consistent global checkpoint with that member.
+        for candidate in all_consistent_global_checkpoints(figure1_ccp):
+            if candidate.indices[0] == 0:
+                assert all(a <= b for a, b in zip(candidate.indices, result.indices))
+
+    def test_min_with_fixed_member(self, figure1_ccp):
+        result = min_consistent_global_checkpoint(figure1_ccp, fixed={1: 1})
+        assert result is not None
+        assert result.indices[1] == 1
+        assert is_consistent_global_checkpoint(figure1_ccp, result)
+        for candidate in all_consistent_global_checkpoints(figure1_ccp):
+            if candidate.indices[1] == 1:
+                assert all(a >= b for a, b in zip(candidate.indices, result.indices))
+
+    def test_min_without_constraints_is_all_initial(self, figure1_ccp):
+        result = min_consistent_global_checkpoint(figure1_ccp)
+        assert result is not None
+        assert result.indices == (0, 0, 0)
+
+    def test_fixed_checkpoint_must_exist(self, figure1_ccp):
+        with pytest.raises(KeyError):
+            max_consistent_global_checkpoint(figure1_ccp, fixed={0: 9})
+
+    def test_queries_on_figure3(self, figure3_ccp):
+        result = max_consistent_global_checkpoint(figure3_ccp, fixed={1: 1})
+        assert result is not None
+        assert is_consistent_global_checkpoint(figure3_ccp, result)

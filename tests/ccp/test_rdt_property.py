@@ -1,0 +1,54 @@
+"""Tests for the RDT property checker (Definition 4)."""
+
+from repro.ccp.checkpoint import CheckpointId
+from repro.ccp.rdt import check_rdt
+
+
+class TestRdtChecker:
+    def test_figure1_is_rd_trackable(self, figure1_ccp):
+        report = check_rdt(figure1_ccp)
+        assert report.is_rdt
+        assert bool(report)
+        assert report.violations == []
+
+    def test_figure1_without_m3_is_not_rd_trackable(self, figure1_without_m3_ccp):
+        report = check_rdt(figure1_without_m3_ccp)
+        assert not report.is_rdt
+        violating_pairs = {(v.source, v.target) for v in report.violations}
+        # The paper: without m3, s1^1 ~> s3^2 but s1^1 -/-> s3^2.
+        assert (CheckpointId(0, 1), CheckpointId(2, 2)) in violating_pairs
+
+    def test_violation_witnesses_are_valid_zigzag_paths(self, figure1_without_m3_ccp):
+        from repro.ccp.zigzag import ZigzagAnalysis
+
+        report = check_rdt(figure1_without_m3_ccp)
+        analysis = ZigzagAnalysis(figure1_without_m3_ccp)
+        for violation in report.violations:
+            assert violation.witness is not None
+            assert analysis.is_zigzag_sequence(
+                violation.witness.message_ids, violation.source, violation.target
+            )
+
+    def test_witness_collection_can_be_disabled(self, figure1_without_m3_ccp):
+        report = check_rdt(figure1_without_m3_ccp, collect_witnesses=False)
+        assert all(v.witness is None for v in report.violations)
+
+    def test_figure2_violations_include_zigzag_cycles(self, figure2_ccp):
+        report = check_rdt(figure2_ccp)
+        assert not report.is_rdt
+        assert CheckpointId(0, 1) in report.useless_checkpoints
+
+    def test_figure3_is_rd_trackable(self, figure3_ccp):
+        assert check_rdt(figure3_ccp).is_rdt
+
+    def test_figure4_is_rd_trackable(self, figure4_ccp):
+        assert check_rdt(figure4_ccp).is_rdt
+
+    def test_pattern_with_no_messages_is_trivially_rdt(self):
+        from repro.ccp.builder import CCPBuilder
+
+        builder = CCPBuilder(3)
+        for _ in range(2):
+            for pid in range(3):
+                builder.checkpoint(pid)
+        assert check_rdt(builder.build()).is_rdt

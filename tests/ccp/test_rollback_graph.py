@@ -1,0 +1,54 @@
+"""Tests for the rollback-dependency graph analysis utility."""
+
+import pytest
+
+from repro.ccp.checkpoint import CheckpointId
+from repro.ccp.rollback_graph import RollbackDependencyGraph
+
+
+class TestRollbackGraph:
+    def test_node_and_edge_counts(self, figure1_ccp):
+        graph = RollbackDependencyGraph(figure1_ccp)
+        # One node per general checkpoint: 7 stable + 3 volatile.
+        assert graph.node_count() == 10
+        # Per-process chains contribute 2 + 2 + 3 = 7 edges; the five messages
+        # contribute 4 distinct interval edges (m2 and m4 connect the same
+        # intervals and are merged).
+        assert graph.edge_count() == 11
+
+    def test_program_order_edges(self, figure1_ccp):
+        graph = RollbackDependencyGraph(figure1_ccp)
+        assert CheckpointId(0, 1) in graph.successors(CheckpointId(0, 0))
+
+    def test_message_edges(self, figure1_ccp):
+        graph = RollbackDependencyGraph(figure1_ccp)
+        # m1 is sent in I_0^1 (starting at s0^0) and received in I_1^1 (starting at s1^0).
+        assert CheckpointId(1, 0) in graph.successors(CheckpointId(0, 0))
+
+    def test_reachability_matches_causality_under_rdt(self, figure1_ccp):
+        """Under RDT, R-graph reachability from a stable checkpoint covers its causal successors."""
+        graph = RollbackDependencyGraph(figure1_ccp)
+        for pid in figure1_ccp.processes:
+            for cid in figure1_ccp.stable_ids(pid):
+                reachable = graph.reachable(cid)
+                for other_pid in figure1_ccp.processes:
+                    for other in figure1_ccp.general_ids(other_pid):
+                        if figure1_ccp.causally_precedes(cid, other):
+                            assert other in reachable
+
+    def test_rollback_closure_includes_inputs(self, figure1_ccp):
+        graph = RollbackDependencyGraph(figure1_ccp)
+        closure = graph.rollback_closure([CheckpointId(0, 1)])
+        assert CheckpointId(0, 1) in closure
+
+    def test_rollback_closure_rejects_unknown(self, figure1_ccp):
+        graph = RollbackDependencyGraph(figure1_ccp)
+        with pytest.raises(KeyError):
+            graph.rollback_closure([CheckpointId(0, 9)])
+
+    def test_domino_effect_closure_in_figure2(self, figure2_ccp):
+        """Rolling back p0's first checkpoint invalidates everything after the initial state."""
+        graph = RollbackDependencyGraph(figure2_ccp)
+        closure = graph.rollback_closure([CheckpointId(0, 1)])
+        assert CheckpointId(1, 1) in closure
+        assert CheckpointId(0, 2) in closure

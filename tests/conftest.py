@@ -1,0 +1,36 @@
+"""Shared fixtures: the paper's figures as CCPs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ccp.pattern import CCP
+from repro.scenarios.figures import figure1_ccp as _figure1_ccp
+from repro.scenarios.figures import figure2_ccp as _figure2_ccp
+from repro.scenarios.figures import figure3_ccp as _figure3_ccp
+from repro.scenarios.figures import figure4_ccp as _figure4_ccp
+
+
+@pytest.fixture
+def figure1_ccp() -> CCP:
+    return _figure1_ccp()
+
+
+@pytest.fixture
+def figure1_without_m3_ccp() -> CCP:
+    return _figure1_ccp(include_m3=False)
+
+
+@pytest.fixture
+def figure2_ccp() -> CCP:
+    return _figure2_ccp()
+
+
+@pytest.fixture
+def figure3_ccp() -> CCP:
+    return _figure3_ccp()
+
+
+@pytest.fixture
+def figure4_ccp() -> CCP:
+    return _figure4_ccp()

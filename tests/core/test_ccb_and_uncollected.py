@@ -1,0 +1,119 @@
+"""Unit tests for the CCB and the UC table (Algorithm 1)."""
+
+import pytest
+
+from repro.core.ccb import CheckpointControlBlock
+from repro.core.uncollected import UncollectedTable
+
+
+class TestCheckpointControlBlock:
+    def test_initial_reference_count(self):
+        ccb = CheckpointControlBlock(3)
+        assert ccb.index == 3 and ccb.ref_count == 1
+
+    def test_acquire_release_cycle(self):
+        ccb = CheckpointControlBlock(0)
+        ccb.acquire()
+        assert not ccb.release()
+        assert ccb.release()
+
+    def test_release_below_zero_rejected(self):
+        ccb = CheckpointControlBlock(0, ref_count=0)
+        with pytest.raises(RuntimeError):
+            ccb.release()
+
+    def test_invalid_constructor_arguments(self):
+        with pytest.raises(ValueError):
+            CheckpointControlBlock(-1)
+        with pytest.raises(ValueError):
+            CheckpointControlBlock(0, ref_count=-1)
+
+
+class TestUncollectedTable:
+    def test_requires_at_least_one_entry(self):
+        with pytest.raises(ValueError):
+            UncollectedTable(0)
+
+    def test_new_ccb_and_view(self):
+        table = UncollectedTable(3)
+        table.new_ccb(0, 5)
+        assert table.view() == (5, None, None)
+        assert table.referenced_index(0) == 5
+        assert table.referenced_indices() == {5}
+
+    def test_link_shares_ccb(self):
+        table = UncollectedTable(3)
+        table.new_ccb(0, 2)
+        table.link(1, 0)
+        assert table.view() == (2, 2, None)
+        assert table.reference_count(2) == 2
+
+    def test_link_to_null_entry_rejected(self):
+        table = UncollectedTable(2)
+        with pytest.raises(RuntimeError):
+            table.link(1, 0)
+
+    def test_link_over_live_reference_rejected(self):
+        table = UncollectedTable(2)
+        table.new_ccb(0, 0)
+        table.new_ccb(1, 1)
+        with pytest.raises(RuntimeError):
+            table.link(1, 0)
+
+    def test_new_ccb_over_live_reference_rejected(self):
+        table = UncollectedTable(2)
+        table.new_ccb(0, 0)
+        with pytest.raises(RuntimeError):
+            table.new_ccb(0, 1)
+
+    def test_release_eliminates_when_last_reference_drops(self):
+        eliminated = []
+        table = UncollectedTable(2, on_eliminate=eliminated.append)
+        table.new_ccb(0, 4)
+        assert table.release(0) == 4
+        assert eliminated == [4]
+        assert table.view() == (None, None)
+
+    def test_release_keeps_checkpoint_with_remaining_references(self):
+        eliminated = []
+        table = UncollectedTable(2, on_eliminate=eliminated.append)
+        table.new_ccb(0, 4)
+        table.link(1, 0)
+        assert table.release(0) is None
+        assert eliminated == []
+        assert table.view() == (None, 4)
+
+    def test_release_of_null_entry_is_a_no_op(self):
+        table = UncollectedTable(2)
+        assert table.release(1) is None
+
+    def test_eliminated_history(self):
+        table = UncollectedTable(1)
+        table.new_ccb(0, 0)
+        table.release(0)
+        table.new_ccb(0, 1)
+        table.release(0)
+        assert table.eliminated_history() == [0, 1]
+
+
+class TestRebuild:
+    def test_rebuild_assigns_and_collects_unreferenced(self):
+        eliminated = []
+        table = UncollectedTable(3, on_eliminate=eliminated.append)
+        table.new_ccb(0, 0)
+        collected = table.rebuild({0: 2, 1: 2, 2: 5}, stored_indices=[1, 2, 5])
+        assert collected == [1]
+        assert eliminated == [1]
+        assert table.view() == (2, 2, 5)
+        assert table.reference_count(2) == 2
+
+    def test_rebuild_with_empty_assignment_collects_everything(self):
+        table = UncollectedTable(2)
+        collected = table.rebuild({}, stored_indices=[0, 1, 2])
+        assert collected == [0, 1, 2]
+        assert table.view() == (None, None)
+
+    def test_rebuild_rejects_unknown_checkpoint(self):
+        table = UncollectedTable(2)
+        with pytest.raises(KeyError):
+            table.rebuild({0: 7}, stored_indices=[0, 1])

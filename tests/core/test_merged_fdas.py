@@ -1,0 +1,104 @@
+"""Tests for Algorithm 4: FDAS merged with RDT-LGC."""
+
+import pytest
+
+from repro.core.merged_fdas import FdasWithRdtLgc
+
+
+class TestInitialisation:
+    def test_initial_checkpoint_taken_by_default(self):
+        middleware = FdasWithRdtLgc(0, 3)
+        assert middleware.storage.retained_indices() == [0]
+        assert middleware.dependency_vector == (1, 0, 0)
+        assert middleware.basic_checkpoints == 1
+
+    def test_initial_checkpoint_can_be_deferred(self):
+        middleware = FdasWithRdtLgc(0, 3, take_initial_checkpoint=False)
+        assert middleware.storage.retained_indices() == []
+
+    def test_exposes_embedded_collector(self):
+        middleware = FdasWithRdtLgc(1, 2)
+        assert middleware.gc.pid == 1
+        assert middleware.pid == 1
+
+
+class TestFdasForcedCheckpoints:
+    def test_receive_after_send_with_new_info_forces_checkpoint(self):
+        a = FdasWithRdtLgc(0, 2)
+        b = FdasWithRdtLgc(1, 2)
+        piggy = a.before_send()
+        b.before_send()  # b has sent in its current interval
+        forced = b.on_receive(piggy)
+        assert forced
+        assert b.forced_checkpoints == 1
+        # The forced checkpoint is stored before the receive is processed, so
+        # its vector does not yet include the new dependency.
+        assert b.storage.get(1).dependency_vector == (0, 1)
+        assert b.dependency_vector == (1, 2)
+
+    def test_receive_without_prior_send_does_not_force(self):
+        a = FdasWithRdtLgc(0, 2)
+        b = FdasWithRdtLgc(1, 2)
+        forced = b.on_receive(a.before_send())
+        assert not forced
+        assert b.forced_checkpoints == 0
+        assert b.dependency_vector == (1, 1)
+
+    def test_receive_without_new_information_does_not_force(self):
+        a = FdasWithRdtLgc(0, 2)
+        b = FdasWithRdtLgc(1, 2)
+        piggy = a.before_send()
+        b.on_receive(piggy)
+        b.before_send()
+        assert not b.on_receive(piggy)
+
+    def test_sent_flag_cleared_by_checkpoint(self):
+        a = FdasWithRdtLgc(0, 2)
+        b = FdasWithRdtLgc(1, 2)
+        b.before_send()
+        b.take_checkpoint()
+        assert not b.sent_in_current_interval
+        assert not b.on_receive(a.before_send())
+
+
+class TestMergedGarbageCollection:
+    def test_shared_vector_drives_collection(self):
+        a = FdasWithRdtLgc(0, 2)
+        b = FdasWithRdtLgc(1, 2)
+        b.on_receive(a.before_send())      # UC[0] -> s1^0
+        b.take_checkpoint()                # s1^1
+        b.take_checkpoint()                # s1^2 -> s1^1 collected
+        assert b.storage.retained_indices() == [0, 2]
+        assert b.gc.collected_indices() == [1]
+
+    def test_rollback_delegates_to_algorithm3(self):
+        a = FdasWithRdtLgc(0, 2)
+        b = FdasWithRdtLgc(1, 2)
+        b.on_receive(a.before_send())
+        b.take_checkpoint()
+        result = b.on_rollback(1, last_interval_vector=(1, 2))
+        assert result.rollback_index == 1
+        assert b.storage.retained_indices() == [0, 1]
+        assert not b.sent_in_current_interval
+
+    def test_peer_rollback_delegates(self):
+        a = FdasWithRdtLgc(0, 2)
+        b = FdasWithRdtLgc(1, 2)
+        b.on_receive(a.before_send())
+        b.take_checkpoint()
+        assert b.on_peer_rollback((5, 2)) == [0]
+
+    def test_state_view_matches_embedded_collector(self):
+        middleware = FdasWithRdtLgc(0, 2)
+        assert middleware.state_view() == middleware.gc.state_view()
+
+
+class TestCounters:
+    def test_basic_and_forced_counters(self):
+        a = FdasWithRdtLgc(0, 2)
+        b = FdasWithRdtLgc(1, 2)
+        b.take_checkpoint()
+        b.before_send()
+        b.on_receive(a.before_send())
+        assert b.basic_checkpoints == 2   # initial + explicit
+        assert b.forced_checkpoints == 1

@@ -1,0 +1,137 @@
+"""Unit tests for RDT-LGC during normal execution periods (Algorithm 2)."""
+
+import pytest
+
+from repro.core.rdt_lgc import RdtLgc
+from repro.storage.stable import StableStorage
+
+
+class TestInitialisation:
+    def test_initial_state(self):
+        gc = RdtLgc(0, 3)
+        assert gc.dependency_vector == (0, 0, 0)
+        assert gc.uncollected.view() == (None, None, None)
+        assert gc.retained_indices() == []
+
+    def test_pid_validation(self):
+        with pytest.raises(ValueError):
+            RdtLgc(3, 3)
+
+    def test_external_storage_is_used(self):
+        storage = StableStorage(1)
+        gc = RdtLgc(1, 2, storage)
+        gc.on_checkpoint()
+        assert storage.retained_indices() == [0]
+        assert gc.storage is storage
+
+
+class TestCheckpointHandler:
+    def test_checkpoint_stores_dv_and_advances(self):
+        gc = RdtLgc(0, 2)
+        index = gc.on_checkpoint()
+        assert index == 0
+        assert gc.storage.get(0).dependency_vector == (0, 0)
+        assert gc.dependency_vector == (1, 0)
+        assert gc.uncollected.view() == (0, None)
+
+    def test_checkpoint_index_equals_interval(self):
+        gc = RdtLgc(0, 2)
+        assert gc.on_checkpoint() == 0
+        assert gc.on_checkpoint() == 1
+        assert gc.on_checkpoint() == 2
+
+    def test_unreferenced_previous_checkpoint_is_collected(self):
+        gc = RdtLgc(0, 2)
+        gc.on_checkpoint()
+        gc.on_checkpoint()
+        # s^0 was only protected by UC[0]; taking s^1 releases and collects it.
+        assert gc.retained_indices() == [1]
+        assert gc.collected_indices() == [0]
+
+    def test_checkpoint_metadata_forwarded_to_storage(self):
+        gc = RdtLgc(0, 2)
+        gc.on_checkpoint(payload="snap", forced=True, time=3.0, size=4)
+        record = gc.storage.get(0)
+        assert record.payload == "snap" and record.forced and record.size == 4
+
+
+class TestSendReceiveHandlers:
+    def test_before_send_piggybacks_current_dv(self):
+        gc = RdtLgc(0, 2)
+        gc.on_checkpoint()
+        assert gc.before_send() == (1, 0)
+
+    def test_receive_updates_dv_and_relinks_uc(self):
+        sender = RdtLgc(0, 2)
+        receiver = RdtLgc(1, 2)
+        sender.on_checkpoint()
+        receiver.on_checkpoint()
+        receiver.on_receive(sender.before_send())
+        assert receiver.dependency_vector == (1, 1)
+        # UC[0] now references the receiver's last stable checkpoint (index 0).
+        assert receiver.uncollected.view() == (0, 0)
+        assert receiver.last_known_checkpoint(0) == 0
+
+    def test_receive_without_new_information_changes_nothing(self):
+        sender = RdtLgc(0, 2)
+        receiver = RdtLgc(1, 2)
+        sender.on_checkpoint()
+        receiver.on_checkpoint()
+        piggyback = sender.before_send()
+        receiver.on_receive(piggyback)
+        before = receiver.state_view()
+        assert receiver.on_receive(piggyback) == []
+        assert receiver.state_view() == before
+
+    def test_receive_of_own_future_information_rejected(self):
+        gc = RdtLgc(0, 2)
+        gc.on_checkpoint()
+        with pytest.raises(RuntimeError):
+            gc.on_receive((5, 0))
+
+    def test_receive_wrong_size_rejected(self):
+        gc = RdtLgc(0, 2)
+        with pytest.raises(ValueError):
+            gc.on_receive((1, 2, 3))
+
+    def test_checkpoint_pinned_by_remote_reference_survives(self):
+        sender = RdtLgc(0, 2)
+        receiver = RdtLgc(1, 2)
+        sender.on_checkpoint()
+        receiver.on_checkpoint()
+        receiver.on_receive(sender.before_send())  # UC[0] -> s^0
+        receiver.on_checkpoint()                   # UC[1] -> s^1, s^0 still pinned
+        assert receiver.retained_indices() == [0, 1]
+        receiver.on_checkpoint()                   # s^1 unpinned -> collected
+        assert receiver.retained_indices() == [0, 2]
+        assert receiver.collected_indices() == [1]
+
+
+class TestSpaceBound:
+    def test_per_process_bound_is_n(self):
+        """Theorem-5 discussion: at most n retained checkpoints per process."""
+        n = 5
+        gcs = [RdtLgc(pid, n) for pid in range(n)]
+        for gc in gcs:
+            gc.on_checkpoint()
+        # Drive the worst-case schedule: in round k, every process checkpoints
+        # and then process k broadcasts fresh information about itself.
+        for round_index in range(1, n + 1):
+            sender = gcs[round_index - 1]
+            for gc in gcs:
+                gc.on_checkpoint()
+            piggyback = sender.before_send()
+            for gc in gcs:
+                if gc is not sender:
+                    gc.on_receive(piggyback)
+        for gc in gcs:
+            gc.on_checkpoint()
+            assert gc.storage.retained_count() <= n
+
+    def test_state_view_matches_components(self):
+        gc = RdtLgc(0, 3)
+        gc.on_checkpoint()
+        view = gc.state_view()
+        assert view.dependency_vector == gc.dependency_vector
+        assert view.uncollected == gc.uncollected.view()
+        assert "DV" in str(view)

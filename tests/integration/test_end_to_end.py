@@ -1,0 +1,135 @@
+"""End-to-end integration tests: protocols x collectors, failures, comparisons."""
+
+import pytest
+
+from repro.ccp.rdt import check_rdt
+from repro.gc.registry import available_collectors
+from repro.protocols.registry import available_protocols
+from repro.scenarios.experiments import run_random_simulation, run_worst_case
+from repro.simulation.workloads import (
+    ClientServerWorkload,
+    PipelineWorkload,
+    RingWorkload,
+)
+
+
+class TestProtocolCollectorMatrix:
+    @pytest.mark.parametrize("protocol", ["fdas", "fdi", "cbr"])
+    @pytest.mark.parametrize(
+        "collector", ["none", "rdt-lgc", "wang-coordinated", "all-process-line"]
+    )
+    def test_every_combination_runs_and_is_safe(self, protocol, collector):
+        options = {"period": 20.0} if collector in ("wang-coordinated", "all-process-line") else {}
+        result = run_random_simulation(
+            num_processes=3,
+            duration=60.0,
+            seed=8,
+            protocol=protocol,
+            collector=collector,
+            collector_options=options,
+            audit="safety",
+            crashes=1,
+        )
+        assert result.all_audits_safe
+        assert result.total_checkpoints > 0
+
+    @pytest.mark.parametrize("protocol", available_protocols(rdt_only=True))
+    def test_rdt_lgc_is_optimal_under_every_rdt_protocol(self, protocol):
+        result = run_random_simulation(
+            num_processes=4,
+            duration=80.0,
+            seed=9,
+            protocol=protocol,
+            collector="rdt-lgc",
+            audit="full",
+        )
+        assert result.all_audits_safe and result.all_audits_optimal
+
+
+class TestDomainWorkloads:
+    @pytest.mark.parametrize(
+        "workload",
+        [
+            ClientServerWorkload(),
+            PipelineWorkload(),
+            RingWorkload(),
+        ],
+        ids=["client-server", "pipeline", "ring"],
+    )
+    def test_rdt_lgc_on_domain_workloads(self, workload):
+        result = run_random_simulation(
+            num_processes=4,
+            duration=120.0,
+            seed=12,
+            workload=workload,
+            protocol="fdas",
+            collector="rdt-lgc",
+            audit="full",
+            crashes=1,
+        )
+        assert result.all_audits_safe and result.all_audits_optimal
+        assert result.max_retained_any_process <= 5
+        final_ccp = result.final_ccp
+        assert final_ccp is not None
+        assert check_rdt(final_ccp, collect_witnesses=False).is_rdt
+
+
+class TestGarbageCollectionComparison:
+    """The qualitative comparison of Section 5, regenerated online."""
+
+    def _run(self, collector, seed=21, **options):
+        return run_random_simulation(
+            num_processes=4,
+            duration=200.0,
+            seed=seed,
+            protocol="fdas",
+            collector=collector,
+            collector_options=options,
+            mean_checkpoint_gap=6.0,
+        )
+
+    def test_rdt_lgc_bounds_storage_while_no_gc_grows(self):
+        none = self._run("none")
+        lgc = self._run("rdt-lgc")
+        assert none.total_retained_final == none.total_checkpoints
+        assert lgc.total_retained_final <= 4 * 4
+        assert lgc.total_retained_final < none.total_retained_final
+
+    def test_rdt_lgc_needs_no_control_messages_but_coordinated_schemes_do(self):
+        lgc = self._run("rdt-lgc")
+        wang = self._run("wang-coordinated", period=20.0)
+        line = self._run("all-process-line", period=20.0)
+        assert lgc.control_messages == 0
+        assert wang.control_messages > 0
+        assert line.control_messages > 0
+
+    def test_wang_coordination_can_collect_what_causal_knowledge_cannot(self):
+        """On the worst-case pattern, global knowledge collects almost everything
+        while RDT-LGC (optimally) keeps n per process."""
+        n = 4
+        lgc = run_worst_case(n, collector="rdt-lgc")
+        wang = run_worst_case(
+            n, collector="wang-coordinated", collector_options={"period": 4.0}
+        )
+        assert lgc.total_retained_final == n * n
+        assert wang.total_retained_final < lgc.total_retained_final
+
+    def test_all_collectors_preserve_recoverability(self):
+        """After every recovery the application restarts from a consistent line;
+        this holds regardless of which collector is active."""
+        for collector in available_collectors():
+            options = {"period": 15.0} if collector in (
+                "wang-coordinated",
+                "all-process-line",
+            ) else {}
+            result = run_random_simulation(
+                num_processes=3,
+                duration=100.0,
+                seed=31,
+                collector=collector,
+                collector_options=options,
+                crashes=2,
+                audit="safety",
+            )
+            assert len(result.recoveries) == 2
+            assert result.all_audits_safe

@@ -1,0 +1,93 @@
+"""Tests for recovery-line determination (Definition 5 and Lemma 1)."""
+
+import pytest
+
+from repro.ccp.consistency import GlobalCheckpoint
+from repro.recovery.recovery_line import (
+    is_valid_recovery_line,
+    recovery_line,
+    recovery_line_brute_force,
+    rolled_back_checkpoints,
+)
+
+
+class TestLemma1:
+    def test_empty_faulty_set_means_no_rollback(self, figure1_ccp):
+        line = recovery_line(figure1_ccp, [])
+        assert line.indices == tuple(
+            figure1_ccp.volatile_index(pid) for pid in figure1_ccp.processes
+        )
+
+    def test_faulty_process_component_is_stable(self, figure1_ccp):
+        for pid in figure1_ccp.processes:
+            line = recovery_line(figure1_ccp, [pid])
+            assert line.indices[pid] <= figure1_ccp.last_stable(pid)
+
+    def test_line_is_consistent_and_excludes_faulty_volatiles(self, figure1_ccp):
+        for pid in figure1_ccp.processes:
+            line = recovery_line(figure1_ccp, [pid])
+            assert is_valid_recovery_line(figure1_ccp, line, [pid])
+
+    def test_matches_brute_force_on_figures(self, figure1_ccp, figure3_ccp, figure4_ccp):
+        """Lemma 1 agrees with the Definition 5 exhaustive search on RDT patterns."""
+        for ccp in (figure1_ccp, figure3_ccp, figure4_ccp):
+            for pid in ccp.processes:
+                assert recovery_line(ccp, [pid]) == recovery_line_brute_force(ccp, [pid])
+
+    def test_matches_brute_force_for_multi_failures(self, figure3_ccp):
+        import itertools
+
+        for size in (2, 3):
+            for faulty in itertools.combinations(range(4), size):
+                assert recovery_line(figure3_ccp, faulty) == recovery_line_brute_force(
+                    figure3_ccp, faulty
+                )
+
+    def test_unknown_faulty_process_rejected(self, figure1_ccp):
+        with pytest.raises(ValueError):
+            recovery_line(figure1_ccp, [7])
+
+    def test_faulty_process_without_stable_checkpoint_rejected(self):
+        from repro.ccp.builder import CCPBuilder
+
+        ccp = CCPBuilder(2, initial_checkpoints=False).build()
+        with pytest.raises(ValueError):
+            recovery_line(ccp, [0])
+
+
+class TestFigure3Scenario:
+    def test_last_stable_of_a_faulty_process_can_be_excluded(self, figure3_ccp):
+        """The Figure 3 phenomenon: s3^last is not part of R_{p2,p3} because it
+        is causally preceded by s2^last."""
+        line = recovery_line(figure3_ccp, [1, 2])
+        assert line.indices[1] == figure3_ccp.last_stable(1)
+        assert line.indices[2] < figure3_ccp.last_stable(2)
+
+    def test_expected_line_for_figure3(self, figure3_ccp):
+        line = recovery_line(figure3_ccp, [1, 2])
+        assert line.indices == (1, 2, 1, figure3_ccp.volatile_index(3))
+
+
+class TestDominoEffect:
+    def test_single_failure_rolls_everything_back_in_figure2(self, figure2_ccp):
+        """Without RDT (Figure 2), one failure forces a restart from the initial state."""
+        line = recovery_line_brute_force(figure2_ccp, [0])
+        assert line.indices == (0, 0)
+
+    def test_rolled_back_checkpoints_enumeration(self, figure2_ccp):
+        line = recovery_line_brute_force(figure2_ccp, [0])
+        rolled = rolled_back_checkpoints(figure2_ccp, line)
+        # p0 loses s^1, s^2 and its volatile state; p1 loses s^1 and its volatile.
+        assert len(rolled) == 5
+
+
+class TestMonotonicity:
+    def test_more_failures_never_advance_the_line(self, figure3_ccp):
+        single = recovery_line(figure3_ccp, [1])
+        double = recovery_line(figure3_ccp, [1, 2])
+        assert all(d <= s for d, s in zip(double.indices, single.indices))
+
+    def test_line_is_dominated_by_volatile_state(self, figure3_ccp):
+        line = recovery_line(figure3_ccp, [0, 1, 2, 3])
+        for pid in figure3_ccp.processes:
+            assert line.indices[pid] <= figure3_ccp.volatile_index(pid)

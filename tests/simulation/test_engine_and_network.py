@@ -1,0 +1,131 @@
+"""Unit tests for the discrete-event engine and the message transport."""
+
+import pytest
+
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.network import Network, NetworkConfig
+
+
+class TestEngine:
+    def test_events_run_in_time_order(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule_at(5.0, lambda: order.append("b"))
+        engine.schedule_at(1.0, lambda: order.append("a"))
+        engine.schedule_at(9.0, lambda: order.append("c"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+        assert engine.now == 9.0
+        assert engine.processed_events == 3
+
+    def test_ties_break_by_scheduling_order(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule_at(1.0, lambda: order.append("first"))
+        engine.schedule_at(1.0, lambda: order.append("second"))
+        engine.run()
+        assert order == ["first", "second"]
+
+    def test_run_until_stops_before_later_events(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule_at(10.0, lambda: fired.append(True))
+        engine.run(until=5.0)
+        assert fired == []
+        assert engine.now == 5.0
+        assert engine.pending_events() == 1
+        engine.run()
+        assert fired == [True]
+
+    def test_schedule_after_and_nested_scheduling(self):
+        engine = SimulationEngine()
+        times = []
+
+        def tick():
+            times.append(engine.now)
+            if len(times) < 3:
+                engine.schedule_after(2.0, tick)
+
+        engine.schedule_after(1.0, tick)
+        engine.run()
+        assert times == [1.0, 3.0, 5.0]
+
+    def test_scheduling_in_the_past_rejected(self):
+        engine = SimulationEngine()
+        engine.schedule_at(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.schedule_at(1.0, lambda: None)
+        with pytest.raises(ValueError):
+            engine.schedule_after(-1.0, lambda: None)
+
+    def test_max_events_and_step(self):
+        engine = SimulationEngine()
+        for t in (1.0, 2.0, 3.0):
+            engine.schedule_at(t, lambda: None)
+        engine.run(max_events=2)
+        assert engine.processed_events == 2
+        assert engine.step()
+        assert not engine.step()
+
+    def test_seeded_rng_is_deterministic(self):
+        a = SimulationEngine(seed=42).rng.random()
+        b = SimulationEngine(seed=42).rng.random()
+        assert a == b
+
+
+class TestNetwork:
+    def _build(self, **config):
+        engine = SimulationEngine(seed=1)
+        network = Network(engine, NetworkConfig(**config))
+        delivered = []
+        network.on_app_delivery(delivered.append)
+        controls = []
+        network.on_control_delivery(lambda s, r, p: controls.append((s, r, p)))
+        return engine, network, delivered, controls
+
+    def test_app_message_delivery(self):
+        engine, network, delivered, _ = self._build(jitter=0.0)
+        network.send_app_message(0, 1, (1, 0), payload="hello")
+        engine.run()
+        assert len(delivered) == 1
+        assert delivered[0].payload == "hello"
+        assert network.stats.app_delivered == 1
+
+    def test_message_loss(self):
+        engine, network, delivered, _ = self._build(drop_probability=0.999)
+        for _ in range(20):
+            network.send_app_message(0, 1, (0, 0))
+        engine.run()
+        assert network.stats.app_dropped > 0
+        assert len(delivered) == network.stats.app_delivered
+
+    def test_drop_in_flight_discards_pending_messages(self):
+        engine, network, delivered, _ = self._build(base_latency=5.0, jitter=0.0)
+        network.send_app_message(0, 1, (0, 0))
+        assert network.in_flight_count() == 1
+        assert network.drop_in_flight() == 1
+        engine.run()
+        assert delivered == []
+        assert network.stats.app_discarded_by_recovery == 1
+
+    def test_control_messages_are_reliable(self):
+        engine, network, _, controls = self._build(drop_probability=0.9)
+        for _ in range(10):
+            network.send_control_message(0, 1, {"round": 1})
+        engine.run()
+        assert len(controls) == 10
+        assert network.stats.control_delivered == 10
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(drop_probability=1.5)
+        with pytest.raises(ValueError):
+            NetworkConfig(base_latency=-1.0)
+
+    def test_delivery_without_handler_fails_loudly(self):
+        engine = SimulationEngine()
+        network = Network(engine)
+        network.send_app_message(0, 1, (0,))
+        with pytest.raises(RuntimeError):
+            engine.run()

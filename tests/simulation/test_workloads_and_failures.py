@@ -1,0 +1,136 @@
+"""Unit tests for workload generators and failure schedules."""
+
+import random
+
+import pytest
+
+from repro.simulation.failures import Crash, FailureSchedule
+from repro.simulation.workloads import (
+    Action,
+    ActionKind,
+    ClientServerWorkload,
+    PipelineWorkload,
+    RingWorkload,
+    ScriptedWorkload,
+    UniformRandomWorkload,
+    WorstCaseWorkload,
+)
+
+
+class TestActions:
+    def test_send_requires_target(self):
+        with pytest.raises(ValueError):
+            Action(1.0, 0, ActionKind.SEND)
+
+    def test_actions_sort_by_time(self):
+        actions = [Action(2.0, 0, ActionKind.CHECKPOINT), Action(1.0, 1, ActionKind.CHECKPOINT)]
+        assert sorted(actions)[0].time == 1.0
+
+
+class TestGeneratedWorkloads:
+    @pytest.mark.parametrize(
+        "workload",
+        [
+            UniformRandomWorkload(),
+            ClientServerWorkload(),
+            PipelineWorkload(),
+            RingWorkload(),
+        ],
+    )
+    def test_actions_are_valid_and_within_duration(self, workload):
+        actions = workload.generate(4, 100.0, random.Random(0))
+        assert actions
+        assert actions == sorted(actions, key=lambda a: (a.time, a.pid))
+        for action in actions:
+            assert 0.0 <= action.time < 100.0 + 2.0  # client/server replies may spill a bit
+            assert 0 <= action.pid < 4
+            if action.kind is ActionKind.SEND:
+                assert action.target is not None and action.target != action.pid
+
+    def test_generation_is_deterministic_per_seed(self):
+        workload = UniformRandomWorkload()
+        first = workload.generate(3, 50.0, random.Random(7))
+        second = workload.generate(3, 50.0, random.Random(7))
+        assert first == second
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            UniformRandomWorkload(mean_message_gap=0)
+        with pytest.raises(ValueError):
+            ClientServerWorkload(mean_request_gap=-1)
+        with pytest.raises(ValueError):
+            RingWorkload(period=0)
+        with pytest.raises(ValueError):
+            WorstCaseWorkload(round_length=0)
+
+    def test_client_server_needs_two_processes(self):
+        with pytest.raises(ValueError):
+            ClientServerWorkload().generate(1, 10.0, random.Random(0))
+
+    def test_client_server_traffic_is_centred_on_the_server(self):
+        actions = ClientServerWorkload().generate(4, 200.0, random.Random(1))
+        sends = [a for a in actions if a.kind is ActionKind.SEND]
+        to_server = sum(1 for a in sends if a.target == 0)
+        from_server = sum(1 for a in sends if a.pid == 0)
+        assert to_server > 0 and from_server > 0
+        assert to_server + from_server == len(sends)
+
+
+class TestWorstCaseWorkload:
+    def test_schedule_shape(self):
+        workload = WorstCaseWorkload(round_length=10.0)
+        actions = workload.generate(3, workload.required_duration(3), random.Random(0))
+        checkpoints = [a for a in actions if a.kind is ActionKind.CHECKPOINT]
+        sends = [a for a in actions if a.kind is ActionKind.SEND]
+        # n rounds of n checkpoints plus the final round of n checkpoints.
+        assert len(checkpoints) == 3 * 3 + 3
+        # Each round one broadcaster sends to the n-1 others.
+        assert len(sends) == 3 * 2
+
+    def test_required_duration_covers_all_actions(self):
+        workload = WorstCaseWorkload(round_length=5.0)
+        duration = workload.required_duration(4)
+        actions = workload.generate(4, duration, random.Random(0))
+        assert max(a.time for a in actions) <= duration
+
+
+class TestScriptedWorkload:
+    def test_actions_returned_sorted(self):
+        scripted = ScriptedWorkload(
+            [Action(5.0, 0, ActionKind.CHECKPOINT), Action(1.0, 1, ActionKind.SEND, 0)]
+        )
+        actions = scripted.generate(2, 10.0, random.Random(0))
+        assert [a.time for a in actions] == [1.0, 5.0]
+
+    def test_rejects_out_of_range_processes(self):
+        scripted = ScriptedWorkload([Action(1.0, 5, ActionKind.CHECKPOINT)])
+        with pytest.raises(ValueError):
+            scripted.generate(2, 10.0, random.Random(0))
+
+
+class TestFailureSchedules:
+    def test_of_sorts_crashes(self):
+        schedule = FailureSchedule.of([(9.0, 1), (3.0, 0)])
+        assert [c.time for c in schedule] == [3.0, 9.0]
+        assert len(schedule) == 2
+
+    def test_none_is_empty(self):
+        assert len(FailureSchedule.none()) == 0
+
+    def test_random_schedule_respects_bounds(self):
+        schedule = FailureSchedule.random(
+            num_processes=4, duration=100.0, count=5, rng=random.Random(3)
+        )
+        assert len(schedule) == 5
+        for crash in schedule:
+            assert 0 <= crash.pid < 4
+            assert 20.0 <= crash.time <= 100.0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            FailureSchedule.random(
+                num_processes=2, duration=10.0, count=-1, rng=random.Random(0)
+            )
+
+    def test_crash_ordering(self):
+        assert Crash(1.0, 3) < Crash(2.0, 0)
