@@ -1,0 +1,267 @@
+"""Perf scaling sweep: bitset kernel + incremental CCP vs the old path.
+
+For each (processes, messages) configuration the same seeded execution is
+analysed at ``samples`` evenly spaced instants, the way the simulator's
+``audit="full"`` mode samples a run, through both engines:
+
+* **old path** (the pre-kernel architecture, kept as the executable
+  reference): at every instant the CCP is rebuilt from the raw event log
+  (fresh vector-clock replay) and the analyses are recomputed with
+  :class:`~repro.ccp.zigzag.BruteForceZigzagAnalysis` message-level BFS plus
+  uncached Theorem-1/2 and recovery-line oracles;
+* **new path**: the :class:`~repro.simulation.trace.TraceRecorder` serves its
+  incrementally maintained CCP and the bitset
+  :class:`~repro.ccp.zigzag.ZigzagAnalysis` kernel plus the shared
+  :class:`~repro.ccp.analysis_cache.AnalysisCache` answer the same queries.
+
+Each instant runs the full audited suite: useless checkpoints, the complete
+zigzag relation, the Theorem-1/2 garbage-collection audit and one recovery
+line.  Results are written to ``BENCH_perf.json`` at the repository root so
+:mod:`benchmarks.check_regression` (and future PRs) have a machine-readable
+perf trajectory.
+
+On large configurations the old path is only measured at the final instant
+(it is minutes-slow by design — that is the point of the kernel) and its
+per-instant cost is reported from those measured instants; the ``speedup``
+column is always a per-instant ratio, so the extrapolation is explicit, not
+hidden.
+
+Run directly::
+
+    python benchmarks/bench_perf_scaling.py            # full sweep
+    python benchmarks/bench_perf_scaling.py --quick    # smoke-sized subset
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.ccp.pattern import CCP  # noqa: E402
+from repro.ccp.zigzag import BruteForceZigzagAnalysis, ZigzagAnalysis  # noqa: E402
+from repro.core.optimality import audit_garbage_collection  # noqa: E402
+from repro.recovery.recovery_line import recovery_line  # noqa: E402
+from repro.scenarios.random_patterns import (  # noqa: E402
+    TraceFeeder,
+    random_ccp_script,
+)
+from repro.simulation.trace import TraceRecorder  # noqa: E402
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+OUTPUT_PATH = os.path.join(REPO_ROOT, "BENCH_perf.json")
+
+# (processes, messages, samples). The final row is the acceptance-criteria
+# configuration: a full-audit run at 8 processes and >= 2000 messages.
+FULL_SWEEP: List[Tuple[int, int, int]] = [
+    (2, 120, 3),
+    (3, 200, 3),
+    (4, 500, 4),
+    (8, 1000, 4),
+    (8, 2000, 4),
+]
+SMOKE_SWEEP: List[Tuple[int, int, int]] = [(2, 120, 3), (3, 200, 3)]
+# Above this message count the old path is measured at the final instant only.
+OLD_PATH_EVERY_INSTANT_LIMIT = 500
+SEED = 1
+CHECKPOINT_RATE = 0.12
+
+
+def _retained_everything(ccp: CCP) -> Dict[int, List[int]]:
+    """A no-GC retained map: every stable checkpoint still on storage."""
+    return {
+        pid: [cid.index for cid in ccp.stable_ids(pid)] for pid in ccp.processes
+    }
+
+
+def _suite_new(recorder: TraceRecorder) -> Dict[str, int]:
+    """The audited analysis suite through the incremental + bitset path."""
+    ccp = recorder.ccp()
+    zigzag = ccp.analyses.zigzag
+    useless = zigzag.useless_checkpoints()
+    pairs = zigzag.zigzag_pairs()
+    audit = audit_garbage_collection(ccp, _retained_everything(ccp))
+    line = recovery_line(ccp, [0])
+    return {
+        "useless": len(useless),
+        "pairs": len(pairs),
+        "safety_violations": len(audit.safety_violations),
+        "optimality_violations": len(audit.optimality_violations),
+        "line_total": line.total_index(),
+    }
+
+
+def _suite_old(recorder: TraceRecorder) -> Dict[str, int]:
+    """The same suite through the old path: from-scratch CCP + brute force.
+
+    Uses the literal per-checkpoint theorem transcriptions and the uncached
+    Lemma-1 evaluation directly, *not* ``ccp.analyses`` — the cache's hoisted
+    batch oracles are part of the new path being measured against.
+    """
+    from repro.ccp.checkpoint import CheckpointId
+    from repro.core.obsolete import _is_retained_theorem1, _is_retained_theorem2
+    from repro.recovery.recovery_line import _recovery_line_lemma1
+
+    ccp = CCP(recorder.log, recorded_dvs=recorder.recorded_checkpoint_dvs())
+    zigzag = BruteForceZigzagAnalysis(ccp)
+    useless = zigzag.useless_checkpoints()
+    pairs = zigzag.zigzag_pairs()
+    all_stable = [cid for pid in ccp.processes for cid in ccp.stable_ids(pid)]
+    required = {cid for cid in all_stable if _is_retained_theorem1(ccp, cid)}
+    allowed = {cid for cid in all_stable if _is_retained_theorem2(ccp, cid)}
+    retained_ids = {
+        CheckpointId(pid, index)
+        for pid, indices in _retained_everything(ccp).items()
+        for index in indices
+    }
+    safety_violations = required - retained_ids
+    optimality_violations = retained_ids - allowed
+    line = _recovery_line_lemma1(ccp, {0})
+    return {
+        "useless": len(useless),
+        "pairs": len(pairs),
+        "safety_violations": len(safety_violations),
+        "optimality_violations": len(optimality_violations),
+        "line_total": line.total_index(),
+    }
+
+
+def run_config(
+    num_processes: int, num_messages: int, samples: int, *, seed: int = SEED
+) -> Dict[str, Any]:
+    """Benchmark one configuration; returns a BENCH_perf.json row."""
+    script = random_ccp_script(
+        seed,
+        num_processes=num_processes,
+        num_messages=num_messages,
+        checkpoint_rate=CHECKPOINT_RATE,
+    )
+    recorder = TraceRecorder(num_processes)
+    feeder = TraceFeeder(recorder)
+    measure_old_everywhere = num_messages <= OLD_PATH_EVERY_INSTANT_LIMIT
+
+    sample_points = sorted(
+        {max(1, round(len(script) * (i + 1) / samples)) for i in range(samples)}
+    )
+    new_total = 0.0
+    old_total = 0.0
+    old_instants = 0
+    new_instants = 0
+    last_new: Optional[Dict[str, int]] = None
+    last_old: Optional[Dict[str, int]] = None
+
+    consumed = 0
+    for point in sample_points:
+        feeder.feed(script[consumed:point])
+        consumed = point
+        is_final = point == sample_points[-1]
+
+        start = time.perf_counter()
+        last_new = _suite_new(recorder)
+        new_total += time.perf_counter() - start
+        new_instants += 1
+
+        if measure_old_everywhere or is_final:
+            start = time.perf_counter()
+            last_old = _suite_old(recorder)
+            old_total += time.perf_counter() - start
+            old_instants += 1
+
+    assert last_new is not None and last_old is not None
+    if last_new != last_old:
+        raise AssertionError(
+            f"old and new paths disagree at the final instant: "
+            f"{last_old} != {last_new}"
+        )
+
+    ccp = recorder.ccp()
+    old_per_instant = old_total / old_instants
+    new_per_instant = new_total / new_instants
+    return {
+        "kernel": "zigzag-bitset+incremental-ccp",
+        "processes": num_processes,
+        "messages": num_messages,
+        "samples": len(sample_points),
+        "stable_checkpoints": ccp.total_stable_checkpoints(),
+        "old_instants_measured": old_instants,
+        "old_per_instant_s": round(old_per_instant, 6),
+        "new_per_instant_s": round(new_per_instant, 6),
+        "speedup": round(old_per_instant / new_per_instant, 2),
+        "final_suite": last_new,
+    }
+
+
+def _warmup() -> None:
+    """One unmeasured instant through both paths.
+
+    First use pays one-time process costs (lazy imports inside the analysis
+    cache, allocator warmup) that would otherwise be billed to the first —
+    often smallest — measured configuration.
+    """
+    script = random_ccp_script(0, num_processes=2, num_messages=30)
+    recorder = TraceRecorder(2)
+    TraceFeeder(recorder).feed(script)
+    _suite_new(recorder)
+    _suite_old(recorder)
+
+
+def run_sweep(configs: List[Tuple[int, int, int]], *, seed: int = SEED) -> Dict[str, Any]:
+    """Run every configuration and assemble the BENCH_perf.json document."""
+    _warmup()
+    rows = []
+    for num_processes, num_messages, samples in configs:
+        row = run_config(num_processes, num_messages, samples, seed=seed)
+        rows.append(row)
+        print(
+            f"  {num_processes} procs x {num_messages} msgs: "
+            f"old {row['old_per_instant_s']:.4f}s/instant, "
+            f"new {row['new_per_instant_s']:.4f}s/instant "
+            f"({row['speedup']:.1f}x)"
+        )
+    return {
+        "meta": {
+            "suite": "bench_perf_scaling",
+            "seed": seed,
+            "checkpoint_rate": CHECKPOINT_RATE,
+            "python": sys.version.split()[0],
+            "description": (
+                "Per-instant cost of the full audited analysis suite: "
+                "old = from-scratch CCP + brute-force BFS oracles, "
+                "new = incremental TraceRecorder CCP + bitset zigzag kernel "
+                "+ shared AnalysisCache."
+            ),
+        },
+        "rows": rows,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="run only the smoke-sized subset"
+    )
+    parser.add_argument(
+        "--output", default=OUTPUT_PATH, help="where to write the JSON document"
+    )
+    parser.add_argument("--seed", type=int, default=SEED)
+    args = parser.parse_args(argv)
+
+    configs = SMOKE_SWEEP if args.quick else FULL_SWEEP
+    print(f"bench_perf_scaling: {len(configs)} configurations")
+    document = run_sweep(configs, seed=args.seed)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

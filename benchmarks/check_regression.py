@@ -1,0 +1,162 @@
+"""Compare a fresh perf run against the committed ``BENCH_perf.json``.
+
+The committed file (written by :mod:`benchmarks.bench_perf_scaling` at the
+repository root) is the perf trajectory between PRs.  This checker re-measures
+and exits nonzero when any kernel row regressed by more than the threshold
+(default 30%).
+
+Two comparison modes, because wall-clock seconds do not transfer between
+machines:
+
+* **ratio mode** (default): compares each row's *speedup* — the per-instant
+  cost of the brute-force reference divided by the kernel's, both measured in
+  the same process seconds apart.  A kernel slowdown shrinks the ratio no
+  matter how fast the host is, so this is safe for CI/pytest on arbitrary
+  hardware.
+* **absolute mode** (``--absolute``): additionally compares raw
+  ``new_per_instant_s`` seconds.  Only meaningful when the baseline was
+  produced on the same machine.
+
+Rows are matched on (processes, messages); rows whose fresh kernel time is
+below ``--min-seconds`` are skipped in absolute mode (micro-timings are
+noise).  The pytest smoke test (``tests/benchmarks/test_perf_regression.py``)
+invokes :func:`main` with ``--smoke``, which re-measures only the smoke-sized
+configurations so tier-1 stays cheap.
+
+Run directly::
+
+    python benchmarks/check_regression.py --smoke
+    python benchmarks/check_regression.py --fresh BENCH_perf.json --absolute
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Dict, List, Optional, Tuple
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_REPO_ROOT, "src")
+for _path in (_SRC, _REPO_ROOT):  # repo root makes `benchmarks.*` importable
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+BASELINE_PATH = os.path.join(_REPO_ROOT, "BENCH_perf.json")
+
+
+def _load_rows(path: str) -> Dict[Tuple[int, int], Dict[str, Any]]:
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    rows = document["rows"] if isinstance(document, dict) else document
+    return {(row["processes"], row["messages"]): row for row in rows}
+
+
+def compare(
+    baseline: Dict[Tuple[int, int], Dict[str, Any]],
+    fresh: Dict[Tuple[int, int], Dict[str, Any]],
+    *,
+    threshold: float = 0.30,
+    absolute: bool = False,
+    min_seconds: float = 0.02,
+) -> List[str]:
+    """Return one violation message per regressed kernel row (empty == pass)."""
+    violations: List[str] = []
+    matched = 0
+    for key, fresh_row in sorted(fresh.items()):
+        base_row = baseline.get(key)
+        if base_row is None:
+            continue
+        matched += 1
+        processes, messages = key
+        label = f"{processes} procs x {messages} msgs"
+        base_speedup = float(base_row["speedup"])
+        fresh_speedup = float(fresh_row["speedup"])
+        if fresh_speedup < base_speedup * (1.0 - threshold):
+            violations.append(
+                f"{label}: kernel speedup regressed "
+                f"{base_speedup:.2f}x -> {fresh_speedup:.2f}x "
+                f"(allowed floor {base_speedup * (1.0 - threshold):.2f}x)"
+            )
+        if absolute:
+            base_new = float(base_row["new_per_instant_s"])
+            fresh_new = float(fresh_row["new_per_instant_s"])
+            if fresh_new > min_seconds and fresh_new > base_new * (1.0 + threshold):
+                violations.append(
+                    f"{label}: kernel time regressed "
+                    f"{base_new:.4f}s -> {fresh_new:.4f}s per instant "
+                    f"(allowed ceiling {base_new * (1.0 + threshold):.4f}s)"
+                )
+    if matched == 0:
+        violations.append(
+            "no fresh row matches any baseline row — the sweep configurations "
+            "diverged from the committed BENCH_perf.json"
+        )
+    return violations
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default=BASELINE_PATH,
+        help="committed BENCH_perf.json to compare against",
+    )
+    parser.add_argument(
+        "--fresh",
+        default=None,
+        help="a freshly produced BENCH_perf.json (measured in-process if omitted)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="measure only the smoke-sized configurations (for tier-1/pytest)",
+    )
+    parser.add_argument(
+        "--absolute",
+        action="store_true",
+        help="also compare raw seconds (same-machine baselines only)",
+    )
+    parser.add_argument("--threshold", type=float, default=0.30)
+    parser.add_argument("--min-seconds", type=float, default=0.02)
+    args = parser.parse_args(argv)
+
+    if not os.path.exists(args.baseline):
+        print(f"check_regression: no baseline at {args.baseline}; nothing to check")
+        return 0
+    baseline = _load_rows(args.baseline)
+
+    if args.fresh is not None:
+        if not os.path.exists(args.fresh):
+            print(f"check_regression: fresh file not found: {args.fresh}", file=sys.stderr)
+            return 2
+        fresh = _load_rows(args.fresh)
+    else:
+        from benchmarks.bench_perf_scaling import (
+            FULL_SWEEP,
+            SMOKE_SWEEP,
+            run_sweep,
+        )
+
+        configs = SMOKE_SWEEP if args.smoke else FULL_SWEEP
+        document = run_sweep(configs)
+        fresh = {(r["processes"], r["messages"]): r for r in document["rows"]}
+
+    violations = compare(
+        baseline,
+        fresh,
+        threshold=args.threshold,
+        absolute=args.absolute,
+        min_seconds=args.min_seconds,
+    )
+    if violations:
+        for violation in violations:
+            print(f"REGRESSION: {violation}", file=sys.stderr)
+        return 1
+    print(f"check_regression: {len(fresh)} row(s) within threshold — ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

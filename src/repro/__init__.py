@@ -40,6 +40,8 @@ from repro.causality import (
 )
 from repro.ccp import (
     CCP,
+    AnalysisCache,
+    BruteForceZigzagAnalysis,
     CCPBuilder,
     Checkpoint,
     CheckpointId,
@@ -83,6 +85,8 @@ from repro.storage import StableStorage
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnalysisCache",
+    "BruteForceZigzagAnalysis",
     "CCP",
     "CCPBuilder",
     "CausalOrder",

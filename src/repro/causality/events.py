@@ -29,7 +29,7 @@ class EventKind(enum.Enum):
         return self.value
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class EventId:
     """Identifies an event by process id and position in that process history.
 
@@ -44,7 +44,7 @@ class EventId:
         return f"e{self.pid}^{self.seq}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Event:
     """A single event executed by a process.
 

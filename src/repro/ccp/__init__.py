@@ -11,7 +11,11 @@ reasons about:
 * :mod:`builder` — a fluent builder for hand-specified CCPs (used to reproduce
   the paper's figures exactly);
 * :mod:`zigzag` — Netzer–Xu zigzag paths, C-paths vs Z-paths, zigzag cycles and
-  useless checkpoints (Definition 3);
+  useless checkpoints (Definition 3): the bitset interval-condensation kernel
+  plus the brute-force BFS reference it is property-tested against;
+* :mod:`analysis_cache` — the shared per-pattern bundle of derived analyses
+  (zigzag kernel, R-graph, Theorem-1/2 retained sets, recovery lines),
+  reachable as ``ccp.analyses``;
 * :mod:`rdt` — the rollback-dependency-trackability property checker
   (Definition 4);
 * :mod:`consistency` — consistent global checkpoints and min/max consistent
@@ -20,6 +24,7 @@ reasons about:
   utility.
 """
 
+from repro.ccp.analysis_cache import AnalysisCache
 from repro.ccp.builder import CCPBuilder
 from repro.ccp.checkpoint import Checkpoint, CheckpointId, CheckpointKind
 from repro.ccp.consistency import (
@@ -31,9 +36,11 @@ from repro.ccp.consistency import (
 from repro.ccp.pattern import CCP
 from repro.ccp.rdt import RDTReport, check_rdt
 from repro.ccp.rollback_graph import RollbackDependencyGraph
-from repro.ccp.zigzag import ZigzagAnalysis, ZigzagPath
+from repro.ccp.zigzag import BruteForceZigzagAnalysis, ZigzagAnalysis, ZigzagPath
 
 __all__ = [
+    "AnalysisCache",
+    "BruteForceZigzagAnalysis",
     "CCP",
     "CCPBuilder",
     "Checkpoint",

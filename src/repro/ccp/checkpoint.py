@@ -29,7 +29,7 @@ class CheckpointKind(enum.Enum):
         return self.value
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class CheckpointId:
     """Identifies a general checkpoint ``c_pid^index``."""
 

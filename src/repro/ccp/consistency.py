@@ -36,13 +36,28 @@ class GlobalCheckpoint:
 
     @classmethod
     def of(cls, indices: Mapping[int, int] | List[int] | Tuple[int, ...]) -> "GlobalCheckpoint":
-        """Build from a mapping pid->index or a dense sequence of indices."""
+        """Build from a mapping pid->index or a dense sequence of indices.
+
+        A mapping must cover every process id ``0 .. max(pid)``: a global
+        checkpoint has exactly one component per process, so a gap in the
+        mapping is a caller error (it used to be silently padded with index
+        0, which turned typos into wrong consistency answers).  Note the
+        constructor cannot know the system's process count, so *trailing*
+        omissions (a mapping that stops before the last process) produce a
+        smaller checkpoint instead of an error; the size cross-check in
+        :func:`is_consistent_global_checkpoint` rejects those against a CCP.
+        """
         if isinstance(indices, Mapping):
+            if not indices:
+                raise ValueError("cannot build a global checkpoint from an empty mapping")
             size = max(indices) + 1
-            dense = [0] * size
-            for pid, index in indices.items():
-                dense[pid] = index
-            return cls(tuple(dense))
+            missing = [pid for pid in range(size) if pid not in indices]
+            if missing:
+                raise ValueError(
+                    "sparse global checkpoint mapping: no index for "
+                    f"process(es) {missing}"
+                )
+            return cls(tuple(indices[pid] for pid in range(size)))
         return cls(tuple(indices))
 
     @property
@@ -105,7 +120,7 @@ def is_consistent_global_checkpoint(
                 return False
         return True
     if method == "zigzag":
-        analysis = zigzag if zigzag is not None else ZigzagAnalysis(ccp)
+        analysis = zigzag if zigzag is not None else ccp.analyses.zigzag
         for first in members:
             for second in members:
                 if analysis.zigzag_exists(first, second):

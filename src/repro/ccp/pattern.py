@@ -19,15 +19,18 @@ by the rest of the library:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.causality.cuts import Cut
 from repro.causality.events import Event, EventId, EventKind, EventLog
 from repro.causality.happens_before import CausalOrder
 from repro.ccp.checkpoint import Checkpoint, CheckpointId, CheckpointKind
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ccp.analysis_cache import AnalysisCache
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, slots=True)
 class MessageInterval:
     """A delivered message annotated with its send and receive intervals.
 
@@ -54,6 +57,7 @@ class CCP:
         *,
         causal_order: Optional[CausalOrder] = None,
         recorded_dvs: Optional[Mapping[CheckpointId, Sequence[int]]] = None,
+        message_intervals: Optional[Sequence[MessageInterval]] = None,
     ) -> None:
         """Build the CCP of the full recorded execution.
 
@@ -69,6 +73,11 @@ class CCP:
             by checkpoint id.  When present they are attached to the
             corresponding :class:`Checkpoint` records; ground-truth vectors are
             still available through :meth:`ground_truth_dv`.
+        message_intervals:
+            Pre-computed :class:`MessageInterval` records for every delivered
+            message of ``log`` (derived from the log if absent).  Supplied by
+            incremental producers such as the simulation trace recorder, which
+            tracks intervals as events are appended.
         """
         self._log = log
         self._order = causal_order if causal_order is not None else CausalOrder(log)
@@ -79,8 +88,13 @@ class CCP:
         ]
         self._checkpoints: Dict[CheckpointId, Checkpoint] = {}
         self._ground_truth_dvs: Dict[CheckpointId, Tuple[int, ...]] = {}
+        self._analyses: Optional["AnalysisCache"] = None
         self._build_checkpoints()
-        self._messages = self._build_message_intervals()
+        self._messages = (
+            list(message_intervals)
+            if message_intervals is not None
+            else self._build_message_intervals()
+        )
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -251,6 +265,24 @@ class CCP:
     def messages(self) -> List[MessageInterval]:
         """Delivered messages annotated with send/receive intervals."""
         return list(self._messages)
+
+    # ------------------------------------------------------------------
+    # Shared derived analyses
+    # ------------------------------------------------------------------
+    @property
+    def analyses(self) -> "AnalysisCache":
+        """The shared :class:`~repro.ccp.analysis_cache.AnalysisCache`.
+
+        Zigzag kernel, R-graph, Theorem-1/2 retained sets and recovery lines
+        are each materialised at most once per pattern; every consumer module
+        (consistency, obsolete oracles, optimality audit, recovery) goes
+        through this bundle instead of building private analysis objects.
+        """
+        if self._analyses is None:
+            from repro.ccp.analysis_cache import AnalysisCache
+
+            self._analyses = AnalysisCache(self)
+        return self._analyses
 
     # ------------------------------------------------------------------
     # Checkpoint-level causal precedence (ground truth)

@@ -60,7 +60,7 @@ def check_rdt(
     consistent cut of the same execution as well, which is the form in which
     the paper states the assumption for RDT checkpointing protocols.
     """
-    analysis = analysis if analysis is not None else ZigzagAnalysis(ccp)
+    analysis = analysis if analysis is not None else ccp.analyses.zigzag
     violations: List[RDTViolation] = []
     pairs: List[Tuple[CheckpointId, CheckpointId]] = analysis.zigzag_pairs()
     for source, target in pairs:

@@ -13,14 +13,32 @@ last causally precedes the send of the next one; otherwise it is a
 (non-causal) Z-path.  A zigzag path from a checkpoint to itself is a *zigzag
 cycle* and renders the checkpoint *useless*.
 
-The :class:`ZigzagAnalysis` class computes the zigzag relation over a
-:class:`repro.ccp.CCP` by reachability over a message graph: there is an edge
-``m -> m'`` iff ``m'`` is sent by the receiver of ``m`` in the same or a later
-interval than the one in which ``m`` was received.
+Two implementations of the relation are provided:
+
+* :class:`ZigzagAnalysis` — the production kernel.  It condenses the relation
+  to the *interval level*: one node per checkpoint interval ``I_p^gamma``,
+  a chain edge ``(p, gamma) -> (p, gamma+1)`` (a later interval can use a
+  subset of the messages an earlier one can) and one edge
+  ``(sender, send_interval) -> (receiver, receive_interval)`` per delivered
+  message.  Strongly connected components of this graph are exactly the
+  zigzag cycles; condensing them yields a DAG over which *arrival closures*
+  (the set of interval nodes that some hand-off chain can be received in) are
+  propagated in reverse topological order as Python big-int bitsets — one OR
+  per edge.  Every relation query then becomes a couple of bit operations
+  over the precomputed closures.
+* :class:`BruteForceZigzagAnalysis` — the original message-level BFS over the
+  hand-off graph (edge ``m -> m'`` iff ``m'`` is sent by the receiver of
+  ``m`` in the same or a later interval).  It is kept as the executable
+  specification: property tests assert the kernel agrees with it query for
+  query, and the perf benchmark measures the kernel against it.
+
+Both classes share the Definition-3 sequence checkers and the witness-path
+search through :class:`_ZigzagBase`.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import deque
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
@@ -29,7 +47,7 @@ from repro.ccp.checkpoint import CheckpointId
 from repro.ccp.pattern import CCP, MessageInterval
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ZigzagPath:
     """A concrete zigzag path between two checkpoints.
 
@@ -46,61 +64,64 @@ class ZigzagPath:
         return len(self.message_ids)
 
 
-class ZigzagAnalysis:
-    """Zigzag-path queries over a CCP."""
+class _ZigzagBase:
+    """Message bookkeeping and Definition-3 checkers shared by both engines."""
 
     def __init__(self, ccp: CCP) -> None:
         self._ccp = ccp
         self._messages: Dict[int, MessageInterval] = {
             m.message_id: m for m in ccp.messages()
         }
-        self._successors: Dict[int, List[int]] = self._build_message_graph()
-        self._reachable_cache: Dict[int, FrozenSet[int]] = {}
-
-    # ------------------------------------------------------------------
-    # Message graph
-    # ------------------------------------------------------------------
-    def _build_message_graph(self) -> Dict[int, List[int]]:
-        successors: Dict[int, List[int]] = {mid: [] for mid in self._messages}
-        by_sender: Dict[int, List[MessageInterval]] = {}
+        # Per-sender message lists sorted by send interval: _start_messages and
+        # the hand-off successor computation are range queries on these.
+        self._by_sender: Dict[int, List[MessageInterval]] = {}
         for message in self._messages.values():
-            by_sender.setdefault(message.sender, []).append(message)
-        for message in self._messages.values():
-            # m -> m' iff m' is sent by m's receiver in the same or a later
-            # checkpoint interval than the one in which m was received.
-            for candidate in by_sender.get(message.receiver, []):
-                if candidate.message_id == message.message_id:
-                    continue
-                if candidate.send_interval >= message.receive_interval:
-                    successors[message.message_id].append(candidate.message_id)
-        return successors
+            self._by_sender.setdefault(message.sender, []).append(message)
+        for sent in self._by_sender.values():
+            sent.sort(key=lambda m: m.send_interval)
+        self._send_keys: Dict[int, List[int]] = {
+            pid: [m.send_interval for m in sent]
+            for pid, sent in self._by_sender.items()
+        }
+        self._successors_cache: Optional[Dict[int, List[int]]] = None
 
-    def _reachable(self, message_id: int) -> FrozenSet[int]:
-        """Messages reachable from ``message_id`` in the hand-off graph (incl. itself)."""
-        cached = self._reachable_cache.get(message_id)
-        if cached is not None:
-            return cached
-        seen: Set[int] = {message_id}
-        stack = [message_id]
-        while stack:
-            current = stack.pop()
-            for succ in self._successors[current]:
-                if succ not in seen:
-                    seen.add(succ)
-                    stack.append(succ)
-        result = frozenset(seen)
-        self._reachable_cache[message_id] = result
-        return result
+    @property
+    def ccp(self) -> CCP:
+        """The pattern this analysis was built over."""
+        return self._ccp
 
     # ------------------------------------------------------------------
-    # Relation queries
+    # Message graph (lazy; only needed for witness-path search)
     # ------------------------------------------------------------------
+    def _sent_at_or_after(self, pid: int, interval: int) -> List[MessageInterval]:
+        """Messages sent by ``pid`` in interval ``interval`` or later."""
+        sent = self._by_sender.get(pid)
+        if not sent:
+            return []
+        cut = bisect_left(self._send_keys[pid], interval)
+        return sent[cut:]
+
+    @property
+    def _successors(self) -> Dict[int, List[int]]:
+        """The message hand-off graph: ``m -> m'`` iff condition (ii) holds."""
+        if self._successors_cache is None:
+            successors: Dict[int, List[int]] = {}
+            for message in self._messages.values():
+                successors[message.message_id] = [
+                    candidate.message_id
+                    for candidate in self._sent_at_or_after(
+                        message.receiver, message.receive_interval
+                    )
+                    if candidate.message_id != message.message_id
+                ]
+            self._successors_cache = successors
+        return self._successors_cache
+
     def _start_messages(self, source: CheckpointId) -> List[int]:
         """Messages sent by the source process after ``source`` (condition i)."""
         return [
             m.message_id
-            for m in self._messages.values()
-            if m.sender == source.pid and m.send_interval >= source.index + 1
+            for m in self._sent_at_or_after(source.pid, source.index + 1)
         ]
 
     def _is_end_message(self, message_id: int, target: CheckpointId) -> bool:
@@ -108,14 +129,16 @@ class ZigzagAnalysis:
         message = self._messages[message_id]
         return message.receiver == target.pid and message.receive_interval <= target.index
 
+    # ------------------------------------------------------------------
+    # Relation queries (engine-specific)
+    # ------------------------------------------------------------------
     def zigzag_exists(self, source: CheckpointId, target: CheckpointId) -> bool:
         """True iff some zigzag path connects ``source`` to ``target`` (``source ~> target``)."""
-        for start in self._start_messages(source):
-            for reachable in self._reachable(start):
-                if self._is_end_message(reachable, target):
-                    return True
-        return False
+        raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Witness paths
+    # ------------------------------------------------------------------
     def find_zigzag_path(
         self, source: CheckpointId, target: CheckpointId
     ) -> Optional[ZigzagPath]:
@@ -196,12 +219,238 @@ class ZigzagAnalysis:
 
     def useless_checkpoints(self) -> List[CheckpointId]:
         """All checkpoints involved in a zigzag cycle (cannot be in any consistent global checkpoint)."""
-        useless: List[CheckpointId] = []
+        return [
+            cid
+            for pid in self._ccp.processes
+            for cid in self._ccp.general_ids(pid)
+            if self.has_zigzag_cycle(cid)
+        ]
+
+
+class ZigzagAnalysis(_ZigzagBase):
+    """Bitset zigzag kernel: interval condensation + big-int reachability.
+
+    Construction is ``O(N + M)`` graph building plus one SCC pass and one
+    big-int OR per edge, where ``N`` is the number of checkpoint intervals and
+    ``M`` the number of delivered messages.  After construction:
+
+    * :meth:`zigzag_exists` is one AND over two precomputed big ints;
+    * :meth:`useless_checkpoints` is one bit test per general checkpoint;
+    * :meth:`zigzag_pairs` extracts, per (source, process) pair, the lowest
+      arrival bit of the closure.
+    """
+
+    def __init__(self, ccp: CCP) -> None:
+        super().__init__(ccp)
+        # Node layout: node (p, gamma) at bit offset[p] + gamma represents the
+        # hand-off state "a message sent by p in interval >= gamma is usable";
+        # gamma ranges over 0..volatile_index(p) because every event of p lives
+        # in one of those intervals.
+        self._volatile: List[int] = [
+            ccp.volatile_index(pid) for pid in ccp.processes
+        ]
+        self._offsets: List[int] = []
+        total = 0
+        for pid in ccp.processes:
+            self._offsets.append(total)
+            total += self._volatile[pid] + 1
+        self._num_nodes = total
+        self._closures: List[int] = self._compute_closures()
+
+    # ------------------------------------------------------------------
+    # Kernel construction
+    # ------------------------------------------------------------------
+    def _node(self, pid: int, interval: int) -> int:
+        return self._offsets[pid] + interval
+
+    def _compute_closures(self) -> List[int]:
+        """Arrival closure of every interval node, as one big int per node.
+
+        Bit ``node(r, rho)`` is set in ``closure[u]`` iff some hand-off chain
+        whose first message is sendable from state ``u`` ends with a message
+        received by ``r`` in interval ``rho``.  Closures are computed once per
+        strongly connected component, in the reverse topological order Tarjan's
+        algorithm naturally emits (sink components first), so each edge is
+        visited exactly once.
+        """
+        n = self._num_nodes
+        # Edges: chain (p, g) -> (p, g+1); message (sender, sigma) -> (receiver, rho).
+        chain_next: List[int] = [-1] * n
         for pid in self._ccp.processes:
-            for cid in self._ccp.general_ids(pid):
-                if self.has_zigzag_cycle(cid):
-                    useless.append(cid)
-        return useless
+            for gamma in range(self._volatile[pid]):
+                chain_next[self._node(pid, gamma)] = self._node(pid, gamma + 1)
+        message_edges: List[List[int]] = [[] for _ in range(n)]
+        for message in self._messages.values():
+            source = self._node(message.sender, message.send_interval)
+            target = self._node(message.receiver, message.receive_interval)
+            message_edges[source].append(target)
+
+        def edges_of(u: int) -> List[int]:
+            succ = message_edges[u]
+            nxt = chain_next[u]
+            return succ if nxt < 0 else succ + [nxt]
+
+        component, components = self._tarjan_scc(edges_of, n)
+
+        closures = [0] * n
+        component_closure: List[int] = [0] * len(components)
+        for comp_id, members in enumerate(components):
+            bits = 0
+            for u in members:
+                for v in message_edges[u]:
+                    bits |= 1 << v
+                    if component[v] != comp_id:
+                        bits |= component_closure[component[v]]
+                nxt = chain_next[u]
+                if nxt >= 0 and component[nxt] != comp_id:
+                    bits |= component_closure[component[nxt]]
+            component_closure[comp_id] = bits
+            for u in members:
+                closures[u] = bits
+        return closures
+
+    @staticmethod
+    def _tarjan_scc(edges_of, n: int) -> Tuple[List[int], List[List[int]]]:
+        """Iterative Tarjan SCC.
+
+        Returns ``(component, components)`` where ``components`` lists SCCs in
+        reverse topological order of the condensation (every SCC appears after
+        all SCCs it can reach).
+        """
+        index = [-1] * n
+        lowlink = [0] * n
+        on_stack = [False] * n
+        component = [-1] * n
+        components: List[List[int]] = []
+        stack: List[int] = []
+        counter = 0
+        for root in range(n):
+            if index[root] != -1:
+                continue
+            work: List[Tuple[int, int, List[int]]] = [(root, 0, edges_of(root))]
+            while work:
+                node, edge_pos, succ = work[-1]
+                if edge_pos == 0:
+                    index[node] = lowlink[node] = counter
+                    counter += 1
+                    stack.append(node)
+                    on_stack[node] = True
+                advanced = False
+                while edge_pos < len(succ):
+                    child = succ[edge_pos]
+                    edge_pos += 1
+                    if index[child] == -1:
+                        work[-1] = (node, edge_pos, succ)
+                        work.append((child, 0, edges_of(child)))
+                        advanced = True
+                        break
+                    if on_stack[child]:
+                        lowlink[node] = min(lowlink[node], index[child])
+                if advanced:
+                    continue
+                work.pop()
+                if lowlink[node] == index[node]:
+                    members: List[int] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack[member] = False
+                        component[member] = len(components)
+                        members.append(member)
+                        if member == node:
+                            break
+                    components.append(members)
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+        return component, components
+
+    # ------------------------------------------------------------------
+    # Bit helpers
+    # ------------------------------------------------------------------
+    def _closure_of(self, source: CheckpointId) -> int:
+        """Arrival closure of the start state of ``source`` (condition i)."""
+        start = source.index + 1
+        if source.pid not in self._ccp.processes or start > self._volatile[source.pid]:
+            return 0
+        return self._closures[self._node(source.pid, start)]
+
+    def _end_mask(self, target: CheckpointId) -> int:
+        """Bits of every arrival node satisfying condition (iii) for ``target``."""
+        if target.pid not in self._ccp.processes or target.index < 0:
+            return 0
+        width = min(target.index, self._volatile[target.pid]) + 1
+        return ((1 << width) - 1) << self._offsets[target.pid]
+
+    # ------------------------------------------------------------------
+    # Relation queries
+    # ------------------------------------------------------------------
+    def zigzag_exists(self, source: CheckpointId, target: CheckpointId) -> bool:
+        """True iff some zigzag path connects ``source`` to ``target`` (``source ~> target``)."""
+        return bool(self._closure_of(source) & self._end_mask(target))
+
+    def zigzag_pairs(self) -> List[Tuple[CheckpointId, CheckpointId]]:
+        """All ordered pairs ``(c, c')`` with a zigzag path from ``c`` to ``c'``."""
+        pairs: List[Tuple[CheckpointId, CheckpointId]] = []
+        all_ids = [
+            cid for pid in self._ccp.processes for cid in self._ccp.general_ids(pid)
+        ]
+        for source in all_ids:
+            closure = self._closure_of(source)
+            if not closure:
+                continue
+            for pid in self._ccp.processes:
+                segment = (closure >> self._offsets[pid]) & (
+                    (1 << (self._volatile[pid] + 1)) - 1
+                )
+                if not segment:
+                    continue
+                # The lowest arrival bit gives the earliest interval some chain
+                # can be received in; every checkpoint at or after it is a target.
+                first = (segment & -segment).bit_length() - 1
+                pairs.extend(
+                    (source, CheckpointId(pid, beta))
+                    for beta in range(first, self._volatile[pid] + 1)
+                )
+        return pairs
+
+
+class BruteForceZigzagAnalysis(_ZigzagBase):
+    """Reference implementation: message-level BFS over the hand-off graph.
+
+    This is the pre-kernel algorithm, kept as the executable specification the
+    bitset kernel is property-tested and benchmarked against.  Do not use it
+    on large patterns: reachability is recomputed per start message and the
+    hand-off graph alone is quadratic in the number of messages.
+    """
+
+    def __init__(self, ccp: CCP) -> None:
+        super().__init__(ccp)
+        self._reachable_cache: Dict[int, FrozenSet[int]] = {}
+
+    def _reachable(self, message_id: int) -> FrozenSet[int]:
+        """Messages reachable from ``message_id`` in the hand-off graph (incl. itself)."""
+        cached = self._reachable_cache.get(message_id)
+        if cached is not None:
+            return cached
+        seen: Set[int] = {message_id}
+        stack = [message_id]
+        while stack:
+            current = stack.pop()
+            for succ in self._successors[current]:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        result = frozenset(seen)
+        self._reachable_cache[message_id] = result
+        return result
+
+    def zigzag_exists(self, source: CheckpointId, target: CheckpointId) -> bool:
+        """True iff some zigzag path connects ``source`` to ``target`` (``source ~> target``)."""
+        for start in self._start_messages(source):
+            for reachable in self._reachable(start):
+                if self._is_end_message(reachable, target):
+                    return True
+        return False
 
     def zigzag_pairs(self) -> List[Tuple[CheckpointId, CheckpointId]]:
         """All ordered pairs ``(c, c')`` with a zigzag path from ``c`` to ``c'``."""

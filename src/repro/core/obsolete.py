@@ -19,6 +19,15 @@ knowledge); they exist to validate it:
 
 The expected relationships (Theorem 2 obsolete  ⊆  Theorem 1 obsolete  ==
 needless) are asserted by the test suite, not here.
+
+The public Theorem-1/2 functions serve their answers from the pattern's
+shared :class:`~repro.ccp.analysis_cache.AnalysisCache`, which implements
+batch equivalents with the loop-invariant subterms hoisted.  The literal
+per-checkpoint transcriptions (``_is_retained_theorem1``,
+``_last_known_checkpoint``, ``_is_retained_theorem2``) are kept as the
+executable statements of the theorems: the equivalence property tests pin
+the cache to independent re-transcriptions, and the perf benchmark uses
+these helpers as the measured old path.
 """
 
 from __future__ import annotations
@@ -82,23 +91,19 @@ def _is_retained_theorem1(ccp: CCP, cid: CheckpointId) -> bool:
 
 
 def obsolete_stable_checkpoints_theorem1(ccp: CCP) -> Set[CheckpointId]:
-    """Theorem 1: the exact set of obsolete stable checkpoints."""
-    obsolete: Set[CheckpointId] = set()
-    for pid in ccp.processes:
-        for cid in ccp.stable_ids(pid):
-            if not _is_retained_theorem1(ccp, cid):
-                obsolete.add(cid)
-    return obsolete
+    """Theorem 1: the exact set of obsolete stable checkpoints.
+
+    The retained set is materialised once per CCP in the pattern's shared
+    :class:`~repro.ccp.analysis_cache.AnalysisCache`; repeated audits of the
+    same instant reuse it.
+    """
+    all_stable = {cid for pid in ccp.processes for cid in ccp.stable_ids(pid)}
+    return all_stable - ccp.analyses.theorem1_retained
 
 
 def retained_stable_checkpoints_theorem1(ccp: CCP) -> Set[CheckpointId]:
     """Complement of Theorem 1: the checkpoints every correct GC must retain."""
-    return {
-        cid
-        for pid in ccp.processes
-        for cid in ccp.stable_ids(pid)
-        if _is_retained_theorem1(ccp, cid)
-    }
+    return set(ccp.analyses.theorem1_retained)
 
 
 # ----------------------------------------------------------------------
@@ -130,24 +135,16 @@ def obsolete_stable_checkpoints_theorem2(ccp: CCP) -> Set[CheckpointId]:
     """Theorem 2: checkpoints identifiable as obsolete using causal knowledge only.
 
     This is exactly the set an *optimal* asynchronous garbage collector must
-    have eliminated (Theorem 5); it is a subset of the Theorem 1 set.
+    have eliminated (Theorem 5); it is a subset of the Theorem 1 set.  Like
+    Theorem 1, the retained set is cached on the pattern.
     """
-    obsolete: Set[CheckpointId] = set()
-    for pid in ccp.processes:
-        for cid in ccp.stable_ids(pid):
-            if not _is_retained_theorem2(ccp, cid):
-                obsolete.add(cid)
-    return obsolete
+    all_stable = {cid for pid in ccp.processes for cid in ccp.stable_ids(pid)}
+    return all_stable - ccp.analyses.theorem2_retained
 
 
 def retained_stable_checkpoints_theorem2(ccp: CCP) -> Set[CheckpointId]:
     """Checkpoints an optimal asynchronous GC is allowed (and expected) to keep."""
-    return {
-        cid
-        for pid in ccp.processes
-        for cid in ccp.stable_ids(pid)
-        if _is_retained_theorem2(ccp, cid)
-    }
+    return set(ccp.analyses.theorem2_retained)
 
 
 # ----------------------------------------------------------------------

@@ -22,10 +22,6 @@ from typing import Dict, Iterable, List, Mapping, Set
 
 from repro.ccp.checkpoint import CheckpointId
 from repro.ccp.pattern import CCP
-from repro.core.obsolete import (
-    retained_stable_checkpoints_theorem1,
-    retained_stable_checkpoints_theorem2,
-)
 
 
 @dataclass
@@ -83,8 +79,11 @@ def audit_garbage_collection(
         non-optimal baselines such as the no-GC or coordinated collectors).
     """
     retained_ids = _retained_as_ids(retained)
-    required = retained_stable_checkpoints_theorem1(ccp)
-    allowed = retained_stable_checkpoints_theorem2(ccp)
+    # Pull the retained sets from the pattern's shared cache: auditing several
+    # collectors (or several labels) against the same instant computes the
+    # Theorem-1/2 characterisations once.
+    required = ccp.analyses.theorem1_retained
+    allowed = ccp.analyses.theorem2_retained
     audit = GcAudit(
         retained_total=len(retained_ids),
         required_total=len(required),

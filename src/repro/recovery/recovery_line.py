@@ -45,9 +45,17 @@ def recovery_line(ccp: CCP, faulty: Iterable[int]) -> GlobalCheckpoint:
     """The recovery line ``R_F`` per Lemma 1.
 
     With an empty faulty set the line is simply every process's volatile
-    checkpoint (nothing needs to be rolled back).
+    checkpoint (nothing needs to be rolled back).  Lines are memoised per
+    faulty set in the pattern's shared analysis cache, so repeated queries
+    (e.g. the Definition-7 needlessness oracle, which asks for the line of
+    every faulty set) pay for each one only once.
     """
     faulty_set = _validate_faulty(ccp, faulty)
+    return ccp.analyses.recovery_line(faulty_set)
+
+
+def _recovery_line_lemma1(ccp: CCP, faulty_set: Set[int]) -> GlobalCheckpoint:
+    """Lemma 1 evaluated directly (uncached; called via the analysis cache)."""
     indices: List[int] = []
     for pid in ccp.processes:
         chosen = 0

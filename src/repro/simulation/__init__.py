@@ -17,7 +17,7 @@ seeded, deterministic discrete-event simulation:
 * :mod:`runner` — configuration and orchestration of complete experiments.
 """
 
-from repro.simulation.engine import SimulationEngine
+from repro.simulation.engine import SimulationEngine, StopReason
 from repro.simulation.failures import FailureSchedule
 from repro.simulation.network import Network, NetworkConfig
 from repro.simulation.node import SimulationNode
@@ -50,6 +50,7 @@ __all__ = [
     "SimulationNode",
     "SimulationResult",
     "SimulationRunner",
+    "StopReason",
     "TraceRecorder",
     "UniformRandomWorkload",
     "Workload",

@@ -7,11 +7,34 @@ times and executed in time order; ties are broken by scheduling order, which
 
 from __future__ import annotations
 
+import enum
 import heapq
 import random
 from typing import Callable, List, Optional, Tuple
 
 Callback = Callable[[], None]
+
+
+class StopReason(enum.Enum):
+    """Why a :meth:`SimulationEngine.run` call returned."""
+
+    EXHAUSTED = "exhausted"
+    """The event queue ran dry.  With ``until`` given the clock is advanced
+    to it — but, as with ``UNTIL``, never backwards."""
+
+    UNTIL = "until"
+    """Every event at or before ``until`` was processed.  The clock is
+    advanced to ``until`` — but never backwards: an ``until`` earlier than
+    the current time leaves the clock where it is."""
+
+    MAX_EVENTS = "max_events"
+    """The ``max_events`` budget was spent with events still pending.  The
+    clock stays at the time of the last executed callback — deliberately
+    *strictly before* ``until`` whenever unprocessed events remain there, since
+    advancing past pending events would misorder a subsequent ``run``."""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
 
 
 class SimulationEngine:
@@ -67,21 +90,39 @@ class SimulationEngine:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
-        """Process queued events in time order.
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> StopReason:
+        """Process queued events in time order and report why the run stopped.
 
-        Stops when the queue is empty, when the next event lies beyond
-        ``until`` (the clock is then advanced to ``until``), or after
-        ``max_events`` callbacks.
+        Stop and clock-advance semantics, in precedence order:
+
+        * ``UNTIL`` — the next queued event lies beyond ``until``: the clock is
+          advanced to exactly ``until`` (the caller asked to reach it and no
+          work remains at or before it).  Checked before the event budget, so
+          a run that drains everything up to ``until`` reports ``UNTIL`` even
+          if it also used its last budgeted event.
+        * ``MAX_EVENTS`` — ``max_events`` callbacks were executed and events
+          remain pending.  The clock is **not** advanced to ``until``: it stays
+          at the last executed callback's time, because events may still be
+          queued at or before ``until`` and silently skipping past them would
+          corrupt the timeline of a follow-up ``run``.  Callers that want the
+          clock at ``until`` must keep calling ``run`` until it returns
+          ``UNTIL`` or ``EXHAUSTED``.
+        * ``EXHAUSTED`` — the queue ran dry; with ``until`` given the clock is
+          advanced to ``until`` (there is provably nothing left before it),
+          except that the clock never moves backwards when ``until`` is
+          already in the past.
         """
         executed = 0
         while self._queue:
-            if max_events is not None and executed >= max_events:
-                return
             time, _, callback = self._queue[0]
             if until is not None and time > until:
-                self._now = until
-                return
+                # Never move the clock backwards: `until` earlier than `now`
+                # simply means there is nothing left to do at or before it.
+                if until > self._now:
+                    self._now = until
+                return StopReason.UNTIL
+            if max_events is not None and executed >= max_events:
+                return StopReason.MAX_EVENTS
             heapq.heappop(self._queue)
             self._now = time
             callback()
@@ -89,6 +130,7 @@ class SimulationEngine:
             executed += 1
         if until is not None and until > self._now:
             self._now = until
+        return StopReason.EXHAUSTED
 
     def step(self) -> bool:
         """Process a single event; returns False if the queue was empty."""

@@ -298,7 +298,12 @@ class SimulationRunner:
         )
 
     def current_ccp(self) -> CCP:
-        """The CCP of the execution recorded so far."""
+        """The CCP of the execution recorded so far.
+
+        Served from the trace recorder's incremental substrate: the pattern
+        (and its attached analysis cache) is only rebuilt when the recorded
+        execution actually changed since the previous call.
+        """
         volatile = {node.pid: node.current_dv for node in self._nodes}
         return self._trace.ccp(volatile_dvs=volatile)
 

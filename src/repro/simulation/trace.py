@@ -8,11 +8,28 @@ of the recorded execution is exactly the pattern the paper's characterisations
 are stated over, so the recorder is what connects the *online* algorithms to
 the *offline* oracles in tests and benchmarks.
 
+The recorder maintains the expensive CCP substrate *incrementally* rather than
+re-deriving it per snapshot:
+
+* a live :class:`repro.causality.CausalOrder` is kept current with
+  :meth:`CausalOrder.refresh`, so each event is vector-timestamped exactly
+  once over the whole run;
+* checkpoint-interval indices of message send/receive events are assigned at
+  record time (an event's interval is fixed the moment it happens), so the
+  :class:`repro.ccp.pattern.MessageInterval` table never has to be recomputed
+  from the log;
+* :meth:`ccp` memoises the built pattern keyed on a mutation version: while
+  no new event arrives, every caller receives the *same* CCP object and with
+  it the same shared :class:`repro.ccp.analysis_cache.AnalysisCache`, which is
+  what lets ``audit="full"`` sampling stop rebuilding the pattern and its
+  zigzag/obsolete analyses at every instant.
+
 Recovery sessions rewrite history: the post-rollback state of the system is the
 recovery-line cut, so :meth:`apply_recovery` truncates each rolled-back
 process's history at its recovery-line component (the resulting prefix is a
-consistent cut because the recovery line is consistent) and forgets the
-checkpoints that were rolled back.
+consistent cut because the recovery line is consistent), forgets the
+checkpoints that were rolled back, and rebuilds the incremental state from the
+truncated log (the one place the live substrate is invalidated wholesale).
 """
 
 from __future__ import annotations
@@ -20,8 +37,9 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.causality.events import EventKind, EventLog
+from repro.causality.happens_before import CausalOrder
 from repro.ccp.checkpoint import CheckpointId
-from repro.ccp.pattern import CCP
+from repro.ccp.pattern import CCP, MessageInterval
 from repro.recovery.rollback_plan import RollbackPlan
 
 
@@ -33,6 +51,14 @@ class TraceRecorder:
         self._log = EventLog(num_processes)
         self._recorded_dvs: Dict[CheckpointId, Tuple[int, ...]] = {}
         self._dropped_messages: set[int] = set()
+        # Incremental CCP substrate.
+        self._version = 0
+        self._order = CausalOrder(self._log)
+        self._checkpoints_taken = [0] * num_processes
+        self._message_intervals: Dict[int, MessageInterval] = {}
+        self._pending_sends: Dict[int, Tuple[int, int, int, int]] = {}
+        # Memoised snapshot: (version, volatile-DV fingerprint, CCP).
+        self._ccp_cache: Optional[Tuple[int, object, CCP]] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -47,6 +73,11 @@ class TraceRecorder:
         """The current event log (post-rollback history only)."""
         return self._log
 
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter; bumps on every recorded event or recovery."""
+        return self._version
+
     def recorded_checkpoint_dvs(self) -> Dict[CheckpointId, Tuple[int, ...]]:
         """Dependency vectors stored with the currently existing stable checkpoints."""
         return dict(self._recorded_dvs)
@@ -58,7 +89,16 @@ class TraceRecorder:
         self, sender: int, receiver: int, message_id: int, time: float
     ) -> None:
         """Record the sending of an application message."""
-        self._log.add_send(sender, receiver, message_id=message_id, time=time)
+        event, _ = self._log.add_send(
+            sender, receiver, message_id=message_id, time=time
+        )
+        self._pending_sends[message_id] = (
+            sender,
+            receiver,
+            self._checkpoints_taken[sender],
+            event.seq,
+        )
+        self._version += 1
 
     def record_receive(self, message_id: int, time: float) -> None:
         """Record the delivery of an application message.
@@ -69,7 +109,18 @@ class TraceRecorder:
         """
         if message_id in self._dropped_messages or not self._log.has_message(message_id):
             return
-        self._log.add_receive(message_id, time=time)
+        event = self._log.add_receive(message_id, time=time)
+        sender, receiver, send_interval, send_seq = self._pending_sends.pop(message_id)
+        self._message_intervals[message_id] = MessageInterval(
+            message_id=message_id,
+            sender=sender,
+            receiver=receiver,
+            send_interval=send_interval,
+            receive_interval=self._checkpoints_taken[receiver],
+            send_seq=send_seq,
+            receive_seq=event.seq,
+        )
+        self._version += 1
 
     def record_checkpoint(
         self,
@@ -83,10 +134,13 @@ class TraceRecorder:
         """Record a stable checkpoint and the vector stored with it."""
         self._log.add_checkpoint(pid, index, time=time, forced=forced)
         self._recorded_dvs[CheckpointId(pid, index)] = tuple(dependency_vector)
+        self._checkpoints_taken[pid] = index + 1
+        self._version += 1
 
     def record_internal(self, pid: int, time: float) -> None:
         """Record an internal application event (used by scripted scenarios)."""
         self._log.add_internal(pid, time=time)
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Recovery sessions
@@ -134,6 +188,57 @@ class TraceRecorder:
             ]
             for cid in stale:
                 del self._recorded_dvs[cid]
+        self._rebuild_incremental_state()
+        self._version += 1
+
+    def _rebuild_incremental_state(self) -> None:
+        """Re-derive the live substrate after history was truncated."""
+        self._order = CausalOrder(self._log)
+        self._ccp_cache = None
+        self._pending_sends.clear()
+        self._message_intervals.clear()
+        # One pass per process assigns every event its checkpoint interval;
+        # messages are then stitched together from the per-event assignments.
+        send_info: Dict[int, Tuple[int, int, int, int]] = {}
+        receive_info: Dict[int, Tuple[int, int]] = {}
+        for pid in range(self._num_processes):
+            taken = 0
+            for event in self._log.history(pid):
+                if event.kind is EventKind.SEND:
+                    assert event.message_id is not None
+                    message = self._log.message(event.message_id)
+                    send_info[event.message_id] = (
+                        pid,
+                        message.receiver,
+                        taken,
+                        event.seq,
+                    )
+                elif event.kind is EventKind.RECEIVE:
+                    assert event.message_id is not None
+                    receive_info[event.message_id] = (taken, event.seq)
+                elif event.kind is EventKind.CHECKPOINT:
+                    taken += 1
+            self._checkpoints_taken[pid] = taken
+        for message_id, (sender, receiver, send_interval, send_seq) in send_info.items():
+            received = receive_info.get(message_id)
+            if received is None:
+                self._pending_sends[message_id] = (
+                    sender,
+                    receiver,
+                    send_interval,
+                    send_seq,
+                )
+                continue
+            receive_interval, receive_seq = received
+            self._message_intervals[message_id] = MessageInterval(
+                message_id=message_id,
+                sender=sender,
+                receiver=receiver,
+                send_interval=send_interval,
+                receive_interval=receive_interval,
+                send_seq=send_seq,
+                receive_seq=receive_seq,
+            )
 
     # ------------------------------------------------------------------
     # Analysis snapshots
@@ -146,10 +251,33 @@ class TraceRecorder:
         ``volatile_dvs`` optionally supplies the processes' current dependency
         vectors so that the volatile checkpoints carry recorded (rather than
         only ground-truth) vectors.
+
+        While the recorded execution does not change between calls, the same
+        CCP object is returned, so its attached analysis cache (zigzag kernel,
+        Theorem-1/2 retained sets, recovery lines) is shared across callers.
         """
+        fingerprint = (
+            None
+            if volatile_dvs is None
+            else tuple(sorted((pid, tuple(dv)) for pid, dv in volatile_dvs.items()))
+        )
+        if self._ccp_cache is not None:
+            version, cached_fingerprint, cached = self._ccp_cache
+            if version == self._version and cached_fingerprint == fingerprint:
+                return cached
         recorded: Dict[CheckpointId, Tuple[int, ...]] = dict(self._recorded_dvs)
         if volatile_dvs is not None:
             for pid, dv in volatile_dvs.items():
-                last = self._log.history(pid).last_checkpoint_index()
-                recorded[CheckpointId(pid, last + 1)] = tuple(dv)
-        return CCP(self._log, recorded_dvs=recorded)
+                recorded[CheckpointId(pid, self._checkpoints_taken[pid])] = tuple(dv)
+        self._order.refresh()
+        intervals = [
+            self._message_intervals[mid] for mid in sorted(self._message_intervals)
+        ]
+        ccp = CCP(
+            self._log,
+            causal_order=self._order,
+            recorded_dvs=recorded,
+            message_intervals=intervals,
+        )
+        self._ccp_cache = (self._version, fingerprint, ccp)
+        return ccp

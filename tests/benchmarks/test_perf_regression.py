@@ -1,0 +1,61 @@
+"""Tier-1 smoke wiring for the perf-regression checker.
+
+Runs :mod:`benchmarks.check_regression` in smoke mode (only the smoke-sized
+sweep configurations, ratio comparison — hardware independent) against the
+committed ``BENCH_perf.json``, and sanity-checks the committed document
+itself, including the headline acceptance row (8 processes / 2000 messages at
+>= 10x over the brute-force reference).
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+if REPO_ROOT not in sys.path:
+    sys.path.insert(0, REPO_ROOT)
+
+BENCH_PATH = os.path.join(REPO_ROOT, "BENCH_perf.json")
+
+
+@pytest.fixture(scope="module")
+def committed_document():
+    if not os.path.exists(BENCH_PATH):
+        pytest.skip("no committed BENCH_perf.json (fresh checkout before first sweep)")
+    with open(BENCH_PATH, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+class TestCommittedBenchDocument:
+    def test_rows_are_well_formed(self, committed_document):
+        rows = committed_document["rows"]
+        assert rows
+        for row in rows:
+            assert row["kernel"] == "zigzag-bitset+incremental-ccp"
+            assert row["speedup"] > 0
+            assert row["new_per_instant_s"] > 0
+            assert row["old_per_instant_s"] > 0
+
+    def test_headline_configuration_meets_speedup_floor(self, committed_document):
+        headline = [
+            row
+            for row in committed_document["rows"]
+            if row["processes"] == 8 and row["messages"] >= 2000
+        ]
+        assert headline, "sweep must include the 8-process / >=2000-message row"
+        assert all(row["speedup"] >= 10.0 for row in headline)
+
+
+def test_smoke_regression_check_passes(committed_document):
+    """The live kernel must not have regressed against the committed baseline.
+
+    Ratio mode only (kernel vs brute-force measured seconds apart in this
+    process), so the check is meaningful on any hardware; the generous
+    threshold keeps tier-1 robust to noisy CI boxes while still catching a
+    genuine kernel regression, which shows up as an order-of-magnitude shift.
+    """
+    from benchmarks.check_regression import main
+
+    assert main(["--smoke", "--threshold", "0.5"]) == 0

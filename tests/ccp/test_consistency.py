@@ -17,6 +17,14 @@ class TestGlobalCheckpoint:
         assert GlobalCheckpoint.of({0: 1, 1: 2}) == GlobalCheckpoint((1, 2))
         assert GlobalCheckpoint.of([1, 2]).indices == (1, 2)
 
+    def test_of_sparse_mapping_rejected(self):
+        # A missing pid used to be silently padded with index 0; it is a
+        # caller error (one component per process is required).
+        with pytest.raises(ValueError, match="process\\(es\\) \\[1\\]"):
+            GlobalCheckpoint.of({0: 1, 2: 2})
+        with pytest.raises(ValueError, match="empty"):
+            GlobalCheckpoint.of({})
+
     def test_members(self):
         gc = GlobalCheckpoint((1, 0))
         assert list(gc.members()) == [CheckpointId(0, 1), CheckpointId(1, 0)]

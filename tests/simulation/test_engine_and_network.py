@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.simulation.engine import SimulationEngine
+from repro.simulation.engine import SimulationEngine, StopReason
 from repro.simulation.network import Network, NetworkConfig
 
 
@@ -67,6 +67,80 @@ class TestEngine:
         assert engine.processed_events == 2
         assert engine.step()
         assert not engine.step()
+
+
+class TestEngineStopSemantics:
+    """The explicit stop/advance contract of SimulationEngine.run."""
+
+    def test_exhausted_advances_to_until(self):
+        engine = SimulationEngine()
+        engine.schedule_at(2.0, lambda: None)
+        assert engine.run(until=10.0) is StopReason.EXHAUSTED
+        assert engine.now == 10.0
+
+    def test_exhausted_without_until_keeps_last_event_time(self):
+        engine = SimulationEngine()
+        engine.schedule_at(2.0, lambda: None)
+        assert engine.run() is StopReason.EXHAUSTED
+        assert engine.now == 2.0
+
+    def test_until_reported_when_events_remain_beyond_it(self):
+        engine = SimulationEngine()
+        engine.schedule_at(2.0, lambda: None)
+        engine.schedule_at(8.0, lambda: None)
+        assert engine.run(until=5.0) is StopReason.UNTIL
+        assert engine.now == 5.0
+        assert engine.pending_events() == 1
+
+    def test_max_events_stop_does_not_advance_to_until(self):
+        # The documented gotcha: stopping on the event budget leaves the clock
+        # strictly before `until` because events are still pending there;
+        # jumping to `until` would misorder the next run() call.
+        engine = SimulationEngine()
+        for t in (1.0, 2.0, 3.0):
+            engine.schedule_at(t, lambda: None)
+        assert engine.run(until=10.0, max_events=2) is StopReason.MAX_EVENTS
+        assert engine.now == 2.0
+        assert engine.pending_events() == 1
+        # Resuming processes the leftover event and then reaches `until`.
+        assert engine.run(until=10.0) is StopReason.EXHAUSTED
+        assert engine.now == 10.0
+
+    def test_until_in_the_past_never_rewinds_the_clock(self):
+        engine = SimulationEngine()
+        engine.schedule_at(5.0, lambda: None)
+        engine.run()
+        assert engine.now == 5.0
+        engine.schedule_at(6.0, lambda: None)
+        assert engine.run(until=3.0) is StopReason.UNTIL
+        assert engine.now == 5.0  # unchanged, not rewound to 3.0
+        engine.run()
+        assert engine.now == 6.0
+
+    def test_until_wins_when_budget_spent_and_next_event_is_beyond_until(self):
+        engine = SimulationEngine()
+        engine.schedule_at(1.0, lambda: None)
+        engine.schedule_at(9.0, lambda: None)
+        # The budget is spent, but everything at or before `until` was done,
+        # so the caller's request to advance to `until` is honoured.
+        assert engine.run(until=5.0, max_events=1) is StopReason.UNTIL
+        assert engine.now == 5.0
+
+    def test_resumed_runs_reach_until_in_bounded_steps(self):
+        engine = SimulationEngine()
+        fired = []
+        for t in (1.0, 2.0, 3.0, 4.0):
+            engine.schedule_at(t, lambda t=t: fired.append(t))
+        reasons = []
+        while True:
+            reason = engine.run(until=6.0, max_events=1)
+            reasons.append(reason)
+            if reason is not StopReason.MAX_EVENTS:
+                break
+        assert fired == [1.0, 2.0, 3.0, 4.0]
+        assert engine.now == 6.0
+        assert reasons[-1] is StopReason.EXHAUSTED
+        assert all(r is StopReason.MAX_EVENTS for r in reasons[:-1])
 
     def test_seeded_rng_is_deterministic(self):
         a = SimulationEngine(seed=42).rng.random()
