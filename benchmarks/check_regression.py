@@ -23,6 +23,14 @@ noise).  The pytest smoke test (``tests/benchmarks/test_perf_regression.py``)
 invokes :func:`main` with ``--smoke``, which re-measures only the smoke-sized
 configurations so tier-1 stays cheap.
 
+Besides the perf rows, the checker gates the **campaign subsystem**: a
+seconds-sized sweep (the smoke campaign spec) is executed twice — serially
+and on a 2-worker pool — and the aggregate CSV/JSON documents must be byte
+identical.  Any nondeterminism introduced into cell seeding, pool execution
+or aggregation ordering fails the gate before it can corrupt a paper-scale
+study.  ``--skip-campaign`` disables the gate (e.g. when bisecting a pure
+kernel regression).
+
 Run directly::
 
     python benchmarks/check_regression.py --smoke
@@ -96,6 +104,43 @@ def compare(
     return violations
 
 
+def check_campaign_determinism(*, workers: int = 2) -> List[str]:
+    """Gate the campaign subsystem: serial and pooled execution of the same
+    spec must produce byte-identical aggregate tables (empty == pass)."""
+    from repro.scenarios.campaign import aggregate_campaign, run_campaign
+    from repro.scenarios.experiments import smoke_campaign_spec
+
+    violations: List[str] = []
+    spec = smoke_campaign_spec()
+    serial = run_campaign(spec, workers=1)
+    pooled = run_campaign(spec, workers=workers)
+    # Every smoke cell uses a safe collector, so a failed cell is a
+    # simulation regression, not an expected study outcome.
+    for label, run in (("serial", serial), ("pooled", pooled)):
+        for record in run.failed_records:
+            p = record["params"]
+            violations.append(
+                f"campaign smoke cell failed ({label}): {p['collector']} / "
+                f"{p['workload']} / failures={p['failures']} / "
+                f"seed#{p['seed_index']}: {record['error']}"
+            )
+    if violations:
+        return violations
+    serial_summary = aggregate_campaign(serial.records)
+    pooled_summary = aggregate_campaign(pooled.records)
+    if serial_summary.to_csv() != pooled_summary.to_csv():
+        violations.append(
+            f"campaign aggregate CSV differs between serial and "
+            f"{workers}-worker execution of the same spec"
+        )
+    if serial_summary.to_json() != pooled_summary.to_json():
+        violations.append(
+            f"campaign aggregate JSON differs between serial and "
+            f"{workers}-worker execution of the same spec"
+        )
+    return violations
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -120,9 +165,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--threshold", type=float, default=0.30)
     parser.add_argument("--min-seconds", type=float, default=0.02)
+    parser.add_argument(
+        "--skip-campaign",
+        action="store_true",
+        help="skip the campaign serial-vs-pool determinism gate",
+    )
     args = parser.parse_args(argv)
 
+    campaign_violations: List[str] = []
+    if not args.skip_campaign:
+        campaign_violations = check_campaign_determinism()
+
     if not os.path.exists(args.baseline):
+        if campaign_violations:
+            for violation in campaign_violations:
+                print(f"REGRESSION: {violation}", file=sys.stderr)
+            return 1
         print(f"check_regression: no baseline at {args.baseline}; nothing to check")
         return 0
     baseline = _load_rows(args.baseline)
@@ -143,7 +201,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         document = run_sweep(configs)
         fresh = {(r["processes"], r["messages"]): r for r in document["rows"]}
 
-    violations = compare(
+    violations = campaign_violations + compare(
         baseline,
         fresh,
         threshold=args.threshold,
@@ -154,7 +212,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         for violation in violations:
             print(f"REGRESSION: {violation}", file=sys.stderr)
         return 1
-    print(f"check_regression: {len(fresh)} row(s) within threshold — ok")
+    campaign_note = "skipped" if args.skip_campaign else "deterministic"
+    print(
+        f"check_regression: {len(fresh)} row(s) within threshold, "
+        f"campaign gate {campaign_note} — ok"
+    )
     return 0
 
 

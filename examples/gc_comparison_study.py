@@ -5,89 +5,42 @@ This is the evaluation study the paper motivates: storage space is the price
 of autonomy in communication-induced checkpointing, so how much of it does
 each garbage-collection strategy reclaim, and at what coordination cost?
 
-The script runs every registered collector on three workload shapes
-(client/server, pipeline, uniform random peer-to-peer) over several seeds and
-prints, per collector: peak and final storage occupancy, the per-process
-high-water mark, the collection ratio and the number of control messages.
+The study is expressed as a declarative campaign — the paper's grid of every
+registered collector × the four workload shapes × several seeds — expanded,
+executed and aggregated by :mod:`repro.scenarios.campaign`.  This script runs
+a shrunk copy of it (3 seeds, no failures) so it finishes in seconds; the
+full grid (≥10 seeds, crash injection, worker pool) is one command::
+
+    python -m repro.campaign --workers 8 --store results/paper.jsonl
 """
 
-from repro.analysis.metrics import aggregate_results
-from repro.analysis.tables import TextTable
-from repro.scenarios.experiments import run_random_simulation
-from repro.simulation.workloads import (
-    ClientServerWorkload,
-    PipelineWorkload,
-    UniformRandomWorkload,
-)
+from repro.scenarios.experiments import paper_campaign_spec, run_collector_comparison
 
 NUM_PROCESSES = 4
-SEEDS = (1, 2, 3)
-
-COLLECTORS = [
-    ("none", {}),
-    ("rdt-lgc", {}),
-    ("all-process-line", {"period": 20.0}),
-    ("wang-coordinated", {"period": 20.0}),
-    ("manivannan-singhal", {"checkpoint_period": 8.0, "max_message_delay": 3.0}),
-]
-
-WORKLOADS = {
-    "client-server": ClientServerWorkload,
-    "pipeline": PipelineWorkload,
-    "uniform-random": lambda: UniformRandomWorkload(mean_checkpoint_gap=6.0),
-}
-
-
-def study(workload_name: str) -> None:
-    table = TextTable(
-        [
-            "collector",
-            "peak total",
-            "final total",
-            "max/process",
-            "collected %",
-            "control msgs",
-        ],
-        title=f"Workload: {workload_name}, n = {NUM_PROCESSES}, {len(SEEDS)} seeds (means)",
-    )
-    for collector, options in COLLECTORS:
-        results = [
-            run_random_simulation(
-                num_processes=NUM_PROCESSES,
-                duration=250.0,
-                seed=seed,
-                collector=collector,
-                collector_options=options,
-                workload=WORKLOADS[workload_name](),
-                keep_final_ccp=False,
-            )
-            for seed in SEEDS
-        ]
-        stats = aggregate_results(
-            results,
-            {
-                "peak": lambda r: r.peak_total_retained,
-                "final": lambda r: r.total_retained_final,
-                "max_per_process": lambda r: r.max_retained_any_process,
-                "collected": lambda r: 100 * r.collection_ratio,
-                "control": lambda r: r.control_messages,
-            },
-        )
-        table.add_row(
-            collector,
-            round(stats["peak"].mean, 1),
-            round(stats["final"].mean, 1),
-            round(stats["max_per_process"].mean, 1),
-            round(stats["collected"].mean, 1),
-            round(stats["control"].mean, 1),
-        )
-    print(table.render())
-    print()
+NUM_SEEDS = 3
 
 
 def main() -> None:
-    for workload_name in WORKLOADS:
-        study(workload_name)
+    spec = paper_campaign_spec(
+        num_processes=NUM_PROCESSES,
+        duration=250.0,
+        num_seeds=NUM_SEEDS,
+        failure_counts=(0,),
+    )
+    _, summary = run_collector_comparison(
+        spec,
+        group_by=("workload", "collector"),
+        metrics=(
+            "peak_retained",
+            "final_retained",
+            "max_per_process",
+            "collection_ratio",
+            "control",
+        ),
+    )
+    for _, table in summary.tables_by("workload"):
+        print(table.render())
+        print()
     print(
         "Reading: 'none' grows with the execution; 'rdt-lgc' stays within n "
         "checkpoints per process with zero control messages; the coordinated "

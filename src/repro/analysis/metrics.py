@@ -11,7 +11,13 @@ from repro.simulation.runner import SimulationResult
 
 @dataclass(frozen=True)
 class AggregateStats:
-    """Mean / spread of one scalar metric over repeated runs."""
+    """Mean / spread of one scalar metric over repeated runs.
+
+    ``stdev`` is the *sample* standard deviation: the seeded runs of a study
+    are a sample of the run distribution, not the whole population, so the
+    spread uses the ``n - 1`` (Bessel-corrected) estimator.  A single run has
+    no measurable spread — its ``stdev`` is 0.
+    """
 
     mean: float
     minimum: float
@@ -20,7 +26,10 @@ class AggregateStats:
     count: int
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return f"{self.mean:.2f} (min {self.minimum:.2f}, max {self.maximum:.2f})"
+        return (
+            f"{self.mean:.2f} ± {self.stdev:.2f} "
+            f"(min {self.minimum:.2f}, max {self.maximum:.2f}, n={self.count})"
+        )
 
 
 def aggregate(values: Iterable[float]) -> AggregateStats:
@@ -32,7 +41,7 @@ def aggregate(values: Iterable[float]) -> AggregateStats:
         mean=statistics.fmean(observations),
         minimum=min(observations),
         maximum=max(observations),
-        stdev=statistics.pstdev(observations) if len(observations) > 1 else 0.0,
+        stdev=statistics.stdev(observations) if len(observations) > 1 else 0.0,
         count=len(observations),
     )
 

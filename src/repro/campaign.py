@@ -1,0 +1,10 @@
+"""``python -m repro.campaign`` — run experiment campaigns from the shell.
+
+Thin launcher for :mod:`repro.scenarios.campaign.cli`; see that module (or
+``python -m repro.campaign --help``) for the flags.
+"""
+
+from repro.scenarios.campaign.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

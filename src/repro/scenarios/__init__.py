@@ -13,12 +13,31 @@ figure-reproduction benchmarks all work from the same source:
 * :func:`drive_figure4` and :data:`FIGURE4_ANNOTATIONS` — the fully annotated
   RDT-LGC execution of Figure 4, reproduced value for value;
 * :func:`figure4_ccp` — the same execution as a CCP for the offline oracles.
+
+The :mod:`repro.scenarios.campaign` subpackage runs *grids* of experiments —
+the paper's evaluation study — declaratively, resumably and in parallel; the
+spec builders (:func:`paper_campaign_spec`, :func:`smoke_campaign_spec`) live
+in :mod:`repro.scenarios.experiments`.
 """
 
+from repro.scenarios.campaign import (
+    CampaignCell,
+    CampaignRun,
+    CampaignSpec,
+    CampaignStore,
+    CampaignSummary,
+    CollectorSpec,
+    WorkloadSpec,
+    aggregate_campaign,
+    run_campaign,
+)
 from repro.scenarios.experiments import (
+    paper_campaign_spec,
     random_run_config,
+    run_collector_comparison,
     run_random_simulation,
     run_worst_case,
+    smoke_campaign_spec,
 )
 from repro.scenarios.figures import (
     FIGURE4_ANNOTATIONS,
@@ -34,8 +53,16 @@ from repro.scenarios.figures import (
 )
 
 __all__ = [
+    "CampaignCell",
+    "CampaignRun",
+    "CampaignSpec",
+    "CampaignStore",
+    "CampaignSummary",
+    "CollectorSpec",
     "FIGURE4_ANNOTATIONS",
     "FIGURE4_EXPECTED_FINAL",
+    "WorkloadSpec",
+    "aggregate_campaign",
     "drive_figure4",
     "figure1_builder",
     "figure1_ccp",
@@ -44,7 +71,11 @@ __all__ = [
     "figure3_builder",
     "figure3_ccp",
     "figure4_ccp",
+    "paper_campaign_spec",
     "random_run_config",
+    "run_campaign",
+    "run_collector_comparison",
     "run_random_simulation",
     "run_worst_case",
+    "smoke_campaign_spec",
 ]

@@ -1,0 +1,63 @@
+"""Declarative experiment campaigns: grids of simulations at paper scale.
+
+The paper's evaluation (Sections 5-6) compares garbage collectors across
+protocols, workloads and failure rates over many seeded runs.  This
+subpackage turns that kind of study into a first-class object:
+
+* :mod:`spec` — :class:`CampaignSpec` describes the sweep as a grid
+  (protocol × collector × workload × failure schedule × network × seeds);
+  expansion produces :class:`CampaignCell` objects whose identity (and the
+  per-cell engine/failure seeds) is a stable hash of the cell's parameters,
+  independent of execution order;
+* :mod:`executor` — runs the cells serially or on a ``multiprocessing`` pool;
+  because every cell is self-seeded, the results are identical regardless of
+  worker count;
+* :mod:`store` — a resumable JSONL result store: re-running a campaign skips
+  every cell already on disk;
+* :mod:`aggregate` — folds per-cell metrics through
+  :mod:`repro.analysis.metrics` into per-group :class:`AggregateStats`
+  tables with text/CSV/JSON rendering;
+* :mod:`cli` — the ``python -m repro.campaign`` entry point.
+"""
+
+from repro.scenarios.campaign.aggregate import (
+    DEFAULT_GROUP_BY,
+    DEFAULT_METRICS,
+    CampaignSummary,
+    GroupStats,
+    aggregate_campaign,
+)
+from repro.scenarios.campaign.executor import (
+    CELL_METRICS,
+    CampaignRun,
+    cell_metrics,
+    execute_cell,
+    run_campaign,
+)
+from repro.scenarios.campaign.spec import (
+    CampaignCell,
+    CampaignSpec,
+    CollectorSpec,
+    WorkloadSpec,
+    spec_from_mapping,
+)
+from repro.scenarios.campaign.store import CampaignStore
+
+__all__ = [
+    "CELL_METRICS",
+    "DEFAULT_GROUP_BY",
+    "DEFAULT_METRICS",
+    "CampaignCell",
+    "CampaignRun",
+    "CampaignSpec",
+    "CampaignStore",
+    "CampaignSummary",
+    "CollectorSpec",
+    "GroupStats",
+    "WorkloadSpec",
+    "aggregate_campaign",
+    "cell_metrics",
+    "execute_cell",
+    "run_campaign",
+    "spec_from_mapping",
+]

@@ -1,0 +1,199 @@
+"""Command-line front end of the campaign subsystem.
+
+Run the paper's collector-comparison grid end to end on a worker pool::
+
+    python -m repro.campaign --workers 8 --store results/paper.jsonl
+
+Resume after an interruption (completed cells are skipped)::
+
+    python -m repro.campaign --workers 8 --store results/paper.jsonl
+
+Run a custom sweep described in JSON (see
+:func:`repro.scenarios.campaign.spec.spec_from_mapping` for the schema)::
+
+    python -m repro.campaign --spec my_sweep.json --out results/
+
+``--out DIR`` writes the aggregate tables as ``<campaign>.csv`` /
+``<campaign>.json`` next to the text rendering on stdout; ``--dry-run``
+prints the cell count and the first cells without executing anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import List, Optional
+
+from repro.scenarios.campaign.aggregate import aggregate_campaign
+from repro.scenarios.campaign.executor import run_campaign
+from repro.scenarios.campaign.spec import CampaignSpec, spec_from_mapping
+
+
+def _load_spec(args: argparse.Namespace, parser: argparse.ArgumentParser) -> CampaignSpec:
+    if args.spec:
+        # The grid-shaping flags configure the *default* grid only; accepting
+        # them alongside --spec would silently run a different study than the
+        # user asked for.
+        for flag, attr in (
+            ("--processes", "processes"),
+            ("--duration", "duration"),
+            ("--seeds", "seeds"),
+            ("--failures", "failures"),
+        ):
+            if getattr(args, attr) != parser.get_default(attr):
+                parser.error(
+                    f"{flag} shapes the default grid and cannot be combined "
+                    f"with --spec (set it in the JSON spec instead)"
+                )
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            return spec_from_mapping(json.load(handle))
+    from repro.scenarios.experiments import paper_campaign_spec
+
+    return paper_campaign_spec(
+        num_processes=args.processes,
+        duration=args.duration,
+        num_seeds=args.seeds,
+        failure_counts=tuple(args.failures),
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description="Expand, execute and aggregate an experiment campaign.",
+    )
+    parser.add_argument(
+        "--spec",
+        default=None,
+        help="JSON campaign description (default: the paper's collector-comparison grid)",
+    )
+    parser.add_argument(
+        "--processes", type=int, default=4,
+        help="processes per simulation for the default grid (default: 4)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=120.0,
+        help="simulated seconds per cell for the default grid (default: 120)",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=10,
+        help="seeded repetitions per grid point for the default grid (default: 10)",
+    )
+    parser.add_argument(
+        "--failures", type=int, nargs="+", default=[0, 2],
+        help="failure levels (crashes per run) for the default grid (default: 0 2)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="pool processes; 1 runs serially (default: 1)",
+    )
+    parser.add_argument(
+        "--store", default=None,
+        help="JSONL result store; an existing store makes the run resume",
+    )
+    parser.add_argument(
+        "--retry-failed", action="store_true",
+        help="re-execute cells the store recorded as failed (transient causes)",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="directory for the aggregate tables as CSV and JSON",
+    )
+    parser.add_argument(
+        "--group-by", default="workload,collector,failures",
+        help="comma-separated grouping axes (default: workload,collector,failures)",
+    )
+    parser.add_argument(
+        "--dry-run", action="store_true",
+        help="print the expansion without executing",
+    )
+    parser.add_argument("--quiet", action="store_true", help="suppress progress output")
+    args = parser.parse_args(argv)
+
+    spec = _load_spec(args, parser)
+    cells = spec.cells()
+    group_by = tuple(axis.strip() for axis in args.group_by.split(",") if axis.strip())
+    if not group_by:
+        parser.error("--group-by needs at least one axis")
+    # Validate the axes before the sweep runs: a typo must not cost a
+    # multi-minute grid whose results were never persisted.
+    valid_axes = set(cells[0].params()) if cells else set()
+    unknown = [axis for axis in group_by if axis not in valid_axes]
+    if unknown:
+        parser.error(
+            f"unknown --group-by axis {', '.join(unknown)}; "
+            f"available: {', '.join(sorted(valid_axes))}"
+        )
+    if args.dry_run:
+        print(f"campaign {spec.name!r}: {len(cells)} cells")
+        for cell in cells[:10]:
+            print(
+                f"  {cell.cell_id}  {cell.protocol} / {cell.collector} / "
+                f"{cell.workload} / failures={cell.failures} / seed#{cell.seed_index}"
+            )
+        if len(cells) > 10:
+            print(f"  ... and {len(cells) - 10} more")
+        return 0
+
+    def progress(done: int, total: int) -> None:
+        if not args.quiet:
+            print(f"\r{spec.name}: {done}/{total} cells", end="", file=sys.stderr, flush=True)
+
+    started = time.perf_counter()
+    run = run_campaign(
+        spec,
+        store_path=args.store,
+        workers=args.workers,
+        progress=progress,
+        retry_failed=args.retry_failed,
+    )
+    elapsed = time.perf_counter() - started
+    if not args.quiet:
+        print(file=sys.stderr)
+
+    # Report failures before aggregating: if every cell failed, the per-cell
+    # errors below are the only diagnostic the user gets.
+    failed = run.failed_records
+    if failed:
+        print(
+            f"WARNING: {len(failed)} cell(s) failed (recorded, excluded from "
+            f"aggregation):",
+            file=sys.stderr,
+        )
+        for record in failed[:10]:
+            p = record["params"]
+            print(
+                f"  {record['cell_id']}  {p['collector']} / {p['workload']} / "
+                f"failures={p['failures']} / seed#{p['seed_index']}: {record['error']}",
+                file=sys.stderr,
+            )
+        if len(failed) > 10:
+            print(f"  ... and {len(failed) - 10} more", file=sys.stderr)
+    if len(failed) == run.cell_count:
+        print("every cell failed; nothing to aggregate", file=sys.stderr)
+        return 1
+
+    summary = aggregate_campaign(run.records, group_by=group_by)
+    for _, table in summary.tables_by(group_by[0]) if len(group_by) > 1 else [
+        (None, summary.table())
+    ]:
+        print(table.render())
+        print()
+    print(
+        f"{run.cell_count} cells ({run.executed} executed, {run.resumed} resumed "
+        f"from store) in {elapsed:.1f}s with {max(args.workers, 1)} worker(s)"
+    )
+
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        csv_path = os.path.join(args.out, f"{spec.name}.csv")
+        json_path = os.path.join(args.out, f"{spec.name}.json")
+        with open(csv_path, "w", encoding="utf-8") as handle:
+            handle.write(summary.to_csv())
+        with open(json_path, "w", encoding="utf-8") as handle:
+            handle.write(summary.to_json())
+        print(f"aggregates written to {csv_path} and {json_path}")
+    return 0

@@ -1,0 +1,149 @@
+"""Campaign execution: serial or on a ``multiprocessing`` pool.
+
+Every cell is fully self-describing and self-seeded (see
+:mod:`repro.scenarios.campaign.spec`), so execution strategy is pure
+mechanics: the same spec produces bit-identical per-cell metrics whether it
+runs on one worker or sixteen, and a sweep interrupted at any point resumes
+from its JSONL store without re-executing completed cells.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.scenarios.campaign.spec import CampaignCell, CampaignSpec
+from repro.scenarios.campaign.store import CampaignStore
+from repro.simulation.runner import SimulationResult, SimulationRunner
+
+#: The scalar metrics persisted per cell, extracted from a
+#: :class:`SimulationResult`.  Everything downstream (store, aggregation,
+#: tables) works from these names.
+CELL_METRICS: Dict[str, Callable[[SimulationResult], float]] = {
+    "checkpoints": lambda r: r.total_checkpoints,
+    "basic": lambda r: r.basic_checkpoints,
+    "forced": lambda r: r.forced_checkpoints,
+    "messages": lambda r: r.messages_sent,
+    "control": lambda r: r.control_messages,
+    "collected": lambda r: r.total_collected,
+    "final_retained": lambda r: r.total_retained_final,
+    "max_per_process": lambda r: r.max_retained_any_process,
+    "peak_retained": lambda r: r.peak_total_retained,
+    "collection_ratio": lambda r: r.collection_ratio,
+    "recoveries": lambda r: len(r.recoveries),
+}
+
+
+def cell_metrics(result: SimulationResult) -> Dict[str, float]:
+    """Extract the persisted scalar metrics from one run."""
+    return {name: extractor(result) for name, extractor in CELL_METRICS.items()}
+
+
+def execute_cell(cell: CampaignCell) -> Dict[str, Any]:
+    """Run one cell and return its store record (module-level: pool-picklable).
+
+    A cell whose simulation raises is a *result*, not a sweep abort: the
+    paper's own grid contains such points (the time-based collector is unsafe
+    under crash injection — it can discard a checkpoint the recovery line
+    still needs, and recovery then fails).  Failed cells are recorded with
+    ``status: "failed"`` and the error, persist like any other cell (the
+    simulation is deterministic, so re-running them cannot succeed — see
+    ``run_campaign(retry_failed=True)`` for transient causes), and are
+    reported separately by the aggregation layer.
+    """
+    try:
+        result = SimulationRunner(cell.config()).run()
+    except Exception as exc:  # noqa: BLE001 - the record carries the error
+        return {
+            "cell_id": cell.cell_id,
+            "params": cell.params(),
+            "status": "failed",
+            "error": f"{type(exc).__name__}: {exc}",
+        }
+    return {
+        "cell_id": cell.cell_id,
+        "params": cell.params(),
+        "status": "ok",
+        "metrics": cell_metrics(result),
+    }
+
+
+@dataclass
+class CampaignRun:
+    """The outcome of one :func:`run_campaign` invocation."""
+
+    spec: CampaignSpec
+    records: List[Dict[str, Any]]
+    executed: int
+    resumed: int
+
+    @property
+    def cell_count(self) -> int:
+        """Total cells of the campaign (executed + resumed)."""
+        return len(self.records)
+
+    @property
+    def failed_records(self) -> List[Dict[str, Any]]:
+        """The cells whose simulation raised (recorded, never re-run)."""
+        return [r for r in self.records if r.get("status") == "failed"]
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    *,
+    store_path: Optional[str] = None,
+    workers: int = 1,
+    progress: Optional[Callable[[int, int], None]] = None,
+    retry_failed: bool = False,
+) -> CampaignRun:
+    """Execute every cell of ``spec`` and return the full result set.
+
+    ``store_path`` — when given, completed cells stream to a JSONL
+    :class:`CampaignStore`; cells already in the store are *not* re-executed
+    (resume semantics).  ``workers`` — number of pool processes; ``<= 1``
+    runs serially in-process.  ``progress(done, total)`` is invoked after
+    every completed cell.  ``retry_failed`` — re-execute cells the store
+    recorded as failed: the simulation is deterministic, so by default a
+    failure is final, but a transient cause (out-of-memory worker, a since-
+    fixed bug) warrants a retry pass.
+
+    The returned records are in grid-expansion order regardless of the order
+    cells actually completed in, so downstream aggregation is deterministic.
+    """
+    cells = spec.cells()
+    store = CampaignStore(store_path) if store_path else None
+    completed: Dict[str, Dict[str, Any]] = store.load() if store else {}
+    if retry_failed:
+        completed = {
+            cell_id: record
+            for cell_id, record in completed.items()
+            if record.get("status", "ok") == "ok"
+        }
+    pending = [cell for cell in cells if cell.cell_id not in completed]
+    done = len(cells) - len(pending)
+    if progress and done:
+        progress(done, len(cells))
+
+    def _finish(record: Dict[str, Any]) -> None:
+        nonlocal done
+        completed[record["cell_id"]] = record
+        if store is not None:
+            store.append(record)
+        done += 1
+        if progress:
+            progress(done, len(cells))
+
+    if workers <= 1 or len(pending) <= 1:
+        for cell in pending:
+            _finish(execute_cell(cell))
+    else:
+        with multiprocessing.Pool(processes=min(workers, len(pending))) as pool:
+            for record in pool.imap_unordered(execute_cell, pending):
+                _finish(record)
+    return CampaignRun(
+        spec=spec,
+        records=[completed[cell.cell_id] for cell in cells],
+        executed=len(pending),
+        resumed=len(cells) - len(pending),
+    )

@@ -1,0 +1,329 @@
+"""Campaign specifications: declarative grids and their expansion into cells.
+
+A :class:`CampaignSpec` is a cross-product description of a study; expanding
+it yields one :class:`CampaignCell` per grid point.  Cells are *declarative*
+(names and scalar parameters, never live objects) so they are picklable for
+pool execution and hashable for the result store.
+
+Seed derivation.  A cell's identity — its ``cell_id`` — is a SHA-256 digest
+of the canonical JSON encoding of its parameters.  The engine seed and the
+failure-schedule seed are derived from that digest with distinct labels.
+Consequences, by construction:
+
+* the same grid point always runs with the same seeds, no matter where in
+  the grid it sits, in which order cells execute, or on how many workers;
+* two cells differing in any parameter (including the campaign ``base_seed``)
+  get independent seed streams;
+* a stored result can be matched back to its cell without re-running anything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.gc.registry import collector_class, make_collector
+from repro.protocols.registry import protocol_class
+from repro.simulation.failures import FailureSchedule
+from repro.simulation.network import NetworkConfig
+from repro.simulation.runner import SimulationConfig
+from repro.simulation.workloads import Workload, make_workload, workload_class
+from repro.storage.stable import StableStorage
+
+#: Options are stored as sorted ``(key, value)`` tuples: hashable, picklable
+#: and with a canonical order so equal option sets hash identically.
+Options = Tuple[Tuple[str, Any], ...]
+
+_SCALAR_TYPES = (str, int, float, bool, type(None))
+
+
+def _freeze_options(options: Optional[Mapping[str, Any]]) -> Options:
+    if not options:
+        return ()
+    frozen = []
+    for key, value in dict(options).items():
+        if not isinstance(value, _SCALAR_TYPES):
+            # Nested containers would break the hashability the frozen form
+            # promises (and crash the duplicate-axis check with a bare
+            # TypeError far from the offending entry).
+            raise ValueError(
+                f"option {key!r} must be a scalar, got {type(value).__name__}"
+            )
+        frozen.append((str(key), value))
+    return tuple(sorted(frozen))
+
+
+@dataclass(frozen=True)
+class CollectorSpec:
+    """A garbage collector by name plus its construction options."""
+
+    name: str
+    options: Options = ()
+
+    @classmethod
+    def of(cls, name: str, options: Optional[Mapping[str, Any]] = None) -> "CollectorSpec":
+        spec = cls(name, _freeze_options(options))
+        # Fail fast on unknown names AND bad options: a typo'd option must
+        # surface here, not as per-cell failure records mid-sweep.
+        make_collector(name, 0, 2, StableStorage(0), **spec.options_dict())
+        return spec
+
+    def options_dict(self) -> Dict[str, Any]:
+        return dict(self.options)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A workload generator by name plus its construction parameters."""
+
+    name: str
+    params: Options = ()
+
+    @classmethod
+    def of(cls, name: str, params: Optional[Mapping[str, Any]] = None) -> "WorkloadSpec":
+        spec = cls(name, _freeze_options(params))
+        spec.build()  # fail fast on unknown names and bad parameters
+        return spec
+
+    def build(self) -> Workload:
+        return make_workload(self.name, **dict(self.params))
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One grid point of a campaign: everything needed to reproduce one run."""
+
+    campaign: str
+    num_processes: int
+    duration: float
+    protocol: str
+    collector: str
+    collector_options: Options
+    workload: str
+    workload_params: Options
+    failures: int
+    network: NetworkConfig
+    seed_index: int
+    base_seed: int
+    audit: str = "off"
+
+    # ------------------------------------------------------------------
+    # Identity and seed derivation
+    # ------------------------------------------------------------------
+    def params(self) -> Dict[str, Any]:
+        """The canonical, JSON-able description of this cell."""
+        return {
+            "campaign": self.campaign,
+            "num_processes": self.num_processes,
+            "duration": self.duration,
+            "protocol": self.protocol,
+            "collector": self.collector,
+            "collector_options": dict(self.collector_options),
+            "workload": self.workload,
+            "workload_params": dict(self.workload_params),
+            "failures": self.failures,
+            "network": {
+                "base_latency": self.network.base_latency,
+                "jitter": self.network.jitter,
+                "drop_probability": self.network.drop_probability,
+            },
+            "seed_index": self.seed_index,
+            "base_seed": self.base_seed,
+            "audit": self.audit,
+        }
+
+    @property
+    def cell_id(self) -> str:
+        """Stable identity: a digest of the canonical parameter encoding."""
+        canonical = json.dumps(self.params(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    def _derive(self, label: str) -> int:
+        digest = hashlib.sha256(f"{self.cell_id}:{label}".encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    @property
+    def seed(self) -> int:
+        """The engine seed of this cell (derived, execution-order independent)."""
+        return self._derive("engine")
+
+    # ------------------------------------------------------------------
+    # Materialisation
+    # ------------------------------------------------------------------
+    def failure_schedule(self) -> FailureSchedule:
+        """The crash schedule of this cell, derived from the cell identity."""
+        if not self.failures:
+            return FailureSchedule.none()
+        return FailureSchedule.random(
+            num_processes=self.num_processes,
+            duration=self.duration,
+            count=self.failures,
+            rng=random.Random(self._derive("failures")),
+        )
+
+    def config(self) -> SimulationConfig:
+        """Materialise the cell into a runnable :class:`SimulationConfig`."""
+        return SimulationConfig(
+            num_processes=self.num_processes,
+            duration=self.duration,
+            workload=make_workload(self.workload, **dict(self.workload_params)),
+            protocol=self.protocol,
+            collector=self.collector,
+            collector_options=dict(self.collector_options),
+            network=self.network,
+            failures=self.failure_schedule(),
+            seed=self.seed,
+            audit=self.audit,
+            keep_final_ccp=False,
+        )
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A declarative sweep: the cross product of every axis below."""
+
+    name: str
+    num_processes: int = 4
+    duration: float = 120.0
+    protocols: Tuple[str, ...] = ("fdas",)
+    collectors: Tuple[CollectorSpec, ...] = (CollectorSpec("rdt-lgc"),)
+    workloads: Tuple[WorkloadSpec, ...] = (WorkloadSpec("uniform-random"),)
+    failure_counts: Tuple[int, ...] = (0,)
+    networks: Tuple[NetworkConfig, ...] = (NetworkConfig(),)
+    seeds: Tuple[int, ...] = (0,)
+    base_seed: int = 0
+    audit: str = "off"
+
+    def __post_init__(self) -> None:
+        for axis, label in (
+            (self.protocols, "protocols"),
+            (self.collectors, "collectors"),
+            (self.workloads, "workloads"),
+            (self.failure_counts, "failure_counts"),
+            (self.networks, "networks"),
+            (self.seeds, "seeds"),
+        ):
+            if not axis:
+                raise ValueError(f"a campaign needs at least one entry on the {label} axis")
+            if len(set(axis)) != len(axis):
+                # Duplicate entries expand to identical cells (same cell_id),
+                # which would execute twice and double-count in aggregation.
+                raise ValueError(f"duplicate entries on the {label} axis")
+        for protocol in self.protocols:
+            protocol_class(protocol)  # fail fast on unknown names
+        for collector in self.collectors:
+            collector_class(collector.name)
+        for workload in self.workloads:
+            workload_class(workload.name)
+        if any(count < 0 for count in self.failure_counts):
+            raise ValueError("failure counts must be non-negative")
+        if self.audit not in ("off", "safety", "full"):
+            raise ValueError("audit must be one of 'off', 'safety', 'full'")
+
+    @property
+    def cell_count(self) -> int:
+        """Number of cells the grid expands to."""
+        return (
+            len(self.protocols)
+            * len(self.collectors)
+            * len(self.workloads)
+            * len(self.failure_counts)
+            * len(self.networks)
+            * len(self.seeds)
+        )
+
+    def cells(self) -> List[CampaignCell]:
+        """Expand the grid.  The order is deterministic (axis-major), but a
+        cell's identity and seeds do not depend on its position in it."""
+        expanded: List[CampaignCell] = []
+        for protocol, collector, workload, failures, network, seed_index in itertools.product(
+            self.protocols,
+            self.collectors,
+            self.workloads,
+            self.failure_counts,
+            self.networks,
+            self.seeds,
+        ):
+            expanded.append(
+                CampaignCell(
+                    campaign=self.name,
+                    num_processes=self.num_processes,
+                    duration=self.duration,
+                    protocol=protocol,
+                    collector=collector.name,
+                    collector_options=collector.options,
+                    workload=workload.name,
+                    workload_params=workload.params,
+                    failures=failures,
+                    network=network,
+                    seed_index=seed_index,
+                    base_seed=self.base_seed,
+                    audit=self.audit,
+                )
+            )
+        return expanded
+
+
+def spec_from_mapping(document: Mapping[str, Any]) -> CampaignSpec:
+    """Build a :class:`CampaignSpec` from a JSON-style mapping.
+
+    Axis entries may be bare names (``"rdt-lgc"``) or mappings with a ``name``
+    and ``options`` / ``params``; ``seeds`` may be a list of seed indices or an
+    integer count (expanded to ``range(count)``); ``networks`` entries are
+    mappings of :class:`NetworkConfig` fields.  Unknown keys are rejected —
+    a typoed axis name must not silently run a different study.
+    """
+    known_keys = {
+        "name", "num_processes", "duration", "protocols", "collectors",
+        "workloads", "failure_counts", "networks", "seeds", "base_seed", "audit",
+    }
+    unknown = sorted(set(document) - known_keys)
+    if unknown:
+        raise ValueError(
+            f"unknown campaign spec keys: {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(known_keys))}"
+        )
+    for axis in ("protocols", "collectors", "workloads", "failure_counts", "networks"):
+        if isinstance(document.get(axis), (str, bytes)):
+            # tuple("fdas") would expand to ('f','d','a','s') and produce
+            # baffling unknown-name errors for each character.
+            raise ValueError(f"the {axis} axis must be a list, not a bare string")
+
+    def _collector(entry: Any) -> CollectorSpec:
+        if isinstance(entry, str):
+            return CollectorSpec.of(entry)
+        return CollectorSpec.of(entry["name"], entry.get("options"))
+
+    def _workload(entry: Any) -> WorkloadSpec:
+        if isinstance(entry, str):
+            return WorkloadSpec.of(entry)
+        return WorkloadSpec.of(entry["name"], entry.get("params"))
+
+    seeds = document.get("seeds", 1)
+    if isinstance(seeds, (str, bytes)):
+        # "10" would otherwise be iterated per character into seeds (1, 0).
+        raise ValueError("seeds must be an integer count or a list of seed indices")
+    if isinstance(seeds, int):
+        seeds = tuple(range(seeds))
+    else:
+        seeds = tuple(int(s) for s in seeds)
+    networks = tuple(
+        NetworkConfig(**entry) for entry in document.get("networks", ({},))
+    )
+    return CampaignSpec(
+        name=str(document["name"]),
+        num_processes=int(document.get("num_processes", 4)),
+        duration=float(document.get("duration", 120.0)),
+        protocols=tuple(document.get("protocols", ("fdas",))),
+        collectors=tuple(_collector(c) for c in document.get("collectors", ("rdt-lgc",))),
+        workloads=tuple(_workload(w) for w in document.get("workloads", ("uniform-random",))),
+        failure_counts=tuple(int(f) for f in document.get("failure_counts", (0,))),
+        networks=networks,
+        seeds=seeds,
+        base_seed=int(document.get("base_seed", 0)),
+        audit=str(document.get("audit", "off")),
+    )

@@ -1,0 +1,117 @@
+"""Resumable JSONL result store for campaigns.
+
+One line per completed cell::
+
+    {"cell_id": "...", "params": {...}, "metrics": {...}}
+
+Lines are appended and flushed as cells complete, so a killed sweep loses at
+most the cell in flight.  On load, a trailing half-written line (the usual
+artefact of a kill) is skipped; everything before it is preserved, which is
+what makes re-running a campaign resume instead of restart.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Mapping
+
+
+class CampaignStore:
+    """Append-only JSONL persistence keyed by ``cell_id``."""
+
+    def __init__(self, path: str) -> None:
+        self._path = path
+
+    @property
+    def path(self) -> str:
+        """Location of the JSONL file."""
+        return self._path
+
+    def exists(self) -> bool:
+        """True if the store file is present on disk."""
+        return os.path.exists(self._path)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def load(self) -> Dict[str, Dict[str, Any]]:
+        """All completed records, keyed by ``cell_id``.
+
+        Records are returned in file order; a later record for the same cell
+        (possible if two sweeps raced on one store) wins.  Unparseable lines
+        are tolerated only at the end of the file — anywhere else they mean
+        the store is corrupt, and silently dropping them would quietly
+        re-execute (and duplicate) cells.
+        """
+        records: Dict[str, Dict[str, Any]] = {}
+        if not self.exists():
+            return records
+        with open(self._path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        for index, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if index == len(lines) - 1:
+                    break  # half-written final line of a killed sweep
+                raise ValueError(
+                    f"corrupt campaign store {self._path!r}: "
+                    f"unparseable record on line {index + 1}"
+                )
+            if not isinstance(record, dict) or "cell_id" not in record:
+                raise ValueError(
+                    f"corrupt campaign store {self._path!r}: "
+                    f"record on line {index + 1} is not a cell record"
+                )
+            records[record["cell_id"]] = record
+        return records
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def append(self, record: Mapping[str, Any]) -> None:
+        """Persist one completed cell (flushed immediately).
+
+        If the file ends with a half-written line (killed sweep), appending
+        blindly would glue the new record onto it — losing the record and
+        turning the partial line into interior corruption that every later
+        :meth:`load` rejects.  The tail is repaired first: a complete but
+        unterminated record gets its newline; a truly partial one is
+        truncated (its cell was never marked complete, so nothing is lost).
+        """
+        if "cell_id" not in record:
+            raise ValueError("campaign records need a cell_id")
+        directory = os.path.dirname(os.path.abspath(self._path))
+        os.makedirs(directory, exist_ok=True)
+        self._repair_tail()
+        with open(self._path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(dict(record), sort_keys=True) + "\n")
+            handle.flush()
+
+    def _repair_tail(self) -> None:
+        """Terminate or truncate a non-newline-terminated final line."""
+        if not self.exists() or os.path.getsize(self._path) == 0:
+            return
+        with open(self._path, "rb+") as handle:
+            handle.seek(-1, os.SEEK_END)
+            if handle.read(1) == b"\n":
+                return
+            handle.seek(0)
+            content = handle.read()
+            cut = content.rfind(b"\n") + 1
+            tail = content[cut:]
+            try:
+                parsed = json.loads(tail.decode("utf-8"))
+                complete = isinstance(parsed, dict) and "cell_id" in parsed
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                complete = False
+            if complete:
+                handle.seek(0, os.SEEK_END)
+                handle.write(b"\n")
+            else:
+                handle.seek(cut)
+                handle.truncate()

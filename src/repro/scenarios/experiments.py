@@ -1,15 +1,27 @@
-"""Convenience experiment builders shared by tests, examples and benchmarks.
+"""Experiment builders shared by tests, examples and benchmarks.
 
-These helpers assemble :class:`repro.simulation.SimulationConfig` objects for
-the experiment shapes used throughout the repository: a generic random run, a
-protocol/collector comparison sweep and the Figure-5 worst-case run.
+Two tiers live here:
+
+* single-run helpers (:func:`random_run_config`, :func:`run_random_simulation`,
+  :func:`run_worst_case`) — one :class:`SimulationConfig` at a time, used by
+  unit tests and the figure reproductions;
+* campaign builders (:func:`paper_campaign_spec`, :func:`smoke_campaign_spec`,
+  :func:`run_collector_comparison`) — declarative
+  :class:`repro.scenarios.campaign.CampaignSpec` grids executed by the
+  campaign subsystem.  The paper's evaluation study (every collector ×
+  every workload shape × several failure rates × many seeds) is the
+  flagship spec; the smoke spec is the same shape shrunk to seconds for the
+  regression gate.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Mapping, Optional
+from typing import Mapping, Optional, Sequence, Tuple
 
+from repro.scenarios.campaign.aggregate import CampaignSummary, aggregate_campaign
+from repro.scenarios.campaign.executor import CampaignRun, run_campaign
+from repro.scenarios.campaign.spec import CampaignSpec, CollectorSpec, WorkloadSpec
 from repro.simulation.failures import FailureSchedule
 from repro.simulation.network import NetworkConfig
 from repro.simulation.runner import SimulationConfig, SimulationResult, SimulationRunner
@@ -88,3 +100,102 @@ def run_worst_case(
         keep_final_ccp=True,
     )
     return SimulationRunner(config).run()
+
+
+# ----------------------------------------------------------------------
+# Campaign specs
+# ----------------------------------------------------------------------
+
+#: Every registered collector with the options the evaluation study uses.
+STUDY_COLLECTORS: Tuple[Tuple[str, Mapping[str, object]], ...] = (
+    ("none", {}),
+    ("rdt-lgc", {}),
+    ("all-process-line", {"period": 20.0}),
+    ("wang-coordinated", {"period": 20.0}),
+    ("manivannan-singhal", {"checkpoint_period": 8.0, "max_message_delay": 3.0}),
+)
+
+#: The workload shapes of the evaluation study.
+STUDY_WORKLOADS: Tuple[Tuple[str, Mapping[str, object]], ...] = (
+    ("client-server", {}),
+    ("pipeline", {}),
+    ("uniform-random", {"mean_checkpoint_gap": 6.0}),
+    ("ring", {}),
+)
+
+
+def paper_campaign_spec(
+    *,
+    num_processes: int = 4,
+    duration: float = 120.0,
+    num_seeds: int = 10,
+    failure_counts: Sequence[int] = (0, 2),
+    protocols: Sequence[str] = ("fdas",),
+    base_seed: int = 0,
+) -> CampaignSpec:
+    """The paper's collector-comparison grid as a campaign.
+
+    All five collectors × the four workload shapes × the requested failure
+    rates × ``num_seeds`` seeded repetitions — the study Sections 5-6 of the
+    paper report, sized by the caller.
+    """
+    return CampaignSpec(
+        name="paper-collector-comparison",
+        num_processes=num_processes,
+        duration=duration,
+        protocols=tuple(protocols),
+        collectors=tuple(
+            CollectorSpec.of(name, options) for name, options in STUDY_COLLECTORS
+        ),
+        workloads=tuple(
+            WorkloadSpec.of(name, params) for name, params in STUDY_WORKLOADS
+        ),
+        failure_counts=tuple(failure_counts),
+        seeds=tuple(range(num_seeds)),
+        base_seed=base_seed,
+    )
+
+
+def smoke_campaign_spec(*, num_seeds: int = 2) -> CampaignSpec:
+    """A seconds-sized campaign with the paper grid's shape.
+
+    Used by the tier-1 regression gate to exercise expansion, pool execution
+    and aggregation cheaply: two collectors, two workloads, one failure level
+    and ``num_seeds`` seeds at a short duration.
+    """
+    return CampaignSpec(
+        name="smoke-collector-comparison",
+        num_processes=3,
+        duration=40.0,
+        collectors=(
+            CollectorSpec.of("rdt-lgc"),
+            CollectorSpec.of("wang-coordinated", {"period": 15.0}),
+        ),
+        workloads=(
+            WorkloadSpec.of("uniform-random"),
+            WorkloadSpec.of("client-server"),
+        ),
+        failure_counts=(0, 1),
+        seeds=tuple(range(num_seeds)),
+    )
+
+
+def run_collector_comparison(
+    spec: Optional[CampaignSpec] = None,
+    *,
+    workers: int = 1,
+    store_path: Optional[str] = None,
+    progress=None,
+    group_by: Sequence[str] = ("workload", "collector", "failures"),
+    metrics: Optional[Sequence[str]] = None,
+) -> Tuple[CampaignRun, CampaignSummary]:
+    """Run a collector-comparison campaign and aggregate it.
+
+    Defaults to the full paper grid; pass :func:`smoke_campaign_spec` (or any
+    custom spec) to change scope.  Returns the raw run and its per-``group_by``
+    summary (default: workload × collector × failure level).
+    """
+    if spec is None:
+        spec = paper_campaign_spec()
+    run = run_campaign(spec, store_path=store_path, workers=workers, progress=progress)
+    return run, aggregate_campaign(run.records, group_by=group_by, metrics=metrics)

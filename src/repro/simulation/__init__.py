@@ -33,6 +33,10 @@ from repro.simulation.workloads import (
     UniformRandomWorkload,
     Workload,
     WorstCaseWorkload,
+    available_workloads,
+    make_workload,
+    register_workload,
+    workload_class,
 )
 
 __all__ = [
@@ -55,4 +59,8 @@ __all__ = [
     "UniformRandomWorkload",
     "Workload",
     "WorstCaseWorkload",
+    "available_workloads",
+    "make_workload",
+    "register_workload",
+    "workload_class",
 ]

@@ -48,14 +48,42 @@ class FailureSchedule:
         rng: random.Random,
         warmup_fraction: float = 0.2,
     ) -> "FailureSchedule":
-        """``count`` crashes of random processes at random times after a warm-up."""
+        """``count`` crashes of random processes at random times after a warm-up.
+
+        Crash times are drawn from the half-open ``[start, duration)``:
+        workloads generate actions strictly before ``duration``, and a crash
+        at the very instant the run ends would trigger a recovery session
+        that no subsequent execution can observe — so schedules follow the
+        same end-exclusive convention.  ``rng.uniform(start, duration)`` can
+        return exactly ``duration`` (the nominal interval is closed), so
+        boundary draws, and duplicate ``(time, pid)`` draws — the same
+        process cannot crash twice at the same instant — are rejected and
+        redrawn.
+        """
         if count < 0:
             raise ValueError("the number of crashes must be non-negative")
+        if duration <= 0:
+            raise ValueError("the duration must be positive")
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ValueError("the warm-up fraction must be in [0, 1)")
         start = duration * warmup_fraction
-        crashes = [
-            Crash(rng.uniform(start, duration), rng.randrange(num_processes))
-            for _ in range(count)
-        ]
+        crashes: List[Crash] = []
+        seen = set()
+        attempts = 0
+        max_attempts = 1000 + 100 * count
+        while len(crashes) < count:
+            attempts += 1
+            if attempts > max_attempts:
+                raise RuntimeError(
+                    f"could not draw {count} distinct crashes in "
+                    f"[{start}, {duration}) after {max_attempts} attempts"
+                )
+            time = rng.uniform(start, duration)
+            pid = rng.randrange(num_processes)
+            if time >= duration or (time, pid) in seen:
+                continue
+            seen.add((time, pid))
+            crashes.append(Crash(time, pid))
         return cls(tuple(sorted(crashes)))
 
     def __len__(self) -> int:

@@ -30,7 +30,7 @@ import abc
 import enum
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 
 class ActionKind(enum.Enum):
@@ -43,9 +43,16 @@ class ActionKind(enum.Enum):
         return self.value
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True)
 class Action:
-    """A timed application action."""
+    """A timed application action.
+
+    Actions are deliberately *not* ``order=True``: the dataclass comparison
+    would fall through to the :class:`ActionKind` enum (unorderable —
+    ``TypeError``) and to ``Optional[int]`` targets (``None`` vs ``int``)
+    whenever two actions share ``(time, pid)``.  Ordering is explicit via
+    :meth:`Action.sort_key` / :meth:`Workload._sorted` instead.
+    """
 
     time: float
     pid: int
@@ -55,6 +62,11 @@ class Action:
     def __post_init__(self) -> None:
         if self.kind is ActionKind.SEND and self.target is None:
             raise ValueError("SEND actions need a target process")
+
+    def sort_key(self) -> Tuple[float, int, str, int]:
+        """The canonical schedule order: time, process, then a deterministic
+        kind/target tiebreak so equal-timestamp sorts are stable across runs."""
+        return (self.time, self.pid, self.kind.value, -1 if self.target is None else self.target)
 
 
 class Workload(abc.ABC):
@@ -70,7 +82,7 @@ class Workload(abc.ABC):
 
     @staticmethod
     def _sorted(actions: List[Action]) -> List[Action]:
-        return sorted(actions, key=lambda a: (a.time, a.pid))
+        return sorted(actions, key=Action.sort_key)
 
 
 class UniformRandomWorkload(Workload):
@@ -120,8 +132,10 @@ class ClientServerWorkload(Workload):
         server_think_time: float = 1.0,
         mean_checkpoint_gap: float = 12.0,
     ) -> None:
-        if mean_request_gap <= 0 or mean_checkpoint_gap <= 0 or server_think_time < 0:
-            raise ValueError("workload parameters must be positive")
+        if mean_request_gap <= 0 or mean_checkpoint_gap <= 0:
+            raise ValueError("mean gaps must be positive")
+        if server_think_time < 0:
+            raise ValueError("the server think time must be non-negative")
         self._request_gap = mean_request_gap
         self._think_time = server_think_time
         self._checkpoint_gap = mean_checkpoint_gap
@@ -278,3 +292,56 @@ class ScriptedWorkload(Workload):
                     f"run has only {num_processes} processes"
                 )
         return self._sorted(list(self._actions))
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+# The campaign layer describes workloads declaratively — ``(name, params)``
+# rather than instances — so that sweep cells stay picklable and hashable.
+# Only generative workloads are registered: :class:`ScriptedWorkload` needs an
+# explicit action list and cannot be built from scalar parameters.
+_WORKLOADS: Dict[str, Type[Workload]] = {
+    cls.name: cls
+    for cls in (
+        UniformRandomWorkload,
+        ClientServerWorkload,
+        PipelineWorkload,
+        RingWorkload,
+        WorstCaseWorkload,
+    )
+}
+
+
+def available_workloads() -> List[str]:
+    """Names of all registered workload generators."""
+    return sorted(_WORKLOADS)
+
+
+def workload_class(name: str) -> Type[Workload]:
+    """The workload class registered under ``name``."""
+    try:
+        return _WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(sorted(_WORKLOADS))}"
+        ) from None
+
+
+def make_workload(name: str, **params: object) -> Workload:
+    """Instantiate the workload registered under ``name``."""
+    return workload_class(name)(**params)  # type: ignore[arg-type]
+
+
+def register_workload(cls: Type[Workload]) -> Type[Workload]:
+    """Register a custom workload class (usable as a decorator)."""
+    if not issubclass(cls, Workload):
+        raise TypeError("workloads must subclass Workload")
+    if "name" not in cls.__dict__:
+        # An inherited name would silently shadow the parent's registration
+        # (campaign specs naming it would then build the subclass).
+        raise ValueError(
+            f"{cls.__name__} must define its own `name` to be registered"
+        )
+    _WORKLOADS[cls.name] = cls
+    return cls

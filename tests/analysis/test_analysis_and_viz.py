@@ -18,6 +18,23 @@ class TestAggregation:
         assert stats.maximum == 3.0
         assert stats.count == 3
 
+    def test_spread_is_the_sample_stdev(self):
+        # Seeded runs are a sample of the run distribution, so the spread must
+        # use the n-1 estimator, not the population one.
+        import statistics
+
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        stats = aggregate(values)
+        assert stats.stdev == pytest.approx(statistics.stdev(values))
+        assert stats.stdev > statistics.pstdev(values)
+
+    def test_single_observation_has_zero_spread(self):
+        assert aggregate([7.0]).stdev == 0.0
+
+    def test_str_surfaces_the_spread(self):
+        text = str(aggregate([1.0, 3.0]))
+        assert "±" in text and "n=2" in text
+
     def test_aggregate_empty_rejected(self):
         with pytest.raises(ValueError):
             aggregate([])
@@ -76,6 +93,22 @@ class TestTextTable:
         table = TextTable(["a"])
         table.add_rows([[1], [2]])
         assert table.row_count == 2
+
+    def test_render_csv(self):
+        table = TextTable(["name", "value"])
+        table.add_row("with,comma", 1.5)
+        lines = table.render_csv().splitlines()
+        assert lines[0] == "name,value"
+        assert lines[1] == '"with,comma",1.50'
+
+    def test_render_json_keeps_raw_values(self):
+        import json
+
+        table = TextTable(["name", "value"], title="demo")
+        table.add_row("alpha", 123.456)
+        document = json.loads(table.render_json())
+        assert document["title"] == "demo"
+        assert document["rows"] == [{"name": "alpha", "value": 123.456}]
 
 
 class TestAsciiDiagrams:

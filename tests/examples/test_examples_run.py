@@ -11,6 +11,7 @@ FAST_EXAMPLES = [
     "quickstart.py",
     "paper_figures_walkthrough.py",
     "failure_recovery_demo.py",
+    "campaign_quickstart.py",
 ]
 
 
@@ -28,6 +29,14 @@ def test_quickstart_reports_safety(capsys):
     output = capsys.readouterr().out
     assert "safe (Theorem 4) in every audit     True" in output.replace("  ", " ") or "True" in output
     assert "recovery at" in output
+
+
+def test_campaign_quickstart_demonstrates_resume(capsys):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, "campaign_quickstart.py"))
+    runpy.run_path(path, run_name="__main__")
+    output = capsys.readouterr().out
+    assert "8 executed, 0 resumed" in output
+    assert "0 executed, 8 resumed" in output
 
 
 def test_figures_walkthrough_mentions_every_figure(capsys):

@@ -1,0 +1,469 @@
+"""Tests for the campaign subsystem: expansion, seeding, store, pool, aggregation."""
+
+import json
+import statistics
+
+import pytest
+
+import repro.scenarios.campaign.executor as executor_module
+from repro.scenarios.campaign import (
+    CampaignSpec,
+    CampaignStore,
+    CollectorSpec,
+    WorkloadSpec,
+    aggregate_campaign,
+    run_campaign,
+    spec_from_mapping,
+)
+from repro.scenarios.campaign.cli import main as campaign_main
+from repro.scenarios.experiments import paper_campaign_spec, smoke_campaign_spec
+
+
+def tiny_spec(*, seeds=(0, 1), failure_counts=(0,), name="tiny"):
+    """A seconds-fast grid: 2 collectors x 1 workload x the given seeds."""
+    return CampaignSpec(
+        name=name,
+        num_processes=3,
+        duration=25.0,
+        collectors=(
+            CollectorSpec.of("rdt-lgc"),
+            CollectorSpec.of("none"),
+        ),
+        workloads=(WorkloadSpec.of("uniform-random"),),
+        failure_counts=failure_counts,
+        seeds=seeds,
+    )
+
+
+class TestSpecExpansion:
+    def test_cell_count_matches_expansion(self):
+        spec = tiny_spec()
+        assert spec.cell_count == 4
+        assert len(spec.cells()) == 4
+
+    def test_paper_grid_shape(self):
+        spec = paper_campaign_spec()
+        # 5 collectors x 4 workloads x 2 failure levels x 10 seeds
+        assert spec.cell_count == 5 * 4 * 2 * 10
+
+    def test_unknown_names_rejected_eagerly(self):
+        with pytest.raises(KeyError):
+            CollectorSpec.of("no-such-collector")
+        with pytest.raises(KeyError):
+            WorkloadSpec.of("no-such-workload")
+        with pytest.raises(KeyError):
+            CampaignSpec(name="x", protocols=("no-such-protocol",))
+
+    def test_bad_options_rejected_eagerly(self):
+        # A typo'd option must fail at spec-build time, not surface as
+        # per-cell "failed" records halfway through a sweep.
+        with pytest.raises(TypeError):
+            WorkloadSpec.of("ring", {"perod": 2.0})
+        with pytest.raises(TypeError):
+            CollectorSpec.of("wang-coordinated", {"periot": 20.0})
+        with pytest.raises(ValueError, match="must be a scalar"):
+            CollectorSpec.of("rdt-lgc", {"p": [1, 2]})
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(name="x", seeds=())
+        with pytest.raises(ValueError):
+            CampaignSpec(name="x", collectors=())
+
+    def test_negative_failure_counts_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(name="x", failure_counts=(-1,))
+
+    def test_duplicate_axis_entries_rejected(self):
+        # Duplicates would expand to identical cells (same cell_id), execute
+        # twice and double-count in aggregation.
+        with pytest.raises(ValueError, match="duplicate"):
+            CampaignSpec(name="x", seeds=(0, 0))
+        with pytest.raises(ValueError, match="duplicate"):
+            CampaignSpec(
+                name="x",
+                collectors=(CollectorSpec.of("rdt-lgc"), CollectorSpec.of("rdt-lgc")),
+            )
+
+    def test_unknown_mapping_keys_rejected(self):
+        with pytest.raises(ValueError, match="failure_count"):
+            spec_from_mapping({"name": "x", "failure_count": [0, 2]})
+
+    def test_bare_string_axes_rejected(self):
+        # tuple("fdas") would expand per character into ('f','d','a','s').
+        with pytest.raises(ValueError, match="must be a list"):
+            spec_from_mapping({"name": "x", "protocols": "fdas"})
+        with pytest.raises(ValueError, match="must be a list"):
+            spec_from_mapping({"name": "x", "collectors": "rdt-lgc"})
+
+    def test_spec_from_mapping(self):
+        spec = spec_from_mapping(
+            {
+                "name": "mapped",
+                "num_processes": 3,
+                "duration": 30.0,
+                "collectors": [
+                    "rdt-lgc",
+                    {"name": "wang-coordinated", "options": {"period": 10.0}},
+                ],
+                "workloads": [{"name": "ring", "params": {"period": 2.0}}],
+                "failure_counts": [0, 1],
+                "seeds": 3,
+            }
+        )
+        assert spec.cell_count == 2 * 1 * 2 * 3
+        assert spec.collectors[1].options_dict() == {"period": 10.0}
+        assert spec.workloads[0].build().name == "ring"
+
+
+class TestCellIdentity:
+    def test_cell_id_independent_of_grid_position(self):
+        forward = {c.cell_id: c for c in tiny_spec().cells()}
+        spec_reversed = CampaignSpec(
+            name="tiny",
+            num_processes=3,
+            duration=25.0,
+            collectors=(CollectorSpec.of("none"), CollectorSpec.of("rdt-lgc")),
+            workloads=(WorkloadSpec.of("uniform-random"),),
+            failure_counts=(0,),
+            seeds=(1, 0),
+        )
+        backward = {c.cell_id: c for c in spec_reversed.cells()}
+        assert set(forward) == set(backward)
+        for cell_id, cell in forward.items():
+            assert backward[cell_id].seed == cell.seed
+
+    def test_any_parameter_changes_the_identity(self):
+        base = tiny_spec().cells()[0]
+        sibling = tiny_spec(name="other").cells()[0]
+        assert base.cell_id != sibling.cell_id
+        assert base.seed != sibling.seed
+
+    def test_cells_have_distinct_seeds(self):
+        cells = paper_campaign_spec(num_seeds=5).cells()
+        assert len({c.seed for c in cells}) == len(cells)
+
+    def test_failure_schedule_is_reproducible_and_in_bounds(self):
+        cell = tiny_spec(failure_counts=(2,)).cells()[0]
+        first = cell.failure_schedule()
+        second = cell.failure_schedule()
+        assert first == second
+        assert len(first) == 2
+        for crash in first:
+            assert crash.time < cell.duration
+
+    def test_config_materialisation(self):
+        cell = tiny_spec(failure_counts=(1,)).cells()[0]
+        config = cell.config()
+        assert config.num_processes == 3
+        assert config.collector == cell.collector
+        assert config.seed == cell.seed
+        assert len(config.failures) == 1
+
+
+class TestStore:
+    def test_append_load_roundtrip(self, tmp_path):
+        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        store.append({"cell_id": "a", "params": {}, "metrics": {"x": 1.5}})
+        store.append({"cell_id": "b", "params": {}, "metrics": {"x": 2.0}})
+        loaded = store.load()
+        assert set(loaded) == {"a", "b"}
+        assert loaded["a"]["metrics"]["x"] == 1.5
+
+    def test_half_written_final_line_is_skipped(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        store = CampaignStore(str(path))
+        store.append({"cell_id": "a", "metrics": {}})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"cell_id": "b", "metr')  # killed mid-write
+        assert set(store.load()) == {"a"}
+
+    def test_append_after_half_written_line_repairs_the_tail(self, tmp_path):
+        # A kill mid-write leaves a partial final line; appending must not
+        # glue the new record onto it (which would lose the record and turn
+        # the partial line into interior corruption on the next append).
+        path = tmp_path / "s.jsonl"
+        store = CampaignStore(str(path))
+        store.append({"cell_id": "a", "metrics": {}})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"cell_id": "b", "metr')  # killed mid-write
+        store.append({"cell_id": "b", "metrics": {"x": 1.0}})
+        store.append({"cell_id": "c", "metrics": {}})
+        loaded = store.load()  # must not raise: the partial line is gone
+        assert set(loaded) == {"a", "b", "c"}
+        assert loaded["b"]["metrics"]["x"] == 1.0
+
+    def test_append_terminates_a_complete_unterminated_record(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        store = CampaignStore(str(path))
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"cell_id": "a", "metrics": {}}')  # no newline
+        store.append({"cell_id": "b", "metrics": {}})
+        assert set(store.load()) == {"a", "b"}
+
+    def test_corrupt_interior_line_raises(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("not json\n")
+            handle.write(json.dumps({"cell_id": "a"}) + "\n")
+        with pytest.raises(ValueError):
+            CampaignStore(str(path)).load()
+
+    def test_non_record_json_line_raises_value_error(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("42\n")
+        with pytest.raises(ValueError, match="not a cell record"):
+            CampaignStore(str(path)).load()
+
+    def test_later_record_wins(self, tmp_path):
+        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        store.append({"cell_id": "a", "metrics": {"x": 1.0}})
+        store.append({"cell_id": "a", "metrics": {"x": 9.0}})
+        assert store.load()["a"]["metrics"]["x"] == 9.0
+
+    def test_records_without_cell_id_rejected(self, tmp_path):
+        store = CampaignStore(str(tmp_path / "s.jsonl"))
+        with pytest.raises(ValueError):
+            store.append({"metrics": {}})
+
+
+class TestExecution:
+    def test_pool_and_serial_runs_are_identical(self):
+        spec = tiny_spec()
+        serial = run_campaign(spec, workers=1)
+        pooled = run_campaign(spec, workers=3)
+        assert serial.executed == pooled.executed == spec.cell_count
+        assert serial.records == pooled.records
+        assert (
+            aggregate_campaign(serial.records).to_csv()
+            == aggregate_campaign(pooled.records).to_csv()
+        )
+
+    def test_records_follow_expansion_order(self):
+        spec = tiny_spec()
+        expected = [cell.cell_id for cell in spec.cells()]
+        run = run_campaign(spec, workers=2)
+        assert [record["cell_id"] for record in run.records] == expected
+
+    def test_progress_reports_every_cell(self):
+        spec = tiny_spec(seeds=(0,))
+        seen = []
+        run_campaign(spec, progress=lambda done, total: seen.append((done, total)))
+        assert seen == [(1, 2), (2, 2)]
+
+    def test_resume_after_kill_skips_completed_cells(self, tmp_path, monkeypatch):
+        spec = tiny_spec()
+        store_path = str(tmp_path / "sweep.jsonl")
+        uninterrupted = aggregate_campaign(run_campaign(spec).records)
+
+        real = executor_module.execute_cell
+        calls = {"n": 0}
+
+        def dies_after_two(cell):
+            if calls["n"] == 2:
+                raise KeyboardInterrupt("killed mid-sweep")
+            calls["n"] += 1
+            return real(cell)
+
+        monkeypatch.setattr(executor_module, "execute_cell", dies_after_two)
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(spec, store_path=store_path)
+        monkeypatch.setattr(executor_module, "execute_cell", real)
+        assert len(CampaignStore(store_path).load()) == 2
+
+        executed = []
+        monkeypatch.setattr(
+            executor_module,
+            "execute_cell",
+            lambda cell: executed.append(cell.cell_id) or real(cell),
+        )
+        resumed = run_campaign(spec, store_path=store_path)
+        assert resumed.executed == spec.cell_count - 2
+        assert resumed.resumed == 2
+        assert len(executed) == spec.cell_count - 2
+        # Identical results to the uninterrupted run, and one line per cell.
+        assert aggregate_campaign(resumed.records).to_csv() == uninterrupted.to_csv()
+        with open(store_path, "r", encoding="utf-8") as handle:
+            assert len(handle.readlines()) == spec.cell_count
+
+        final = run_campaign(spec, store_path=store_path)
+        assert final.executed == 0
+        assert final.resumed == spec.cell_count
+
+    def test_smoke_spec_runs_with_failures(self):
+        run = run_campaign(smoke_campaign_spec(num_seeds=1))
+        crashed = [
+            r for r in run.records if r["params"]["failures"] and r["metrics"]["recoveries"]
+        ]
+        assert crashed, "failure cells must actually inject crashes"
+
+    def test_failing_cells_are_recorded_not_fatal(self, tmp_path):
+        # client-server on a single process raises inside the simulation; the
+        # sweep must record the failure and keep going (the paper grid itself
+        # contains such points: the unsafe collector breaking recovery).
+        spec = CampaignSpec(
+            name="partial-failure",
+            num_processes=1,
+            duration=20.0,
+            collectors=(CollectorSpec.of("rdt-lgc"),),
+            workloads=(
+                WorkloadSpec.of("uniform-random"),
+                WorkloadSpec.of("client-server"),
+            ),
+            seeds=(0, 1),
+        )
+        store_path = str(tmp_path / "partial.jsonl")
+        run = run_campaign(spec, store_path=store_path)
+        assert run.executed == 4
+        failed = run.failed_records
+        assert len(failed) == 2
+        assert all(r["params"]["workload"] == "client-server" for r in failed)
+        assert all("error" in r for r in failed)
+
+        summary = aggregate_campaign(run.records, group_by=("workload",))
+        by_workload = {g.key[0]: g for g in summary.groups}
+        assert by_workload["uniform-random"].count == 2
+        assert by_workload["uniform-random"].failed == 0
+        assert by_workload["client-server"].count == 0
+        assert by_workload["client-server"].failed == 2
+        assert by_workload["client-server"].stats == {}
+        rendered = summary.table().render()
+        assert "failed" in rendered
+        assert "-" in rendered  # metric cells of the all-failed group
+        csv_rows = {line.split(",")[0]: line for line in summary.to_csv().splitlines()[1:]}
+        assert csv_rows["client-server"].endswith(",0,2")  # 0 runs, 2 failed
+        assert csv_rows["uniform-random"].endswith(",2,0")
+
+        # Failed cells are persisted and not re-executed on resume.
+        resumed = run_campaign(spec, store_path=store_path)
+        assert resumed.executed == 0
+        assert resumed.resumed == 4
+
+        # retry_failed re-executes exactly the failed cells (deterministic
+        # failures fail again; the escape hatch exists for transient causes).
+        retried = run_campaign(spec, store_path=store_path, retry_failed=True)
+        assert retried.executed == 2
+        assert retried.resumed == 2
+        assert len(retried.failed_records) == 2
+
+    def test_all_failed_campaign_rejected_in_aggregation(self):
+        spec = CampaignSpec(
+            name="all-fail",
+            num_processes=1,
+            duration=20.0,
+            collectors=(CollectorSpec.of("rdt-lgc"),),
+            workloads=(WorkloadSpec.of("client-server"),),
+            seeds=(0,),
+        )
+        run = run_campaign(spec)
+        with pytest.raises(ValueError):
+            aggregate_campaign(run.records)
+
+
+class TestAggregation:
+    def test_single_seed_has_zero_spread(self):
+        run = run_campaign(tiny_spec(seeds=(0,)))
+        summary = aggregate_campaign(run.records, group_by=("collector",))
+        for group in summary.groups:
+            assert group.count == 1
+            for stats in group.stats.values():
+                assert stats.stdev == 0.0
+                assert stats.minimum == stats.maximum == stats.mean
+
+    def test_multi_seed_uses_sample_stdev(self):
+        run = run_campaign(tiny_spec(seeds=(0, 1, 2)))
+        summary = aggregate_campaign(run.records, group_by=("collector",))
+        by_collector = {g.key[0]: g for g in summary.groups}
+        values = [
+            r["metrics"]["peak_retained"]
+            for r in run.records
+            if r["params"]["collector"] == "rdt-lgc"
+        ]
+        stats = by_collector["rdt-lgc"].stats["peak_retained"]
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(statistics.fmean(values))
+        assert stats.stdev == pytest.approx(statistics.stdev(values))
+
+    def test_group_by_and_tables(self):
+        run = run_campaign(tiny_spec(failure_counts=(0, 1)))
+        summary = aggregate_campaign(run.records)
+        assert summary.group_by == ("workload", "collector", "failures")
+        assert len(summary.groups) == 4  # 2 collectors x 2 failure levels
+        text = summary.table().render()
+        assert "rdt-lgc" in text and "±" in text
+        sections = summary.tables_by("workload")
+        assert len(sections) == 1 and sections[0][0] == "uniform-random"
+        with pytest.raises(ValueError):
+            summary.tables_by("collector_options")
+
+    def test_unknown_metric_rejected(self):
+        run = run_campaign(tiny_spec(seeds=(0,)))
+        with pytest.raises(KeyError):
+            aggregate_campaign(run.records, metrics=("no-such-metric",))
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_campaign([])
+
+    def test_csv_and_json_exports_are_full_precision(self):
+        run = run_campaign(tiny_spec(seeds=(0, 1)))
+        summary = aggregate_campaign(run.records, group_by=("collector",))
+        csv_text = summary.to_csv()
+        assert csv_text.splitlines()[0].startswith("collector,peak_retained_mean")
+        document = json.loads(summary.to_json())
+        assert document["campaign"] == "tiny"
+        ratio = document["groups"][0]["stats"]["collection_ratio"]["mean"]
+        assert 0.0 <= ratio <= 1.0
+
+
+class TestCli:
+    def test_dry_run_prints_expansion(self, capsys):
+        assert campaign_main(["--dry-run", "--seeds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "cells" in out and "paper-collector-comparison" in out
+
+    def test_spec_file_run_with_store_and_out(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(
+            json.dumps(
+                {
+                    "name": "cli-sweep",
+                    "num_processes": 3,
+                    "duration": 20.0,
+                    "collectors": ["rdt-lgc"],
+                    "workloads": ["uniform-random"],
+                    "seeds": 2,
+                }
+            )
+        )
+        store = tmp_path / "store.jsonl"
+        out_dir = tmp_path / "out"
+        argv = [
+            "--spec", str(spec_path),
+            "--store", str(store),
+            "--out", str(out_dir),
+            "--group-by", "collector",
+            "--quiet",
+        ]
+        assert campaign_main(argv) == 0
+        first = capsys.readouterr().out
+        assert "2 executed, 0 resumed" in first
+        assert (out_dir / "cli-sweep.csv").exists()
+        assert (out_dir / "cli-sweep.json").exists()
+        # Second invocation resumes everything from the store.
+        assert campaign_main(argv) == 0
+        second = capsys.readouterr().out
+        assert "0 executed, 2 resumed" in second
+
+    def test_spec_file_rejects_default_grid_flags(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({"name": "x", "seeds": 1}))
+        with pytest.raises(SystemExit):
+            campaign_main(["--spec", str(spec_path), "--seeds", "50", "--dry-run"])
+        assert "cannot be combined with --spec" in capsys.readouterr().err
+
+    def test_group_by_typo_rejected_before_the_sweep_runs(self, capsys):
+        with pytest.raises(SystemExit):
+            campaign_main(["--group-by", "workload,colector", "--quiet"])
+        assert "unknown --group-by axis colector" in capsys.readouterr().err

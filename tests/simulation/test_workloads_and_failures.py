@@ -13,7 +13,10 @@ from repro.simulation.workloads import (
     RingWorkload,
     ScriptedWorkload,
     UniformRandomWorkload,
+    Workload,
     WorstCaseWorkload,
+    available_workloads,
+    make_workload,
 )
 
 
@@ -24,7 +27,29 @@ class TestActions:
 
     def test_actions_sort_by_time(self):
         actions = [Action(2.0, 0, ActionKind.CHECKPOINT), Action(1.0, 1, ActionKind.CHECKPOINT)]
-        assert sorted(actions)[0].time == 1.0
+        assert Workload._sorted(actions)[0].time == 1.0
+
+    def test_actions_are_not_implicitly_orderable(self):
+        # Dataclass ordering fell through to the ActionKind enum (TypeError)
+        # whenever two actions shared (time, pid); ordering is explicit now.
+        with pytest.raises(TypeError):
+            Action(1.0, 0, ActionKind.CHECKPOINT) < Action(1.0, 0, ActionKind.SEND, 1)
+
+    def test_equal_timestamp_actions_sort_deterministically(self):
+        actions = [
+            Action(1.0, 0, ActionKind.SEND, 2),
+            Action(1.0, 0, ActionKind.CHECKPOINT),
+            Action(1.0, 0, ActionKind.SEND, 1),
+        ]
+        expected = [
+            Action(1.0, 0, ActionKind.CHECKPOINT),
+            Action(1.0, 0, ActionKind.SEND, 1),
+            Action(1.0, 0, ActionKind.SEND, 2),
+        ]
+        for seed in range(5):
+            shuffled = list(actions)
+            random.Random(seed).shuffle(shuffled)
+            assert Workload._sorted(shuffled) == expected
 
 
 class TestGeneratedWorkloads:
@@ -62,6 +87,30 @@ class TestGeneratedWorkloads:
             RingWorkload(period=0)
         with pytest.raises(ValueError):
             WorstCaseWorkload(round_length=0)
+
+    def test_client_server_accepts_instant_server(self):
+        # server_think_time = 0 is valid (and the error message says so).
+        ClientServerWorkload(server_think_time=0.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            ClientServerWorkload(server_think_time=-0.1)
+
+    def test_registry_builds_workloads_by_name(self):
+        assert "uniform-random" in available_workloads()
+        assert "scripted" not in available_workloads()  # needs an action list
+        workload = make_workload("ring", period=2.0)
+        assert isinstance(workload, RingWorkload)
+        with pytest.raises(KeyError):
+            make_workload("no-such-workload")
+
+    def test_register_rejects_inherited_name(self):
+        from repro.simulation.workloads import register_workload
+
+        class Shadow(UniformRandomWorkload):
+            pass  # no `name` of its own -> would shadow "uniform-random"
+
+        with pytest.raises(ValueError, match="its own `name`"):
+            register_workload(Shadow)
+        assert make_workload("uniform-random").__class__ is UniformRandomWorkload
 
     def test_client_server_needs_two_processes(self):
         with pytest.raises(ValueError):
@@ -130,6 +179,59 @@ class TestFailureSchedules:
         with pytest.raises(ValueError):
             FailureSchedule.random(
                 num_processes=2, duration=10.0, count=-1, rng=random.Random(0)
+            )
+
+    def test_invalid_duration_and_warmup_rejected(self):
+        with pytest.raises(ValueError):
+            FailureSchedule.random(
+                num_processes=2, duration=0.0, count=1, rng=random.Random(0)
+            )
+        with pytest.raises(ValueError):
+            FailureSchedule.random(
+                num_processes=2, duration=10.0, count=1, rng=random.Random(0),
+                warmup_fraction=1.0,
+            )
+
+    def test_boundary_time_draws_are_redrawn(self):
+        # rng.uniform(start, duration) can return exactly `duration`, but
+        # crash schedules are end-exclusive like workload actions: a crash at
+        # the instant the run ends triggers a recovery no execution observes.
+        class BoundaryRng(random.Random):
+            def __init__(self, values):
+                super().__init__(0)
+                self._values = list(values)
+
+            def uniform(self, a, b):
+                return self._values.pop(0) if self._values else super().uniform(a, b)
+
+            def randrange(self, *args, **kwargs):
+                return 0
+
+        rng = BoundaryRng([100.0, 50.0, 50.0, 60.0])  # boundary, ok, duplicate, ok
+        schedule = FailureSchedule.random(
+            num_processes=4, duration=100.0, count=2, rng=rng
+        )
+        assert [crash.time for crash in schedule] == [50.0, 60.0]
+        assert all(crash.time < 100.0 for crash in schedule)
+
+    def test_crashes_are_never_at_or_past_duration(self):
+        for seed in range(25):
+            schedule = FailureSchedule.random(
+                num_processes=3, duration=50.0, count=4, rng=random.Random(seed)
+            )
+            assert all(crash.time < 50.0 for crash in schedule)
+
+    def test_duplicate_instants_for_a_pid_are_rejected(self):
+        class ConstantRng(random.Random):
+            def uniform(self, a, b):
+                return 30.0
+
+            def randrange(self, *args, **kwargs):
+                return 1
+
+        with pytest.raises(RuntimeError):
+            FailureSchedule.random(
+                num_processes=2, duration=100.0, count=2, rng=ConstantRng(0)
             )
 
     def test_crash_ordering(self):
