@@ -61,13 +61,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--fresh", action="store_true",
         help="ignore (and overwrite) any existing result store",
     )
+    parser.add_argument(
+        "--traces", action="store_true",
+        help="persist a replayable trace artifact per cell next to the store "
+             "(re-aggregate/re-audit later with `python -m repro.traceio replay`)",
+    )
     args = parser.parse_args(argv)
 
     if args.smoke:
         # The smoke grid is fixed-shape; accepting the sizing flags alongside
         # it would silently run a different sweep than the user asked for.
-        if args.seeds != parser.get_default("seeds") or args.duration != parser.get_default("duration"):
-            parser.error("--seeds/--duration shape the paper grid and cannot be combined with --smoke")
+        if args.seeds != parser.get_default("seeds") or args.duration != parser.get_default(
+            "duration"
+        ):
+            parser.error(
+                "--seeds/--duration shape the paper grid and cannot be combined with --smoke"
+            )
         spec = smoke_campaign_spec()
         store_name = "campaign_smoke_grid"
     else:
@@ -84,8 +93,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{len(spec.failure_counts)} failure levels x {len(spec.seeds)} seeds), "
         f"{args.workers} worker(s)"
     )
+    trace_dir = os.path.join(RESULTS_DIR, f"{store_name}_traces") if args.traces else None
     started = time.perf_counter()
-    run = run_campaign(spec, store_path=store_path, workers=args.workers)
+    run = run_campaign(
+        spec, store_path=store_path, workers=args.workers, trace_dir=trace_dir
+    )
     elapsed = time.perf_counter() - started
 
     if len(run.failed_records) == run.cell_count:
@@ -118,6 +130,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     print(f"store: {store_path}")
     print(f"aggregates: {csv_path}, {json_path}")
+    if trace_dir:
+        print(f"replayable traces: {trace_dir}")
     return 0
 
 

@@ -29,7 +29,8 @@ def test_fig3_recovery_line(benchmark, emit_table):
         ["quantity", "paper (Figure 3)", "measured (equivalent scenario)"],
         title="Figure 3 — recovery line for F = {p2, p3}",
     )
-    table.add_row("line excludes s3^last", "yes (s2^last -> s3^last)", line.indices[2] < ccp.last_stable(2))
+    excludes_last = line.indices[2] < ccp.last_stable(2)
+    table.add_row("line excludes s3^last", "yes (s2^last -> s3^last)", excludes_last)
     table.add_row("line matches Definition 5", "unique by Lemma 1", line == brute)
     table.add_row("recovery line components", "last non-preceded per process", line.indices)
     table.add_row("obsolete checkpoints", "5 (incl. holes)", sum(len(g) for g in grouped))

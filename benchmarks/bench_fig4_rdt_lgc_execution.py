@@ -48,7 +48,8 @@ def test_fig4_rdt_lgc_execution(benchmark, emit_table):
         title="Figure 4 — RDT-LGC execution",
     )
     table.add_row("annotated (DV, UC) states matching", "16 / 16", f"{16 - len(mismatches)} / 16")
-    table.add_row("checkpoints eliminated online", "s2^2, s3^1, s3^2", sorted(str(c) for c in eliminated))
+    eliminated_text = sorted(str(c) for c in eliminated)
+    table.add_row("checkpoints eliminated online", "s2^2, s3^1, s3^2", eliminated_text)
     table.add_row(
         "obsolete but retained",
         "s2^1 (p2 unaware of p3's progress)",

@@ -134,9 +134,19 @@ def _suite_old(recorder: TraceRecorder) -> Dict[str, int]:
 
 
 def run_config(
-    num_processes: int, num_messages: int, samples: int, *, seed: int = SEED
+    num_processes: int,
+    num_messages: int,
+    samples: int,
+    *,
+    seed: int = SEED,
+    trace_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
-    """Benchmark one configuration; returns a BENCH_perf.json row."""
+    """Benchmark one configuration; returns a BENCH_perf.json row.
+
+    With ``trace_dir`` the measured pattern is additionally persisted as a
+    replayable :mod:`repro.traceio` artifact, so a regression seen in CI can
+    be re-analysed offline against the *exact* pattern that was measured.
+    """
     script = random_ccp_script(
         seed,
         num_processes=num_processes,
@@ -144,6 +154,20 @@ def run_config(
         checkpoint_rate=CHECKPOINT_RATE,
     )
     recorder = TraceRecorder(num_processes)
+    writer = None
+    if trace_dir is not None:
+        from repro.traceio.writer import TraceWriter
+
+        writer = TraceWriter.scripted(
+            os.path.join(
+                trace_dir, f"perf_p{num_processes}_m{num_messages}.trace.jsonl"
+            ),
+            num_processes,
+            seed=seed,
+            workload=f"random_ccp_script(checkpoint_rate={CHECKPOINT_RATE})",
+            meta={"suite": "bench_perf_scaling", "samples": samples},
+        )
+        recorder.attach_sink(writer)
     feeder = TraceFeeder(recorder)
     measure_old_everywhere = num_messages <= OLD_PATH_EVERY_INSTANT_LIMIT
 
@@ -174,6 +198,8 @@ def run_config(
             old_total += time.perf_counter() - start
             old_instants += 1
 
+    if writer is not None:
+        writer.seal()
     assert last_new is not None and last_old is not None
     if last_new != last_old:
         raise AssertionError(
@@ -212,12 +238,19 @@ def _warmup() -> None:
     _suite_old(recorder)
 
 
-def run_sweep(configs: List[Tuple[int, int, int]], *, seed: int = SEED) -> Dict[str, Any]:
+def run_sweep(
+    configs: List[Tuple[int, int, int]],
+    *,
+    seed: int = SEED,
+    trace_dir: Optional[str] = None,
+) -> Dict[str, Any]:
     """Run every configuration and assemble the BENCH_perf.json document."""
     _warmup()
     rows = []
     for num_processes, num_messages, samples in configs:
-        row = run_config(num_processes, num_messages, samples, seed=seed)
+        row = run_config(
+            num_processes, num_messages, samples, seed=seed, trace_dir=trace_dir
+        )
         rows.append(row)
         print(
             f"  {num_processes} procs x {num_messages} msgs: "
@@ -251,11 +284,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--output", default=OUTPUT_PATH, help="where to write the JSON document"
     )
     parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument(
+        "--traces", default=None,
+        help="directory for replayable artifacts of the measured patterns",
+    )
     args = parser.parse_args(argv)
 
     configs = SMOKE_SWEEP if args.quick else FULL_SWEEP
     print(f"bench_perf_scaling: {len(configs)} configurations")
-    document = run_sweep(configs, seed=args.seed)
+    document = run_sweep(configs, seed=args.seed, trace_dir=args.traces)
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
         handle.write("\n")

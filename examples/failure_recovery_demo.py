@@ -32,7 +32,8 @@ def main() -> None:
     result = SimulationRunner(config).run()
 
     table = TextTable(
-        ["time", "failed", "recovery line", "processes rolled back", "lost ckpts", "collected by Alg. 3"],
+        ["time", "failed", "recovery line", "processes rolled back", "lost ckpts",
+         "collected by Alg. 3"],
         title="Recovery sessions (pipeline workload, FDAS + RDT-LGC)",
     )
     for record in result.recoveries:

@@ -8,7 +8,6 @@ domino effect for Figure 2, recovery-line determination for Figure 3, the full
 annotated RDT-LGC execution for Figure 4 and the worst-case bound for Figure 5.
 """
 
-from repro.ccp.checkpoint import CheckpointId
 from repro.ccp.rdt import check_rdt
 from repro.ccp.zigzag import ZigzagAnalysis
 from repro.core.obsolete import obsolete_stable_checkpoints_theorem1

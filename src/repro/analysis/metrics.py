@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Sequence
+from typing import Callable, Dict, Iterable, Sequence
 
 from repro.simulation.runner import SimulationResult
 

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.causality.cuts import Cut
-from repro.causality.events import Event, EventId, EventKind, EventLog
+from repro.causality.events import Event, EventId, EventLog
 from repro.causality.happens_before import CausalOrder
 from repro.ccp.checkpoint import Checkpoint, CheckpointId, CheckpointKind
 
@@ -208,7 +208,8 @@ class CCP:
 
     def stable_ids(self, pid: int) -> List[CheckpointId]:
         """All stable checkpoint ids of ``pid``, in index order."""
-        return [CheckpointId(pid, e.checkpoint_index) for e in self._stable_events[pid]]  # type: ignore[arg-type]
+        events = self._stable_events[pid]
+        return [CheckpointId(pid, e.checkpoint_index) for e in events]  # type: ignore[arg-type]
 
     def general_ids(self, pid: int) -> List[CheckpointId]:
         """All general checkpoint ids of ``pid`` (stable then volatile)."""

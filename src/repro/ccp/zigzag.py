@@ -218,7 +218,7 @@ class _ZigzagBase:
         return self.zigzag_exists(checkpoint, checkpoint)
 
     def useless_checkpoints(self) -> List[CheckpointId]:
-        """All checkpoints involved in a zigzag cycle (cannot be in any consistent global checkpoint)."""
+        """All checkpoints on a zigzag cycle (in no consistent global checkpoint)."""
         return [
             cid
             for pid in self._ccp.processes

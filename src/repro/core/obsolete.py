@@ -110,7 +110,8 @@ def retained_stable_checkpoints_theorem1(ccp: CCP) -> Set[CheckpointId]:
 # Theorem 2 — obsolete from causal knowledge only
 # ----------------------------------------------------------------------
 def _last_known_checkpoint(ccp: CCP, observer: int, subject: int) -> int:
-    """``last_k_observer(subject)``: latest stable checkpoint of ``subject`` known to ``observer``."""
+    """``last_k_observer(subject)``: latest stable checkpoint of ``subject``
+    known to ``observer``."""
     volatile = ccp.volatile_id(observer)
     best = -1
     for cid in ccp.stable_ids(subject):

@@ -6,7 +6,7 @@ The registry lets benchmarks and examples sweep over protocols by name
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Type
+from typing import Dict, List, Type
 
 from repro.protocols.base import CheckpointingProtocol
 from repro.protocols.cbr import CheckpointBeforeReceiveProtocol

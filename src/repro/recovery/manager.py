@@ -11,7 +11,7 @@ simulated processes is the job of :mod:`repro.simulation`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Tuple
 
 from repro.ccp.checkpoint import CheckpointId

@@ -33,6 +33,7 @@ from repro.scenarios.campaign.executor import (
     cell_metrics,
     execute_cell,
     run_campaign,
+    trace_filename,
 )
 from repro.scenarios.campaign.spec import (
     CampaignCell,
@@ -60,4 +61,5 @@ __all__ = [
     "execute_cell",
     "run_campaign",
     "spec_from_mapping",
+    "trace_filename",
 ]

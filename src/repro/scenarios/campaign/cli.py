@@ -99,6 +99,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="re-execute cells the store recorded as failed (transient causes)",
     )
     parser.add_argument(
+        "--traces", default=None,
+        help="directory for per-cell replayable trace artifacts "
+             "(re-aggregate later with `python -m repro.traceio replay`)",
+    )
+    parser.add_argument(
         "--out", default=None,
         help="directory for the aggregate tables as CSV and JSON",
     )
@@ -149,6 +154,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         workers=args.workers,
         progress=progress,
         retry_failed=args.retry_failed,
+        trace_dir=args.traces,
     )
     elapsed = time.perf_counter() - started
     if not args.quiet:
@@ -186,6 +192,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{run.cell_count} cells ({run.executed} executed, {run.resumed} resumed "
         f"from store) in {elapsed:.1f}s with {max(args.workers, 1)} worker(s)"
     )
+    if args.traces:
+        print(f"replayable traces in {args.traces}")
 
     if args.out:
         os.makedirs(args.out, exist_ok=True)

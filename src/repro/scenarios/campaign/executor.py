@@ -9,38 +9,50 @@ from its JSONL store without re-executing completed cells.
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
+import os
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.scenarios.campaign.spec import CampaignCell, CampaignSpec
 from repro.scenarios.campaign.store import CampaignStore
 from repro.simulation.runner import SimulationResult, SimulationRunner
 
-#: The scalar metrics persisted per cell, extracted from a
-#: :class:`SimulationResult`.  Everything downstream (store, aggregation,
-#: tables) works from these names.
-CELL_METRICS: Dict[str, Callable[[SimulationResult], float]] = {
-    "checkpoints": lambda r: r.total_checkpoints,
-    "basic": lambda r: r.basic_checkpoints,
-    "forced": lambda r: r.forced_checkpoints,
-    "messages": lambda r: r.messages_sent,
-    "control": lambda r: r.control_messages,
-    "collected": lambda r: r.total_collected,
-    "final_retained": lambda r: r.total_retained_final,
-    "max_per_process": lambda r: r.max_retained_any_process,
-    "peak_retained": lambda r: r.peak_total_retained,
-    "collection_ratio": lambda r: r.collection_ratio,
-    "recoveries": lambda r: len(r.recoveries),
-}
+#: The scalar metrics persisted per cell, in extraction order.  The values
+#: come from :meth:`repro.simulation.runner.SimulationResult.metrics_dict`
+#: (the canonical extraction, shared with trace footers); everything
+#: downstream (store, aggregation, tables) works from these names.
+CELL_METRICS: Tuple[str, ...] = (
+    "checkpoints",
+    "basic",
+    "forced",
+    "messages",
+    "control",
+    "collected",
+    "final_retained",
+    "max_per_process",
+    "peak_retained",
+    "collection_ratio",
+    "recoveries",
+)
 
 
 def cell_metrics(result: SimulationResult) -> Dict[str, float]:
     """Extract the persisted scalar metrics from one run."""
-    return {name: extractor(result) for name, extractor in CELL_METRICS.items()}
+    return result.metrics_dict()
 
 
-def execute_cell(cell: CampaignCell) -> Dict[str, Any]:
+def trace_filename(cell_id: str) -> str:
+    """The per-cell trace artifact name used by traced sweeps."""
+    return f"{cell_id}.trace.jsonl"
+
+
+def execute_cell(
+    cell: CampaignCell,
+    trace_dir: Optional[str] = None,
+    cell_index: Optional[int] = None,
+) -> Dict[str, Any]:
     """Run one cell and return its store record (module-level: pool-picklable).
 
     A cell whose simulation raises is a *result*, not a sweep abort: the
@@ -51,22 +63,52 @@ def execute_cell(cell: CampaignCell) -> Dict[str, Any]:
     simulation is deterministic, so re-running them cannot succeed — see
     ``run_campaign(retry_failed=True)`` for transient causes), and are
     reported separately by the aggregation layer.
+
+    With ``trace_dir`` the cell's run streams a replayable
+    :mod:`repro.traceio` artifact to ``<trace_dir>/<cell_id>.trace.jsonl``;
+    the trace header carries the cell identity, canonical parameters and
+    grid-expansion index, so the sweep can later be re-aggregated (or
+    re-audited event by event) from the artifacts alone.  Trace persistence
+    never changes the simulation itself: cell identity and seeds are derived
+    from the cell parameters only.
     """
-    try:
-        result = SimulationRunner(cell.config()).run()
-    except Exception as exc:  # noqa: BLE001 - the record carries the error
-        return {
+    config = cell.config()
+    record: Dict[str, Any] = {"cell_id": cell.cell_id, "params": cell.params()}
+    if trace_dir is not None:
+        meta: Dict[str, Any] = {
+            "campaign": cell.campaign,
             "cell_id": cell.cell_id,
             "params": cell.params(),
-            "status": "failed",
-            "error": f"{type(exc).__name__}: {exc}",
         }
-    return {
-        "cell_id": cell.cell_id,
-        "params": cell.params(),
-        "status": "ok",
-        "metrics": cell_metrics(result),
-    }
+        if cell_index is not None:
+            meta["cell_index"] = cell_index
+        config = dataclasses.replace(
+            config,
+            trace_path=os.path.join(trace_dir, trace_filename(cell.cell_id)),
+            trace_meta=meta,
+        )
+        record["trace"] = trace_filename(cell.cell_id)
+    try:
+        result = SimulationRunner(config).run()
+    except Exception as exc:  # noqa: BLE001 - the record carries the error
+        record["status"] = "failed"
+        record["error"] = f"{type(exc).__name__}: {exc}"
+        return record
+    record["status"] = "ok"
+    record["metrics"] = cell_metrics(result)
+    return record
+
+
+def _execute_cell_args(args: Tuple[CampaignCell, Optional[str], int]) -> Dict[str, Any]:
+    """Pool adapter: one-argument wrapper around :func:`execute_cell`.
+
+    Untraced sweeps call ``execute_cell(cell)`` exactly as before — the
+    single-argument seam tests and custom drivers hook into.
+    """
+    cell, trace_dir, cell_index = args
+    if trace_dir is None:
+        return execute_cell(cell)
+    return execute_cell(cell, trace_dir=trace_dir, cell_index=cell_index)
 
 
 @dataclass
@@ -96,6 +138,7 @@ def run_campaign(
     workers: int = 1,
     progress: Optional[Callable[[int, int], None]] = None,
     retry_failed: bool = False,
+    trace_dir: Optional[str] = None,
 ) -> CampaignRun:
     """Execute every cell of ``spec`` and return the full result set.
 
@@ -106,7 +149,10 @@ def run_campaign(
     every completed cell.  ``retry_failed`` — re-execute cells the store
     recorded as failed: the simulation is deterministic, so by default a
     failure is final, but a transient cause (out-of-memory worker, a since-
-    fixed bug) warrants a retry pass.
+    fixed bug) warrants a retry pass.  ``trace_dir`` — when given, every
+    *executed* cell additionally persists a replayable :mod:`repro.traceio`
+    artifact there (cells resumed from the store keep whatever trace their
+    original execution left).
 
     The returned records are in grid-expansion order regardless of the order
     cells actually completed in, so downstream aggregation is deterministic.
@@ -120,7 +166,13 @@ def run_campaign(
             for cell_id, record in completed.items()
             if record.get("status", "ok") == "ok"
         }
-    pending = [cell for cell in cells if cell.cell_id not in completed]
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
+    pending = [
+        (cell, trace_dir, index)
+        for index, cell in enumerate(cells)
+        if cell.cell_id not in completed
+    ]
     done = len(cells) - len(pending)
     if progress and done:
         progress(done, len(cells))
@@ -135,11 +187,11 @@ def run_campaign(
             progress(done, len(cells))
 
     if workers <= 1 or len(pending) <= 1:
-        for cell in pending:
-            _finish(execute_cell(cell))
+        for args in pending:
+            _finish(_execute_cell_args(args))
     else:
         with multiprocessing.Pool(processes=min(workers, len(pending))) as pool:
-            for record in pool.imap_unordered(execute_cell, pending):
+            for record in pool.imap_unordered(_execute_cell_args, pending):
                 _finish(record)
     return CampaignRun(
         spec=spec,

@@ -10,7 +10,7 @@ centralized :class:`repro.recovery.RecoveryManager`.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Tuple
 
 

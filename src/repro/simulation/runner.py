@@ -42,6 +42,11 @@ class SimulationConfig:
     sample_interval: Optional[float] = None
     audit: str = "off"
     keep_final_ccp: bool = False
+    #: When set, the run streams a replayable trace artifact to this path
+    #: (see :mod:`repro.traceio`); ``trace_meta`` is free-form provenance
+    #: persisted in the trace header (campaign cell identity and the like).
+    trace_path: Optional[str] = None
+    trace_meta: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.num_processes <= 0:
@@ -154,6 +159,29 @@ class SimulationResult:
         """True if no audit observed an optimality violation."""
         return all(audit.is_optimal for audit in self.audits)
 
+    def metrics_dict(self) -> Dict[str, float]:
+        """The scalar per-run metrics persisted by campaign stores and traces.
+
+        This is the canonical extraction: the campaign executor's
+        ``cell_metrics`` delegates here, and
+        :func:`repro.traceio.format.metrics_from_record` mirrors it key for
+        key so a persisted trace can reproduce campaign aggregates without
+        re-simulation.
+        """
+        return {
+            "checkpoints": self.total_checkpoints,
+            "basic": self.basic_checkpoints,
+            "forced": self.forced_checkpoints,
+            "messages": self.messages_sent,
+            "control": self.control_messages,
+            "collected": self.total_collected,
+            "final_retained": self.total_retained_final,
+            "max_per_process": self.max_retained_any_process,
+            "peak_retained": self.peak_total_retained,
+            "collection_ratio": self.collection_ratio,
+            "recoveries": len(self.recoveries),
+        }
+
     def summary(self) -> Dict[str, Any]:
         """A flat dictionary of the headline numbers (used by report tables)."""
         return {
@@ -186,9 +214,23 @@ class SimulationRunner:
         self._samples: List[StorageSample] = []
         self._recoveries: List[RecoveryRecord] = []
         self._audits: List[AuditRecord] = []
-        self._build_nodes()
-        self._network.on_app_delivery(self._deliver_app)
-        self._network.on_control_delivery(self._deliver_control)
+        self._writer = None
+        if config.trace_path is not None:
+            # Imported lazily: repro.traceio sits above the simulation layer.
+            from repro.traceio.writer import TraceWriter
+
+            self._writer = TraceWriter(config.trace_path, config)
+            self._trace.attach_sink(self._writer)
+        try:
+            self._build_nodes()
+            self._network.on_app_delivery(self._deliver_app)
+            self._network.on_control_delivery(self._deliver_control)
+        except BaseException as exc:
+            # Seal the trace instead of leaking a header-only artifact when
+            # construction fails (unknown collector name, bad workload, …).
+            if self._writer is not None and not self._writer.closed:
+                self._writer.abort(f"{type(exc).__name__}: {exc}")
+            raise
 
     # ------------------------------------------------------------------
     # Construction
@@ -247,7 +289,27 @@ class SimulationRunner:
     # Running
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
-        """Execute the configured experiment and return its results."""
+        """Execute the configured experiment and return its results.
+
+        With :attr:`SimulationConfig.trace_path` set, the run's trace streams
+        to disk as it happens and is sealed with a footer on completion; a
+        run that raises seals the trace as ``aborted`` instead (still
+        replayable up to the failure point) and re-raises.
+        """
+        try:
+            result = self._run()
+        except BaseException as exc:
+            if self._writer is not None and not self._writer.closed:
+                self._writer.abort(f"{type(exc).__name__}: {exc}")
+            raise
+        if self._writer is not None:
+            self._writer.finalize(
+                result,
+                final_volatile_dvs=[node.current_dv for node in self._nodes],
+            )
+        return result
+
+    def _run(self) -> SimulationResult:
         config = self._config
         for node in self._nodes:
             node.start()
@@ -288,14 +350,15 @@ class SimulationRunner:
         self._engine.schedule_after(interval, sample_and_reschedule)
 
     def _take_sample(self) -> None:
-        self._samples.append(
-            StorageSample(
-                time=self._engine.now,
-                retained_per_process=tuple(
-                    node.storage.retained_count() for node in self._nodes
-                ),
-            )
+        sample = StorageSample(
+            time=self._engine.now,
+            retained_per_process=tuple(
+                node.storage.retained_count() for node in self._nodes
+            ),
         )
+        self._samples.append(sample)
+        if self._writer is not None:
+            self._writer.write_sample(sample.time, sample.retained_per_process)
 
     def current_ccp(self) -> CCP:
         """The CCP of the execution recorded so far.

@@ -30,17 +30,60 @@ process's history at its recovery-line component (the resulting prefix is a
 consistent cut because the recovery line is consistent), forgets the
 checkpoints that were rolled back, and rebuilds the incremental state from the
 truncated log (the one place the live substrate is invalidated wholesale).
+
+Persistence: the recorder accepts :class:`TraceSink` observers
+(:meth:`attach_sink`).  Every successfully recorded occurrence — including
+recovery sessions, which replay needs to reproduce the history truncation —
+is forwarded to each sink in recording order, which is how
+:class:`repro.traceio.writer.TraceWriter` turns a live run into a durable,
+replayable artifact without the recorder knowing anything about files.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Protocol, Sequence, Tuple
 
 from repro.causality.events import EventKind, EventLog
 from repro.causality.happens_before import CausalOrder
 from repro.ccp.checkpoint import CheckpointId
 from repro.ccp.pattern import CCP, MessageInterval
 from repro.recovery.rollback_plan import RollbackPlan
+
+
+class TraceSink(Protocol):
+    """Observer of recorded occurrences, in recording order.
+
+    Callbacks fire *after* the recorder accepted the occurrence (validation
+    passed, internal state mutated), so a sink only ever sees occurrences
+    that are part of the recorded history.  Replaying the same callback
+    sequence into a fresh :class:`TraceRecorder` rebuilds an identical
+    recorder — the contract :mod:`repro.traceio` is built on.
+    """
+
+    def on_send(
+        self, sender: int, receiver: int, message_id: int, time: float
+    ) -> None:
+        """An application send was recorded."""
+
+    def on_receive(self, message_id: int, time: float) -> None:
+        """A message delivery was recorded."""
+
+    def on_checkpoint(
+        self,
+        pid: int,
+        index: int,
+        dependency_vector: Sequence[int],
+        *,
+        forced: bool,
+        time: float,
+    ) -> None:
+        """A stable checkpoint (and its stored vector) was recorded."""
+
+    def on_internal(self, pid: int, time: float) -> None:
+        """An internal application event was recorded."""
+
+    def on_recovery(self, plan: RollbackPlan) -> None:
+        """A recovery session truncated the recorded history."""
 
 
 class TraceRecorder:
@@ -59,6 +102,7 @@ class TraceRecorder:
         self._pending_sends: Dict[int, Tuple[int, int, int, int]] = {}
         # Memoised snapshot: (version, volatile-DV fingerprint, CCP).
         self._ccp_cache: Optional[Tuple[int, object, CCP]] = None
+        self._sinks: List[TraceSink] = []
 
     # ------------------------------------------------------------------
     # Introspection
@@ -83,6 +127,17 @@ class TraceRecorder:
         return dict(self._recorded_dvs)
 
     # ------------------------------------------------------------------
+    # Persistence sinks
+    # ------------------------------------------------------------------
+    def attach_sink(self, sink: TraceSink) -> None:
+        """Forward every subsequently recorded occurrence to ``sink``.
+
+        Sinks attached mid-run only observe the suffix; attach before the
+        first event (the runner does) to capture a replayable trace.
+        """
+        self._sinks.append(sink)
+
+    # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
     def record_send(
@@ -99,6 +154,8 @@ class TraceRecorder:
             event.seq,
         )
         self._version += 1
+        for sink in self._sinks:
+            sink.on_send(sender, receiver, message_id, time)
 
     def record_receive(self, message_id: int, time: float) -> None:
         """Record the delivery of an application message.
@@ -121,6 +178,8 @@ class TraceRecorder:
             receive_seq=event.seq,
         )
         self._version += 1
+        for sink in self._sinks:
+            sink.on_receive(message_id, time)
 
     def record_checkpoint(
         self,
@@ -136,11 +195,15 @@ class TraceRecorder:
         self._recorded_dvs[CheckpointId(pid, index)] = tuple(dependency_vector)
         self._checkpoints_taken[pid] = index + 1
         self._version += 1
+        for sink in self._sinks:
+            sink.on_checkpoint(pid, index, dependency_vector, forced=forced, time=time)
 
     def record_internal(self, pid: int, time: float) -> None:
         """Record an internal application event (used by scripted scenarios)."""
         self._log.add_internal(pid, time=time)
         self._version += 1
+        for sink in self._sinks:
+            sink.on_internal(pid, time)
 
     # ------------------------------------------------------------------
     # Recovery sessions
@@ -190,6 +253,8 @@ class TraceRecorder:
                 del self._recorded_dvs[cid]
         self._rebuild_incremental_state()
         self._version += 1
+        for sink in self._sinks:
+            sink.on_recovery(plan)
 
     def _rebuild_incremental_state(self) -> None:
         """Re-derive the live substrate after history was truncated."""

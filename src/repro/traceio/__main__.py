@@ -1,0 +1,10 @@
+"""``python -m repro.traceio`` — trace capture/replay from the shell.
+
+Thin launcher for :mod:`repro.traceio.cli`; see that module (or
+``python -m repro.traceio --help``) for the subcommands.
+"""
+
+from repro.traceio.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

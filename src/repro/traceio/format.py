@@ -1,0 +1,283 @@
+"""The on-disk trace format: constants, record codecs and error types.
+
+A persisted trace is a JSONL file with three kinds of lines:
+
+* **header** (first line, a JSON object): format magic, format version,
+  process count, and the full provenance of the run — engine seed, protocol,
+  collector (with options), workload description, network parameters, the
+  injected failure schedule, plus free-form ``meta`` (campaign cell identity
+  when the trace was produced by a campaign sweep);
+* **records** (middle lines, JSON arrays): compact tagged tuples, one per
+  recorded occurrence, appended and flushed in the exact order the live
+  :class:`repro.simulation.trace.TraceRecorder` observed them — which is what
+  makes replay deterministic;
+* **footer** (last line, a JSON object under the ``"footer"`` key): record
+  and event counts (truncation detection), the run's scalar result record and
+  derived per-cell metrics, the final volatile dependency vectors, and the
+  completion status.
+
+Record tags
+-----------
+
+======  ============================================================
+tag     payload
+======  ============================================================
+``s``   ``[sender, receiver, message_id, time]`` — application send
+``r``   ``[message_id, time]`` — delivery of a message
+``c``   ``[pid, index, forced, time, [dv...]]`` — stable checkpoint
+        with the dependency vector the middleware stored with it
+``i``   ``[pid, time]`` — internal application event
+``v``   ``[[faulty...], [line...], [[pid, index]...], [li...]]`` —
+        recovery session: faulty set, recovery line, rollback
+        directives and the last-interval vector of Algorithm 3
+``S``   ``[time, [retained...]]`` — storage occupancy sample
+======  ============================================================
+
+Versioning: :data:`FORMAT_VERSION` is bumped whenever a record's shape
+changes incompatibly.  Readers refuse newer versions
+(:class:`TraceVersionError`) rather than misinterpreting records, and
+refuse structurally invalid content (:class:`TraceFormatError`) rather
+than replaying a corrupted history.  A file whose footer is missing, or
+whose footer counts disagree with the records actually present, raises
+:class:`TraceTruncatedError` unless the caller opts into partial replay.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulation.runner import SimulationConfig, SimulationResult
+
+#: Magic string identifying trace files (header ``format`` key).
+FORMAT_NAME = "repro-trace"
+
+#: Current trace format version.  Bump on incompatible record changes.
+FORMAT_VERSION = 1
+
+#: Record tags (first element of every record array).
+TAG_SEND = "s"
+TAG_RECEIVE = "r"
+TAG_CHECKPOINT = "c"
+TAG_INTERNAL = "i"
+TAG_RECOVERY = "v"
+TAG_SAMPLE = "S"
+
+#: Tags the current version knows how to replay.
+KNOWN_TAGS = frozenset(
+    (TAG_SEND, TAG_RECEIVE, TAG_CHECKPOINT, TAG_INTERNAL, TAG_RECOVERY, TAG_SAMPLE)
+)
+
+
+class TraceError(Exception):
+    """Base class of every trace I/O failure."""
+
+
+class TraceFormatError(TraceError):
+    """The file is not a trace, or contains structurally invalid content."""
+
+
+class TraceVersionError(TraceFormatError):
+    """The trace was written by a newer (unknown) format version."""
+
+
+class TraceTruncatedError(TraceError):
+    """The trace ends before its footer (killed writer, partial copy)."""
+
+
+# ----------------------------------------------------------------------
+# Header
+# ----------------------------------------------------------------------
+def make_header(
+    config: "SimulationConfig", *, meta: Optional[Mapping[str, Any]] = None
+) -> Dict[str, Any]:
+    """The header object for a run of ``config``.
+
+    The workload is recorded descriptively (its class name; campaign traces
+    carry the full declarative parameters in ``meta``): replay never
+    re-generates actions — the recorded events *are* the execution — so the
+    header only needs enough to identify the run, not to re-run it.
+    """
+    network = config.network
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "num_processes": config.num_processes,
+        "duration": config.duration,
+        "seed": config.seed,
+        "protocol": config.protocol,
+        "collector": config.collector,
+        "collector_options": dict(config.collector_options),
+        "workload": type(config.workload).__name__,
+        "network": {
+            "base_latency": network.base_latency,
+            "jitter": network.jitter,
+            "drop_probability": network.drop_probability,
+        },
+        "failure_schedule": [[crash.time, crash.pid] for crash in config.failures],
+        "audit": config.audit,
+        "meta": dict(meta or config.trace_meta),
+    }
+
+
+def make_scripted_header(
+    num_processes: int,
+    *,
+    seed: Optional[int] = None,
+    workload: str = "scripted",
+    meta: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """A header for traces captured outside the simulation runner.
+
+    Used by drivers that feed a :class:`TraceRecorder` directly (scripted
+    figures, the perf benchmark's random CCP scripts): there is no protocol,
+    collector or network — only the recorded pattern itself.
+    """
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "num_processes": num_processes,
+        "duration": None,
+        "seed": seed,
+        "protocol": "scripted",
+        "collector": "none",
+        "collector_options": {},
+        "workload": workload,
+        "network": None,
+        "failure_schedule": [],
+        "audit": "off",
+        "meta": dict(meta or {}),
+    }
+
+
+def validate_header(header: Any, *, path: str = "<trace>") -> Dict[str, Any]:
+    """Check magic, version and required keys; return the header dict."""
+    if not isinstance(header, dict) or header.get("format") != FORMAT_NAME:
+        raise TraceFormatError(f"{path}: not a {FORMAT_NAME} file")
+    version = header.get("version")
+    if not isinstance(version, int) or version < 1:
+        raise TraceFormatError(f"{path}: malformed trace version {version!r}")
+    if version > FORMAT_VERSION:
+        raise TraceVersionError(
+            f"{path}: trace format version {version} is newer than the "
+            f"supported version {FORMAT_VERSION}"
+        )
+    num_processes = header.get("num_processes")
+    if not isinstance(num_processes, int) or num_processes <= 0:
+        raise TraceFormatError(f"{path}: invalid num_processes {num_processes!r}")
+    return header
+
+
+# ----------------------------------------------------------------------
+# Result records and metrics
+# ----------------------------------------------------------------------
+def result_to_record(result: "SimulationResult") -> Dict[str, Any]:
+    """The scalar result record persisted in the footer.
+
+    Everything a consumer needs to re-derive the per-cell campaign metrics
+    without re-simulation, including the sample-derived peak (the samples are
+    streamed as ``S`` records, but the peak is stored so metrics survive even
+    a trace whose samples were pruned).
+    """
+    return {
+        "protocol": result.protocol,
+        "collector": result.collector,
+        "duration": result.duration,
+        "basic_checkpoints": result.basic_checkpoints,
+        "forced_checkpoints": result.forced_checkpoints,
+        "messages_sent": result.messages_sent,
+        "messages_delivered": result.messages_delivered,
+        "messages_dropped": result.messages_dropped,
+        "control_messages": result.control_messages,
+        "total_collected": result.total_collected,
+        "retained_final": list(result.retained_final),
+        "max_retained_per_process": list(result.max_retained_per_process),
+        "total_stored": result.total_stored,
+        "peak_total_retained": result.peak_total_retained,
+        "collection_ratio": result.collection_ratio,
+        "recoveries": len(result.recoveries),
+        "audits": len(result.audits),
+        "all_audits_safe": result.all_audits_safe,
+        "all_audits_optimal": result.all_audits_optimal,
+    }
+
+
+def metrics_from_record(record: Mapping[str, Any]) -> Dict[str, float]:
+    """Re-derive the per-cell campaign metrics from a footer result record.
+
+    Mirrors :meth:`repro.simulation.runner.SimulationResult.metrics_dict`
+    key for key (a round-trip test pins the two together), which is what
+    lets a campaign be re-aggregated from its trace artifacts alone with
+    byte-identical output.
+    """
+    return {
+        "checkpoints": record["basic_checkpoints"] + record["forced_checkpoints"],
+        "basic": record["basic_checkpoints"],
+        "forced": record["forced_checkpoints"],
+        "messages": record["messages_sent"],
+        "control": record["control_messages"],
+        "collected": record["total_collected"],
+        "final_retained": sum(record["retained_final"]),
+        "max_per_process": (
+            max(record["max_retained_per_process"])
+            if record["max_retained_per_process"]
+            else 0
+        ),
+        "peak_retained": record["peak_total_retained"],
+        "collection_ratio": record["collection_ratio"],
+        "recoveries": record["recoveries"],
+    }
+
+
+# ----------------------------------------------------------------------
+# Footer
+# ----------------------------------------------------------------------
+def make_footer(
+    *,
+    records: int,
+    events: int,
+    status: str,
+    result: Optional[Dict[str, Any]] = None,
+    metrics: Optional[Dict[str, float]] = None,
+    final_volatile_dvs: Optional[Sequence[Sequence[int]]] = None,
+    error: Optional[str] = None,
+) -> Dict[str, Any]:
+    """The footer object; ``records``/``events`` enable truncation checks."""
+    footer: Dict[str, Any] = {
+        "records": records,
+        "events": events,
+        "status": status,
+    }
+    if result is not None:
+        footer["result"] = result
+    if metrics is not None:
+        footer["metrics"] = metrics
+    if final_volatile_dvs is not None:
+        footer["final_volatile_dvs"] = [list(dv) for dv in final_volatile_dvs]
+    if error is not None:
+        footer["error"] = error
+    return {"footer": footer}
+
+
+def validate_record(record: Any, *, line: int, path: str = "<trace>") -> List[Any]:
+    """Check one body record's tag and arity; return it as a list."""
+    if not isinstance(record, list) or not record:
+        raise TraceFormatError(
+            f"{path}:{line}: body records must be non-empty JSON arrays"
+        )
+    tag = record[0]
+    arity = {
+        TAG_SEND: 5,
+        TAG_RECEIVE: 3,
+        TAG_CHECKPOINT: 6,
+        TAG_INTERNAL: 3,
+        TAG_RECOVERY: 5,
+        TAG_SAMPLE: 3,
+    }.get(tag)
+    if arity is None:
+        raise TraceFormatError(f"{path}:{line}: unknown record tag {tag!r}")
+    if len(record) != arity:
+        raise TraceFormatError(
+            f"{path}:{line}: {tag!r} record has {len(record)} fields, expected {arity}"
+        )
+    return record

@@ -1,0 +1,225 @@
+"""Streaming trace persistence.
+
+:class:`TraceWriter` implements the :class:`repro.simulation.trace.TraceSink`
+protocol, so attaching one to a :class:`~repro.simulation.trace.TraceRecorder`
+turns every recorded occurrence into an appended-and-flushed JSONL record the
+moment it happens — a killed run leaves a readable (partial) trace, exactly
+like the campaign store's crash semantics.  The runner additionally streams
+storage-occupancy samples through :meth:`write_sample` and closes the file
+with a footer carrying the run's result record and per-cell metrics
+(:meth:`finalize`) or the failure that aborted it (:meth:`abort`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Mapping, Optional, Sequence, TYPE_CHECKING
+
+from repro.traceio.format import (
+    TAG_CHECKPOINT,
+    TAG_INTERNAL,
+    TAG_RECEIVE,
+    TAG_RECOVERY,
+    TAG_SAMPLE,
+    TAG_SEND,
+    make_footer,
+    make_header,
+    make_scripted_header,
+    result_to_record,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.recovery.rollback_plan import RollbackPlan
+    from repro.simulation.runner import SimulationConfig, SimulationResult
+
+
+class TraceWriter:
+    """Appends one run's trace to ``path``, header first, footer last."""
+
+    def __init__(
+        self,
+        path: str,
+        config: Optional["SimulationConfig"] = None,
+        *,
+        meta: Optional[Mapping[str, Any]] = None,
+        header: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if (config is None) == (header is None):
+            raise ValueError("pass exactly one of config or header")
+        self._path = path
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._records = 0
+        self._events = 0
+        self._closed = False
+        self._handle = open(path, "w", encoding="utf-8")
+        if header is None:
+            assert config is not None
+            header = make_header(config, meta=meta)
+        self._write_line(header)
+
+    @classmethod
+    def scripted(
+        cls,
+        path: str,
+        num_processes: int,
+        *,
+        seed: Optional[int] = None,
+        workload: str = "scripted",
+        meta: Optional[Mapping[str, Any]] = None,
+    ) -> "TraceWriter":
+        """A writer for recorders driven outside the simulation runner."""
+        return cls(
+            path,
+            header=make_scripted_header(
+                num_processes, seed=seed, workload=workload, meta=meta
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> str:
+        """Location of the trace file."""
+        return self._path
+
+    @property
+    def closed(self) -> bool:
+        """True once the footer was written (or the writer abandoned)."""
+        return self._closed
+
+    # ------------------------------------------------------------------
+    # TraceSink protocol (driven by the TraceRecorder)
+    # ------------------------------------------------------------------
+    def on_send(self, sender: int, receiver: int, message_id: int, time: float) -> None:
+        """Persist an application send."""
+        self._events += 1
+        self._write_record([TAG_SEND, sender, receiver, message_id, time])
+
+    def on_receive(self, message_id: int, time: float) -> None:
+        """Persist a message delivery."""
+        self._events += 1
+        self._write_record([TAG_RECEIVE, message_id, time])
+
+    def on_checkpoint(
+        self,
+        pid: int,
+        index: int,
+        dependency_vector: Sequence[int],
+        *,
+        forced: bool,
+        time: float,
+    ) -> None:
+        """Persist a stable checkpoint and its stored dependency vector."""
+        self._events += 1
+        self._write_record(
+            [TAG_CHECKPOINT, pid, index, 1 if forced else 0, time, list(dependency_vector)]
+        )
+
+    def on_internal(self, pid: int, time: float) -> None:
+        """Persist an internal application event."""
+        self._events += 1
+        self._write_record([TAG_INTERNAL, pid, time])
+
+    def on_recovery(self, plan: "RollbackPlan") -> None:
+        """Persist a recovery session (the full rollback plan)."""
+        self._write_record(
+            [
+                TAG_RECOVERY,
+                list(plan.faulty),
+                list(plan.recovery_line.indices),
+                [[r.pid, r.rollback_index] for r in plan.rollbacks],
+                list(plan.last_interval_vector),
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    # Runner-driven records
+    # ------------------------------------------------------------------
+    def write_sample(self, time: float, retained_per_process: Sequence[int]) -> None:
+        """Persist a storage-occupancy sample."""
+        self._write_record([TAG_SAMPLE, time, list(retained_per_process)])
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def finalize(
+        self,
+        result: "SimulationResult",
+        *,
+        final_volatile_dvs: Optional[Sequence[Sequence[int]]] = None,
+    ) -> None:
+        """Write the ``ok`` footer (result record + metrics) and close."""
+        record = result_to_record(result)
+        self._finish(
+            make_footer(
+                records=self._records,
+                events=self._events,
+                status="ok",
+                result=record,
+                metrics=result.metrics_dict(),
+                final_volatile_dvs=final_volatile_dvs,
+            )
+        )
+
+    def seal(self) -> None:
+        """Write an ``ok`` footer without a result record and close.
+
+        For scripted captures (no :class:`SimulationResult` exists): the
+        trace remains fully replayable, it just carries no per-cell metrics.
+        """
+        self._finish(
+            make_footer(records=self._records, events=self._events, status="ok")
+        )
+
+    def abort(self, error: str) -> None:
+        """Write an ``aborted`` footer carrying ``error`` and close.
+
+        An aborted trace is still fully replayable up to the failure point —
+        the property campaign sweeps rely on when an unsafe collector breaks
+        recovery mid-cell.
+        """
+        self._finish(
+            make_footer(
+                records=self._records,
+                events=self._events,
+                status="aborted",
+                error=error,
+            )
+        )
+
+    def close(self) -> None:
+        """Close without a footer (leaves a truncated trace); idempotent."""
+        if not self._closed:
+            self._closed = True
+            self._handle.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc is not None and not self._closed:
+            self.abort(f"{type(exc).__name__}: {exc}")
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _finish(self, footer: Dict[str, Any]) -> None:
+        if self._closed:
+            raise RuntimeError(f"trace writer for {self._path!r} is already closed")
+        self._write_line(footer)
+        self.close()
+
+    def _write_record(self, record: list) -> None:
+        self._records += 1
+        self._write_line(record)
+
+    def _write_line(self, document: Any) -> None:
+        if self._closed:
+            raise RuntimeError(f"trace writer for {self._path!r} is already closed")
+        self._handle.write(json.dumps(document, separators=(",", ":")) + "\n")
+        # Flushed per record so a killed run leaves everything it observed.
+        self._handle.flush()

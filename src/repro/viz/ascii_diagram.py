@@ -14,7 +14,7 @@ reporting aid, not a drawing library.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.causality.events import EventKind
 from repro.ccp.pattern import CCP

@@ -1,6 +1,5 @@
 """Tests for Algorithm 4: FDAS merged with RDT-LGC."""
 
-import pytest
 
 from repro.core.merged_fdas import FdasWithRdtLgc
 

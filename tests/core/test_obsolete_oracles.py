@@ -8,7 +8,6 @@ from repro.core.obsolete import (
     obsolete_stable_checkpoints_theorem1,
     obsolete_stable_checkpoints_theorem2,
     retained_stable_checkpoints_theorem1,
-    retained_stable_checkpoints_theorem2,
 )
 
 

@@ -21,7 +21,6 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.ccp.checkpoint import CheckpointId
 from repro.scenarios.experiments import run_random_simulation
 from repro.ccp.rdt import check_rdt
 from repro.core.obsolete import (

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.ccp.consistency import GlobalCheckpoint
 from repro.recovery.recovery_line import (
     is_valid_recovery_line,
     recovery_line,

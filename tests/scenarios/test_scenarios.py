@@ -1,6 +1,5 @@
 """Tests for the scenario builders shared by tests, examples and benchmarks."""
 
-import pytest
 
 from repro.ccp.rdt import check_rdt
 from repro.core.rdt_lgc import RdtLgc

@@ -1,0 +1,118 @@
+"""End-to-end tests of ``python -m repro.traceio`` (record/replay/inspect/diff).
+
+The acceptance path: ``record`` on a campaign writes per-cell trace
+artifacts plus live aggregate tables; ``replay`` on the artifact directory
+reproduces those tables byte for byte without re-simulation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.traceio.cli import main
+
+
+@pytest.fixture(scope="module")
+def spec_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("spec") / "mini.json"
+    path.write_text(
+        json.dumps(
+            {
+                "name": "cli-mini",
+                "num_processes": 3,
+                "duration": 25.0,
+                "collectors": ["rdt-lgc"],
+                "workloads": ["uniform-random"],
+                "failure_counts": [0, 1],
+                "seeds": 2,
+            }
+        ),
+        encoding="utf-8",
+    )
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def recorded(tmp_path_factory, spec_file):
+    """One recorded sweep shared by the read-only CLI tests."""
+    root = tmp_path_factory.mktemp("recorded")
+    traces = str(root / "traces")
+    out = str(root / "live")
+    code = main(
+        ["record", "--spec", spec_file, "--traces", traces, "--out", out, "--quiet"]
+    )
+    assert code == 0
+    return {"traces": traces, "out": out, "name": "cli-mini"}
+
+
+def _read(path):
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+class TestRecordReplay:
+    def test_record_writes_one_trace_per_cell(self, recorded):
+        names = [n for n in os.listdir(recorded["traces"]) if n.endswith(".trace.jsonl")]
+        assert len(names) == 4  # 1 collector x 1 workload x 2 failures x 2 seeds
+
+    def test_replay_reproduces_aggregates_byte_for_byte(self, recorded, tmp_path):
+        out = str(tmp_path / "replayed")
+        assert main(["replay", recorded["traces"], "--out", out, "--verify"]) == 0
+        name = recorded["name"]
+        for suffix in (".csv", ".json"):
+            live = _read(os.path.join(recorded["out"], name + suffix))
+            replayed = _read(os.path.join(out, name + suffix))
+            assert replayed == live, f"{suffix} diverged between live and replay"
+
+    def test_replay_single_file(self, recorded, capsys):
+        trace = os.path.join(recorded["traces"], os.listdir(recorded["traces"])[0])
+        assert main(["replay", trace, "--verify"]) == 0
+        output = capsys.readouterr().out
+        assert "Replayed:" in output
+        assert "metrics:" in output
+
+
+class TestInspectAndDiff:
+    def test_inspect_reports_provenance_and_metrics(self, recorded, capsys):
+        trace = os.path.join(
+            recorded["traces"], sorted(os.listdir(recorded["traces"]))[0]
+        )
+        assert main(["inspect", trace]) == 0
+        output = capsys.readouterr().out
+        assert "repro-trace v1" in output
+        assert "cli-mini" in output
+        assert "status:       ok" in output
+
+    def test_diff_of_identical_traces_passes(self, recorded, capsys):
+        names = sorted(os.listdir(recorded["traces"]))
+        a = os.path.join(recorded["traces"], names[0])
+        assert main(["diff", a, a]) == 0
+        assert "equivalent" in capsys.readouterr().out
+
+    def test_diff_of_different_traces_fails(self, recorded, capsys):
+        names = sorted(os.listdir(recorded["traces"]))
+        a = os.path.join(recorded["traces"], names[0])
+        b = os.path.join(recorded["traces"], names[1])
+        assert main(["diff", a, b]) == 1
+        assert capsys.readouterr().out.strip()
+
+
+class TestErrorHandling:
+    def test_replay_of_truncated_trace_errors_cleanly(self, recorded, tmp_path, capsys):
+        source = os.path.join(
+            recorded["traces"], sorted(os.listdir(recorded["traces"]))[0]
+        )
+        clipped = tmp_path / "clipped.trace.jsonl"
+        lines = open(source, encoding="utf-8").readlines()
+        clipped.write_text("".join(lines[:-1]), encoding="utf-8")
+        assert main(["replay", str(clipped)]) == 2
+        assert "no footer" in capsys.readouterr().err
+        # --partial replays the intact prefix instead.
+        assert main(["replay", str(clipped), "--partial"]) == 0
+
+    def test_missing_file_errors_cleanly(self, capsys):
+        assert main(["inspect", "/nonexistent/x.trace.jsonl"]) == 2
+        assert "error:" in capsys.readouterr().err
