@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Fault-model study: every collector under adversarial network transports.
+
+The paper evaluates its garbage collectors under one transport — uniform
+latency plus jitter with i.i.d. loss.  This study crosses the collectors
+with the pluggable fault-model library
+(:mod:`repro.simulation.channels`):
+
+* the **uniform** baseline (the paper's model, byte-identical defaults);
+* **Gilbert–Elliott** bursty correlated loss;
+* an **at-least-once** channel that duplicates deliveries;
+* a timed network **partition** that splits the system and heals;
+* **crash-recovery churn** (every process crashes and rejoins repeatedly).
+
+Three things to look for in the tables:
+
+1. the RDT-LGC collector stays safe (zero audit violations are enforced by
+   the per-cell runs) and keeps its storage bound under *every* regime;
+2. the coordinated baselines pay their control-message cost in every
+   regime — and their collection stalls when the transport misbehaves;
+3. duplicates and partition-blocked sends are measured per cell, so each
+   adversary's pressure is visible right next to its effect.
+
+A cell whose collector breaks under an adversary is recorded as a *failed
+cell* — a finding, not an error (the unsafe Manivannan–Singhal stand-in is
+the known example under crash injection).
+"""
+
+from repro.scenarios.campaign import aggregate_campaign, run_campaign
+from repro.scenarios.campaign.spec import CampaignSpec, CollectorSpec, WorkloadSpec
+from repro.simulation.channels import (
+    DuplicatingChannel,
+    GilbertElliottChannel,
+    PartitionSchedule,
+    UniformChannel,
+)
+from repro.simulation.failures import FailureModelSpec
+from repro.simulation.network import NetworkConfig
+
+DURATION = 60.0
+
+#: The adversarial transports of this study (a compact slice of
+#: :func:`repro.scenarios.experiments.fault_model_networks`).
+REGIMES = (
+    NetworkConfig(),
+    NetworkConfig(
+        channel=GilbertElliottChannel(
+            loss_good=0.0, loss_bad=0.4, p_good_to_bad=0.05, p_bad_to_good=0.3
+        )
+    ),
+    NetworkConfig(
+        channel=DuplicatingChannel(channel=UniformChannel(), duplicate_probability=0.25)
+    ),
+    NetworkConfig(
+        partitions=PartitionSchedule.of([(20.0, 40.0, ((0, 1),))])
+    ),
+)
+
+
+def main() -> None:
+    spec = CampaignSpec(
+        name="fault-model-study",
+        num_processes=4,
+        duration=DURATION,
+        collectors=(
+            CollectorSpec.of("none"),
+            CollectorSpec.of("rdt-lgc"),
+            CollectorSpec.of("all-process-line", {"period": 20.0}),
+            CollectorSpec.of("wang-coordinated", {"period": 20.0}),
+            CollectorSpec.of(
+                "manivannan-singhal",
+                {"checkpoint_period": 8.0, "max_message_delay": 3.0},
+            ),
+        ),
+        workloads=(WorkloadSpec.of("uniform-random"),),
+        failure_counts=(0, FailureModelSpec.of("churn", {"hazard_rate": 0.03})),
+        networks=REGIMES,
+        seeds=(0, 1),
+        audit="safety",
+    )
+    print(
+        f"campaign {spec.name!r}: {spec.cell_count} cells "
+        f"({len(spec.collectors)} collectors x {len(spec.networks)} transports "
+        f"x {len(spec.failure_counts)} failure models x {len(spec.seeds)} seeds)"
+    )
+
+    run = run_campaign(spec, workers=2)
+    if run.failed_records:
+        print(
+            f"\n{len(run.failed_records)} failed cell(s) — collectors whose "
+            f"assumptions the adversary violates:"
+        )
+        for record in run.failed_records[:6]:
+            p = record["params"]
+            print(
+                f"  {p['collector']} under failures={p['failures']}: "
+                f"{record['error']}"
+            )
+
+    summary = aggregate_campaign(
+        run.records,
+        group_by=("network", "collector", "failures"),
+        metrics=(
+            "peak_retained",
+            "collection_ratio",
+            "control",
+            "recoveries",
+            "duplicated",
+            "partition_blocked",
+        ),
+    )
+    for regime, table in summary.tables_by("network"):
+        print()
+        print(table.render())
+
+    print(
+        "\nReading guide: 'duplicated' and 'partition_blocked' quantify each "
+        "adversary's pressure; RDT-LGC keeps its storage bound and zero "
+        "control messages under all of them, while the coordinated baselines "
+        "pay control traffic everywhere and stall when the transport "
+        "misbehaves."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -39,6 +39,7 @@ from repro.scenarios.campaign.spec import (
     CampaignCell,
     CampaignSpec,
     CollectorSpec,
+    FailureAxisEntry,
     WorkloadSpec,
     spec_from_mapping,
 )
@@ -54,6 +55,7 @@ __all__ = [
     "CampaignStore",
     "CampaignSummary",
     "CollectorSpec",
+    "FailureAxisEntry",
     "GroupStats",
     "WorkloadSpec",
     "aggregate_campaign",

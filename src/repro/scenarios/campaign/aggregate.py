@@ -40,10 +40,26 @@ def _axis_value(params: Mapping[str, Any], axis: str) -> Any:
     """The value of one grouping axis, compacted to a scalar for table keys."""
     value = params[axis]
     if axis == "network":
-        return (
-            f"lat={value['base_latency']}/jit={value['jitter']}"
-            f"/drop={value['drop_probability']}"
-        )
+        if value.get("channel"):
+            # A fault-model channel supersedes the scalar fields; the label
+            # carries its non-default parameters so two severities of the
+            # same model never pool into one group.
+            from repro.simulation.channels import channel_label
+
+            label = f"ch={channel_label(value['channel'])}"
+        else:
+            label = (
+                f"lat={value['base_latency']}/jit={value['jitter']}"
+                f"/drop={value['drop_probability']}"
+            )
+        for partition in value.get("partitions") or ():
+            groups = ";".join(
+                ",".join(str(pid) for pid in group) for group in partition["groups"]
+            )
+            label += f"/part[{partition['start']:g},{partition['end']:g})g{groups}"
+        if value.get("fifo"):
+            label += "/fifo"
+        return label
     if isinstance(value, Mapping):
         return json.dumps(value, sort_keys=True)
     return value

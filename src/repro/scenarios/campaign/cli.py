@@ -13,6 +13,14 @@ Run a custom sweep described in JSON (see
 
     python -m repro.campaign --spec my_sweep.json --out results/
 
+Network fault models and crash-recovery churn are grid axes of the JSON
+schema: ``networks`` entries may carry a ``channel`` (e.g.
+``{"kind": "gilbert-elliott", "loss_bad": 0.5}``), a ``partitions``
+schedule and a ``fifo`` flag, and ``failure_counts`` entries may be
+failure-model mappings (``{"model": "churn", "hazard_rate": 0.05}``).
+Group the aggregate tables per fault regime with ``--group-by
+network,collector,failures``.
+
 ``--out DIR`` writes the aggregate tables as ``<campaign>.csv`` /
 ``<campaign>.json`` next to the text rendering on stdout; ``--dry-run``
 prints the cell count and the first cells without executing anything.

@@ -35,6 +35,8 @@ CELL_METRICS: Tuple[str, ...] = (
     "peak_retained",
     "collection_ratio",
     "recoveries",
+    "duplicated",
+    "partition_blocked",
 )
 
 

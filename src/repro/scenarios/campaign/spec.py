@@ -24,15 +24,19 @@ import itertools
 import json
 import random
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.gc.registry import collector_class, make_collector
 from repro.protocols.registry import protocol_class
-from repro.simulation.failures import FailureSchedule
-from repro.simulation.network import NetworkConfig
+from repro.simulation.failures import FailureModelSpec, FailureSchedule
+from repro.simulation.network import NetworkConfig, network_config_from_mapping
 from repro.simulation.runner import SimulationConfig
 from repro.simulation.workloads import Workload, make_workload, workload_class
 from repro.storage.stable import StableStorage
+
+#: A failure axis entry: a bare crash count (the paper's regime) or a
+#: declarative failure model (e.g. crash-recovery churn).
+FailureAxisEntry = Union[int, FailureModelSpec]
 
 #: Options are stored as sorted ``(key, value)`` tuples: hashable, picklable
 #: and with a canonical order so equal option sets hash identically.
@@ -105,7 +109,7 @@ class CampaignCell:
     collector_options: Options
     workload: str
     workload_params: Options
-    failures: int
+    failures: FailureAxisEntry
     network: NetworkConfig
     seed_index: int
     base_seed: int
@@ -115,7 +119,14 @@ class CampaignCell:
     # Identity and seed derivation
     # ------------------------------------------------------------------
     def params(self) -> Dict[str, Any]:
-        """The canonical, JSON-able description of this cell."""
+        """The canonical, JSON-able description of this cell.
+
+        Fault models are part of the identity: a failure-model entry renders
+        as its canonical label and the network as its full description
+        (channel model, partitions, FIFO discipline), so two cells differing
+        only in a fault model hash to different ``cell_id`` values — while a
+        cell with the paper's defaults keeps its pre-fault-model identity.
+        """
         return {
             "campaign": self.campaign,
             "num_processes": self.num_processes,
@@ -125,12 +136,12 @@ class CampaignCell:
             "collector_options": dict(self.collector_options),
             "workload": self.workload,
             "workload_params": dict(self.workload_params),
-            "failures": self.failures,
-            "network": {
-                "base_latency": self.network.base_latency,
-                "jitter": self.network.jitter,
-                "drop_probability": self.network.drop_probability,
-            },
+            "failures": (
+                self.failures
+                if isinstance(self.failures, int)
+                else self.failures.label()
+            ),
+            "network": self.network.describe(),
             "seed_index": self.seed_index,
             "base_seed": self.base_seed,
             "audit": self.audit,
@@ -156,6 +167,12 @@ class CampaignCell:
     # ------------------------------------------------------------------
     def failure_schedule(self) -> FailureSchedule:
         """The crash schedule of this cell, derived from the cell identity."""
+        if isinstance(self.failures, FailureModelSpec):
+            return self.failures.schedule(
+                num_processes=self.num_processes,
+                duration=self.duration,
+                rng=random.Random(self._derive("failures")),
+            )
         if not self.failures:
             return FailureSchedule.none()
         return FailureSchedule.random(
@@ -192,7 +209,9 @@ class CampaignSpec:
     protocols: Tuple[str, ...] = ("fdas",)
     collectors: Tuple[CollectorSpec, ...] = (CollectorSpec("rdt-lgc"),)
     workloads: Tuple[WorkloadSpec, ...] = (WorkloadSpec("uniform-random"),)
-    failure_counts: Tuple[int, ...] = (0,)
+    #: Crash counts (the paper's regime) and/or declarative failure models
+    #: such as churn — both are grid axis entries, hashed into cell ids.
+    failure_counts: Tuple[FailureAxisEntry, ...] = (0,)
     networks: Tuple[NetworkConfig, ...] = (NetworkConfig(),)
     seeds: Tuple[int, ...] = (0,)
     base_seed: int = 0
@@ -219,8 +238,14 @@ class CampaignSpec:
             collector_class(collector.name)
         for workload in self.workloads:
             workload_class(workload.name)
-        if any(count < 0 for count in self.failure_counts):
-            raise ValueError("failure counts must be non-negative")
+        for entry in self.failure_counts:
+            if isinstance(entry, int):
+                if entry < 0:
+                    raise ValueError("failure counts must be non-negative")
+            elif not isinstance(entry, FailureModelSpec):
+                raise ValueError(
+                    "failure axis entries must be crash counts or FailureModelSpec"
+                )
         if self.audit not in ("off", "safety", "full"):
             raise ValueError("audit must be one of 'off', 'safety', 'full'")
 
@@ -274,8 +299,13 @@ def spec_from_mapping(document: Mapping[str, Any]) -> CampaignSpec:
     Axis entries may be bare names (``"rdt-lgc"``) or mappings with a ``name``
     and ``options`` / ``params``; ``seeds`` may be a list of seed indices or an
     integer count (expanded to ``range(count)``); ``networks`` entries are
-    mappings of :class:`NetworkConfig` fields.  Unknown keys are rejected —
-    a typoed axis name must not silently run a different study.
+    mappings of :class:`NetworkConfig` fields, optionally carrying a fault
+    model (``"channel": {"kind": "gilbert-elliott", ...}``), a partition
+    schedule (``"partitions": [{"start", "end", "groups"}, ...]``) and a
+    ``"fifo"`` discipline flag; ``failure_counts`` entries are crash counts
+    or failure-model mappings (``{"model": "churn", "hazard_rate": 0.05}``).
+    Unknown keys are rejected — a typoed axis name must not silently run a
+    different study.
     """
     known_keys = {
         "name", "num_processes", "duration", "protocols", "collectors",
@@ -303,6 +333,18 @@ def spec_from_mapping(document: Mapping[str, Any]) -> CampaignSpec:
             return WorkloadSpec.of(entry)
         return WorkloadSpec.of(entry["name"], entry.get("params"))
 
+    def _failures(entry: Any) -> FailureAxisEntry:
+        if isinstance(entry, Mapping):
+            params = dict(entry)
+            model = params.pop("model", None)
+            if model is None:
+                raise ValueError(
+                    "failure-model entries need a 'model' key "
+                    "(e.g. {'model': 'churn', 'hazard_rate': 0.05})"
+                )
+            return FailureModelSpec.of(str(model), params)
+        return int(entry)
+
     seeds = document.get("seeds", 1)
     if isinstance(seeds, (str, bytes)):
         # "10" would otherwise be iterated per character into seeds (1, 0).
@@ -312,7 +354,7 @@ def spec_from_mapping(document: Mapping[str, Any]) -> CampaignSpec:
     else:
         seeds = tuple(int(s) for s in seeds)
     networks = tuple(
-        NetworkConfig(**entry) for entry in document.get("networks", ({},))
+        network_config_from_mapping(entry) for entry in document.get("networks", ({},))
     )
     return CampaignSpec(
         name=str(document["name"]),
@@ -321,7 +363,7 @@ def spec_from_mapping(document: Mapping[str, Any]) -> CampaignSpec:
         protocols=tuple(document.get("protocols", ("fdas",))),
         collectors=tuple(_collector(c) for c in document.get("collectors", ("rdt-lgc",))),
         workloads=tuple(_workload(w) for w in document.get("workloads", ("uniform-random",))),
-        failure_counts=tuple(int(f) for f in document.get("failure_counts", (0,))),
+        failure_counts=tuple(_failures(f) for f in document.get("failure_counts", (0,))),
         networks=networks,
         seeds=seeds,
         base_seed=int(document.get("base_seed", 0)),

@@ -22,7 +22,14 @@ from typing import Mapping, Optional, Sequence, Tuple
 from repro.scenarios.campaign.aggregate import CampaignSummary, aggregate_campaign
 from repro.scenarios.campaign.executor import CampaignRun, run_campaign
 from repro.scenarios.campaign.spec import CampaignSpec, CollectorSpec, WorkloadSpec
-from repro.simulation.failures import FailureSchedule
+from repro.simulation.channels import (
+    DuplicatingChannel,
+    GilbertElliottChannel,
+    LatencyMatrixChannel,
+    PartitionSchedule,
+    UniformChannel,
+)
+from repro.simulation.failures import FailureModelSpec, FailureSchedule
 from repro.simulation.network import NetworkConfig
 from repro.simulation.runner import SimulationConfig, SimulationResult, SimulationRunner
 from repro.simulation.workloads import UniformRandomWorkload, Workload, WorstCaseWorkload
@@ -151,6 +158,88 @@ def paper_campaign_spec(
             WorkloadSpec.of(name, params) for name, params in STUDY_WORKLOADS
         ),
         failure_counts=tuple(failure_counts),
+        seeds=tuple(range(num_seeds)),
+        base_seed=base_seed,
+    )
+
+
+def fault_model_networks(
+    *, num_processes: int = 4, duration: float = 120.0
+) -> Tuple[NetworkConfig, ...]:
+    """One :class:`NetworkConfig` per adversarial network regime.
+
+    The regimes, from the paper's model outward: the uniform baseline;
+    i.i.d. loss at 5%; Gilbert–Elliott bursty loss with the same *average*
+    loss concentration but correlated into bursts; at-least-once delivery
+    (duplicates); a per-link asymmetric latency matrix (two tight racks
+    joined by a slow hop); a partition that splits the first two processes
+    off mid-run and heals; and a FIFO-disciplined variant of the baseline
+    (the one *restriction* in the family — the paper's channels reorder).
+    """
+    half = max(num_processes // 2, 1)
+    # Two racks: intra-rack latency equals the baseline, the inter-rack hop
+    # is 4x slower (and asymmetric: the return path is 6x).
+    matrix = [
+        [
+            1.0 if (a < half) == (b < half) else (4.0 if a < half else 6.0)
+            for b in range(num_processes)
+        ]
+        for a in range(num_processes)
+    ]
+    return (
+        NetworkConfig(),
+        NetworkConfig(drop_probability=0.05),
+        NetworkConfig(
+            channel=GilbertElliottChannel(
+                loss_good=0.0, loss_bad=0.4, p_good_to_bad=0.05, p_bad_to_good=0.3
+            )
+        ),
+        NetworkConfig(
+            channel=DuplicatingChannel(
+                channel=UniformChannel(), duplicate_probability=0.2
+            )
+        ),
+        NetworkConfig(channel=LatencyMatrixChannel.of(matrix)),
+        NetworkConfig(
+            partitions=PartitionSchedule.of(
+                [(duration / 3.0, duration * 2.0 / 3.0, ((0, 1),))]
+            )
+        ),
+        NetworkConfig(fifo=True),
+    )
+
+
+def fault_model_campaign_spec(
+    *,
+    num_processes: int = 4,
+    duration: float = 120.0,
+    num_seeds: int = 5,
+    collectors: Optional[Sequence[Tuple[str, Mapping[str, object]]]] = None,
+    base_seed: int = 0,
+) -> CampaignSpec:
+    """Every collector crossed with every adversarial network regime.
+
+    The grid beyond the paper: all collectors × the
+    :func:`fault_model_networks` regimes × {no failures, crash-recovery
+    churn} × ``num_seeds`` seeds, on the generic uniform-random workload.
+    This is where the remaining collector-safety claims get falsified or
+    confirmed — and where the coordinated baselines pay their real
+    control-message cost under hostile transports.
+    """
+    chosen = STUDY_COLLECTORS if collectors is None else tuple(collectors)
+    return CampaignSpec(
+        name="fault-model-sweep",
+        num_processes=num_processes,
+        duration=duration,
+        collectors=tuple(CollectorSpec.of(name, options) for name, options in chosen),
+        workloads=(WorkloadSpec.of("uniform-random", {"mean_checkpoint_gap": 6.0}),),
+        failure_counts=(
+            0,
+            FailureModelSpec.of("churn", {"hazard_rate": 0.02}),
+        ),
+        networks=fault_model_networks(
+            num_processes=num_processes, duration=duration
+        ),
         seeds=tuple(range(num_seeds)),
         base_seed=base_seed,
     )

@@ -44,6 +44,7 @@ class SimulationEngine:
         self._now = 0.0
         self._sequence = 0
         self._queue: List[Tuple[float, int, Callback]] = []
+        self._seed = seed
         self._rng = random.Random(seed)
         self._processed_events = 0
 
@@ -54,6 +55,17 @@ class SimulationEngine:
     def now(self) -> float:
         """The current simulated time."""
         return self._now
+
+    @property
+    def seed(self) -> int:
+        """The seed the run was created with.
+
+        Consumers that need *independent* random streams (the network's
+        per-link streams, for example) derive them from this seed rather
+        than drawing from :attr:`rng`, so their draws never perturb — and
+        are never perturbed by — anyone else's.
+        """
+        return self._seed
 
     @property
     def rng(self) -> random.Random:

@@ -1,41 +1,140 @@
 """Message transport between simulated processes.
 
-Channels follow the paper's model: messages cannot be corrupted, but they can
-be lost and delivered out of order.  Delivery latency is sampled per message
-(base latency plus uniform jitter), which naturally produces reordering; a
-configurable drop probability produces loss.  Control messages (used only by
-the coordinated garbage-collection baselines) travel over the same transport
-but are never dropped — those baselines explicitly assume reliable control
-exchanges, which is part of the paper's point.
+Channels follow the paper's model by default: messages cannot be corrupted,
+but they can be lost and delivered out of order.  The *fate* of each message
+— its latency, whether it is lost, whether extra copies appear — is decided
+by a pluggable :class:`repro.simulation.channels.ChannelModel`; the default
+:class:`~repro.simulation.channels.UniformChannel` reproduces the paper's
+transport exactly (base latency plus uniform jitter, i.i.d. loss).  On top
+of the channel model, :class:`NetworkConfig` can impose a
+:class:`~repro.simulation.channels.PartitionSchedule` (timed partitions that
+heal; application messages crossing an active cut are lost) and a FIFO
+delivery discipline (per-link deliveries in send order; the default is the
+paper's non-FIFO reordering).
+
+Determinism and isolation.  Every directed link owns two private random
+streams — one for application traffic, one for control traffic — derived
+from the engine seed and the link endpoints, never from the shared engine
+generator.  Consequently adding or removing traffic (or a fault model) on
+one link does not perturb the latency/loss draws of any other link, and
+attaching a coordinated garbage collector (control traffic) does not perturb
+the application execution.  The workload, which *does* draw from the engine
+generator, is likewise untouched by anything the network does.
+
+Control messages (used only by the coordinated garbage-collection baselines)
+travel over the same transport but are never dropped, duplicated or blocked
+by partitions — those baselines explicitly assume reliable control
+exchanges, which is part of the paper's point; their latency still follows
+the link's channel model.
 
 During a recovery session the runner calls :meth:`Network.drop_in_flight`,
-which discards every application message still in transit: a rolled-back
-sender's messages must not be delivered to the restarted computation, and the
-model permits treating the others as lost.
+which discards every application message copy still in transit: a
+rolled-back sender's messages must not be delivered to the restarted
+computation, and the model permits treating the others as lost.
 """
 
 from __future__ import annotations
 
+import hashlib
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.simulation.channels import (
+    ChannelModel,
+    LinkState,
+    PartitionSchedule,
+    UniformChannel,
+    channel_from_mapping,
+)
 from repro.simulation.engine import SimulationEngine
+
+#: ``(time, kind, groups)`` of one partition cut/heal, as seen by hooks.
+PartitionEvent = Tuple[float, str, Tuple[Tuple[int, ...], ...]]
 
 
 @dataclass(frozen=True)
 class NetworkConfig:
-    """Latency, jitter and loss parameters of the transport."""
+    """Latency, jitter, loss and fault-model parameters of the transport.
+
+    The three scalar fields describe the default
+    :class:`~repro.simulation.channels.UniformChannel`; a non-``None``
+    ``channel`` supersedes them.  ``partitions`` and ``fifo`` compose with
+    any channel model.
+    """
 
     base_latency: float = 1.0
     jitter: float = 0.5
     drop_probability: float = 0.0
+    channel: Optional[ChannelModel] = None
+    partitions: PartitionSchedule = field(default_factory=PartitionSchedule.none)
+    fifo: bool = False
 
     def __post_init__(self) -> None:
         if self.base_latency < 0 or self.jitter < 0:
             raise ValueError("latencies must be non-negative")
         if not 0.0 <= self.drop_probability < 1.0:
             raise ValueError("drop probability must be in [0, 1)")
+        if self.channel is not None and not isinstance(self.channel, ChannelModel):
+            raise ValueError("channel must be a ChannelModel")
+
+    def resolve_channel(self) -> ChannelModel:
+        """The effective channel model of this configuration."""
+        if self.channel is not None:
+            return self.channel
+        return UniformChannel(
+            base_latency=self.base_latency,
+            jitter=self.jitter,
+            drop_probability=self.drop_probability,
+        )
+
+    def validate_for(self, num_processes: int) -> None:
+        """Reject configurations that cannot serve ``num_processes``."""
+        self.resolve_channel().validate_for(num_processes)
+        self.partitions.validate_for(num_processes)
+
+    def describe(self) -> Dict[str, Any]:
+        """Canonical JSON-able description (trace headers, campaign cells).
+
+        Deliberately emits *only* the three scalar keys for a default
+        (uniform, unpartitioned, non-FIFO) configuration, so the identity of
+        every pre-fault-model campaign cell and trace header is unchanged;
+        fault models appear as additional keys only when present.
+        """
+        description: Dict[str, Any] = {
+            "base_latency": self.base_latency,
+            "jitter": self.jitter,
+            "drop_probability": self.drop_probability,
+        }
+        if self.channel is not None:
+            description["channel"] = self.channel.describe()
+        if self.partitions:
+            description["partitions"] = self.partitions.describe()
+        if self.fifo:
+            description["fifo"] = True
+        return description
+
+
+def network_config_from_mapping(document: Dict[str, Any]) -> NetworkConfig:
+    """Build a :class:`NetworkConfig` from its :meth:`NetworkConfig.describe`
+    mapping (the form campaign specs written as JSON use)."""
+    params = dict(document)
+    channel = params.pop("channel", None)
+    partitions = params.pop("partitions", None)
+    fifo = bool(params.pop("fifo", False))
+    unknown = sorted(set(params) - {"base_latency", "jitter", "drop_probability"})
+    if unknown:
+        raise ValueError(f"unknown network config keys: {', '.join(unknown)}")
+    return NetworkConfig(
+        **params,
+        channel=channel_from_mapping(channel) if channel is not None else None,
+        partitions=(
+            PartitionSchedule.from_mapping(partitions)
+            if partitions is not None
+            else PartitionSchedule.none()
+        ),
+        fifo=fifo,
+    )
 
 
 @dataclass(frozen=True)
@@ -56,9 +155,12 @@ class NetworkStats:
     app_sent: int = 0
     app_delivered: int = 0
     app_dropped: int = 0
+    app_duplicates_delivered: int = 0
+    app_blocked_by_partition: int = 0
     app_discarded_by_recovery: int = 0
     control_sent: int = 0
     control_delivered: int = 0
+    partition_events: int = 0
 
 
 class Network:
@@ -71,16 +173,27 @@ class Network:
     ) -> None:
         self._engine = engine
         self._config = config if config is not None else NetworkConfig()
+        self._channel = self._config.resolve_channel()
         self._app_handler: Optional[Callable[[AppMessage], None]] = None
+        self._duplicate_handler: Optional[Callable[[AppMessage], None]] = None
         self._control_handler: Optional[Callable[[int, int, Any], None]] = None
+        self._partition_hook: Optional[Callable[[PartitionEvent], None]] = None
         self._next_message_id = 0
+        self._next_delivery_id = 0
+        # In-transit copies keyed by a per-copy delivery id (a duplicated
+        # message has several copies in flight at once); `_received` marks
+        # messages whose first copy already landed, so later copies are
+        # classified as duplicate deliveries.
         self._in_flight: Dict[int, AppMessage] = {}
-        # Control-message latencies are drawn from a separate generator so that
-        # attaching a coordinated garbage collector does not perturb the
-        # application execution: experiments comparing collectors then see the
-        # exact same application-level run.
-        self._control_rng = random.Random(engine.rng.randint(0, 2**31))
+        self._received: set[int] = set()
+        # Per-directed-link state: private random streams (derived from the
+        # engine seed, never drawn from the shared engine generator — see the
+        # module docstring), channel runtime state, and the FIFO clock.
+        self._link_rngs: Dict[Tuple[str, int, int], random.Random] = {}
+        self._link_states: Dict[Tuple[int, int], LinkState] = {}
+        self._fifo_clock: Dict[Tuple[int, int], float] = {}
         self.stats = NetworkStats()
+        self._schedule_partition_transitions()
 
     # ------------------------------------------------------------------
     # Wiring
@@ -90,13 +203,63 @@ class Network:
         """The transport parameters."""
         return self._config
 
+    @property
+    def channel(self) -> ChannelModel:
+        """The effective channel model."""
+        return self._channel
+
     def on_app_delivery(self, handler: Callable[[AppMessage], None]) -> None:
         """Register the callback invoked when an application message is delivered."""
         self._app_handler = handler
 
+    def on_duplicate_delivery(self, handler: Callable[[AppMessage], None]) -> None:
+        """Register the callback for duplicate copies of already-delivered messages."""
+        self._duplicate_handler = handler
+
     def on_control_delivery(self, handler: Callable[[int, int, Any], None]) -> None:
         """Register the callback for control messages: ``handler(sender, receiver, payload)``."""
         self._control_handler = handler
+
+    def on_partition_event(self, handler: Callable[[PartitionEvent], None]) -> None:
+        """Register the callback invoked at every partition cut/heal instant."""
+        self._partition_hook = handler
+
+    # ------------------------------------------------------------------
+    # Per-link state
+    # ------------------------------------------------------------------
+    def _link_rng(self, label: str, sender: int, receiver: int) -> random.Random:
+        key = (label, sender, receiver)
+        rng = self._link_rngs.get(key)
+        if rng is None:
+            digest = hashlib.sha256(
+                f"{self._engine.seed}:net:{label}:{sender}:{receiver}".encode("utf-8")
+            ).digest()
+            rng = random.Random(int.from_bytes(digest[:8], "big"))
+            self._link_rngs[key] = rng
+        return rng
+
+    def _link_state(self, sender: int, receiver: int) -> LinkState:
+        key = (sender, receiver)
+        if key not in self._link_states:
+            self._link_states[key] = self._channel.initial_state()
+        return self._link_states[key]
+
+    # ------------------------------------------------------------------
+    # Partitions
+    # ------------------------------------------------------------------
+    def _schedule_partition_transitions(self) -> None:
+        for time, kind, partition in self._config.partitions.transitions():
+            self._engine.schedule_at(
+                time,
+                lambda kind=kind, partition=partition: self._partition_transition(
+                    kind, partition.groups
+                ),
+            )
+
+    def _partition_transition(self, kind: str, groups: Tuple[Tuple[int, ...], ...]) -> None:
+        self.stats.partition_events += 1
+        if self._partition_hook is not None:
+            self._partition_hook((self._engine.now, kind, groups))
 
     # ------------------------------------------------------------------
     # Application messages
@@ -118,30 +281,57 @@ class Network:
         )
         self._next_message_id += 1
         self.stats.app_sent += 1
-        rng = self._engine.rng
-        if self._config.drop_probability and rng.random() < self._config.drop_probability:
+        now = self._engine.now
+        if self._config.partitions.separated(sender, receiver, now):
+            self.stats.app_blocked_by_partition += 1
+            return message
+        rng = self._link_rng("app", sender, receiver)
+        latencies = self._channel.sample(
+            self._link_state(sender, receiver), sender, receiver, rng
+        )
+        if not latencies:
             self.stats.app_dropped += 1
             return message
-        self._in_flight[message.message_id] = message
-        latency = self._config.base_latency + rng.uniform(0.0, self._config.jitter)
-        self._engine.schedule_after(latency, lambda m=message: self._deliver_app(m))
+        for latency in latencies:
+            delivery_time = now + latency
+            if self._config.fifo:
+                # FIFO discipline: a copy never overtakes an earlier copy on
+                # the same link; equal times fall back to the engine's
+                # scheduling-order tiebreak, which is send order.
+                link = (sender, receiver)
+                delivery_time = max(delivery_time, self._fifo_clock.get(link, 0.0))
+                self._fifo_clock[link] = delivery_time
+            delivery_id = self._next_delivery_id
+            self._next_delivery_id += 1
+            self._in_flight[delivery_id] = message
+            self._engine.schedule_at(
+                delivery_time, lambda did=delivery_id: self._deliver_copy(did)
+            )
         return message
 
-    def _deliver_app(self, message: AppMessage) -> None:
-        if message.message_id not in self._in_flight:
+    def _deliver_copy(self, delivery_id: int) -> None:
+        message = self._in_flight.pop(delivery_id, None)
+        if message is None:
             return  # discarded by a recovery session while in transit
-        del self._in_flight[message.message_id]
+        if message.message_id in self._received:
+            # A later copy of an already-delivered message: a duplicate.
+            self.stats.app_duplicates_delivered += 1
+            if self._duplicate_handler is None:
+                raise RuntimeError("no duplicate delivery handler registered")
+            self._duplicate_handler(message)
+            return
+        self._received.add(message.message_id)
         self.stats.app_delivered += 1
         if self._app_handler is None:
             raise RuntimeError("no application delivery handler registered")
         self._app_handler(message)
 
     def in_flight_count(self) -> int:
-        """Number of application messages currently in transit."""
+        """Number of application message copies currently in transit."""
         return len(self._in_flight)
 
     def drop_in_flight(self) -> int:
-        """Discard every in-transit application message (recovery sessions)."""
+        """Discard every in-transit application copy (recovery sessions)."""
         discarded = len(self._in_flight)
         self.stats.app_discarded_by_recovery += discarded
         self._in_flight.clear()
@@ -151,10 +341,12 @@ class Network:
     # Control messages
     # ------------------------------------------------------------------
     def send_control_message(self, sender: int, receiver: int, payload: Any) -> None:
-        """Send a reliable control message (never dropped)."""
+        """Send a reliable control message (never dropped, duplicated or
+        blocked by partitions; latency follows the link's channel model)."""
         self.stats.control_sent += 1
-        latency = self._config.base_latency + self._control_rng.uniform(
-            0.0, self._config.jitter
+        rng = self._link_rng("control", sender, receiver)
+        latency = self._channel.sample_latency(
+            self._link_state(sender, receiver), sender, receiver, rng
         )
 
         def deliver() -> None:

@@ -79,6 +79,7 @@ class SimulationNode:
         self._crashed = False
         self.messages_sent = 0
         self.messages_received = 0
+        self.duplicates_received = 0
         self.basic_checkpoints = 0
         self.forced_checkpoints = 0
         self.rollbacks = 0
@@ -165,6 +166,28 @@ class SimulationNode:
         self._protocol.notify_receive()
         self._collector.on_receive(message.piggyback, updated, self._dv.as_tuple())
         self.messages_received += 1
+
+    def deliver_duplicate(self, message: AppMessage) -> None:
+        """Deliver a duplicate copy of a message this process already received.
+
+        The middleware cannot tell a duplicate from a fresh message (the
+        paper's piggyback carries no sequence numbers), so the full delivery
+        path runs again: the protocol may force a checkpoint, the dependency
+        vector re-absorbs the piggyback (idempotent — the information was
+        already absorbed by the first copy, which the network guarantees
+        arrived earlier), and the collector observes the receipt.  Only the
+        trace knows the ground truth and records a causally-neutral
+        duplicate event instead of a second receive.
+        """
+        if self._crashed:
+            return
+        if self._protocol.should_force_checkpoint(self._dv.as_tuple(), message.piggyback):
+            self.take_checkpoint(forced=True)
+        self._trace.record_duplicate_receive(message.message_id, self._engine.now)
+        updated = self._dv.absorb(message.piggyback)
+        self._protocol.notify_receive()
+        self._collector.on_receive(message.piggyback, updated, self._dv.as_tuple())
+        self.duplicates_received += 1
 
     def take_checkpoint(self, *, forced: bool = False, payload: Any = None) -> int:
         """Take a basic or forced checkpoint; returns its index."""

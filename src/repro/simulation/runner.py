@@ -10,7 +10,10 @@ benchmarks need.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, TYPE_CHECKING, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.traceio.writer import TraceWriter
 
 from repro.ccp.pattern import CCP
 from repro.core.optimality import GcAudit, audit_garbage_collection
@@ -19,7 +22,7 @@ from repro.protocols.registry import make_protocol
 from repro.recovery.manager import RecoveryManager
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.failures import FailureSchedule
-from repro.simulation.network import Network, NetworkConfig
+from repro.simulation.network import AppMessage, Network, NetworkConfig, PartitionEvent
 from repro.simulation.node import SimulationNode
 from repro.simulation.trace import TraceRecorder
 from repro.simulation.workloads import Action, ActionKind, Workload
@@ -55,6 +58,9 @@ class SimulationConfig:
             raise ValueError("the duration must be positive")
         if self.audit not in ("off", "safety", "full"):
             raise ValueError("audit must be one of 'off', 'safety', 'full'")
+        # Fail fast on fault models that cannot serve this process count
+        # (undersized latency matrices, partitions naming unknown pids).
+        self.network.validate_for(self.num_processes)
 
 
 @dataclass(frozen=True)
@@ -115,6 +121,8 @@ class SimulationResult:
     samples: List[StorageSample]
     recoveries: List[RecoveryRecord]
     audits: List[AuditRecord]
+    messages_duplicated: int = 0
+    messages_blocked_by_partition: int = 0
     final_ccp: Optional[CCP] = None
 
     # ------------------------------------------------------------------
@@ -180,6 +188,8 @@ class SimulationResult:
             "peak_retained": self.peak_total_retained,
             "collection_ratio": self.collection_ratio,
             "recoveries": len(self.recoveries),
+            "duplicated": self.messages_duplicated,
+            "partition_blocked": self.messages_blocked_by_partition,
         }
 
     def summary(self) -> Dict[str, Any]:
@@ -214,7 +224,7 @@ class SimulationRunner:
         self._samples: List[StorageSample] = []
         self._recoveries: List[RecoveryRecord] = []
         self._audits: List[AuditRecord] = []
-        self._writer = None
+        self._writer: Optional["TraceWriter"] = None
         if config.trace_path is not None:
             # Imported lazily: repro.traceio sits above the simulation layer.
             from repro.traceio.writer import TraceWriter
@@ -224,7 +234,10 @@ class SimulationRunner:
         try:
             self._build_nodes()
             self._network.on_app_delivery(self._deliver_app)
+            self._network.on_duplicate_delivery(self._deliver_duplicate)
             self._network.on_control_delivery(self._deliver_control)
+            if self._writer is not None:
+                self._network.on_partition_event(self._record_partition_event)
         except BaseException as exc:
             # Seal the trace instead of leaking a header-only artifact when
             # construction fails (unknown collector name, bad workload, …).
@@ -277,13 +290,21 @@ class SimulationRunner:
     # ------------------------------------------------------------------
     # Delivery plumbing
     # ------------------------------------------------------------------
-    def _deliver_app(self, message) -> None:
+    def _deliver_app(self, message: AppMessage) -> None:
         self._nodes[message.receiver].deliver(message)
+
+    def _deliver_duplicate(self, message: AppMessage) -> None:
+        self._nodes[message.receiver].deliver_duplicate(message)
 
     def _deliver_control(self, sender: int, receiver: int, payload: Any) -> None:
         self._nodes[receiver].collector.on_control_message(
             sender, payload, self._engine.now
         )
+
+    def _record_partition_event(self, event: PartitionEvent) -> None:
+        time, kind, groups = event
+        assert self._writer is not None
+        self._writer.write_partition_event(kind, time, groups)
 
     # ------------------------------------------------------------------
     # Running
@@ -332,7 +353,7 @@ class SimulationRunner:
             self._run_audit("final")
         return self._build_result()
 
-    def _make_action_handler(self, action: Action):
+    def _make_action_handler(self, action: Action) -> Callable[[], None]:
         node = self._nodes[action.pid]
         if action.kind is ActionKind.SEND:
             return lambda: node.send_message(action.target)
@@ -448,6 +469,8 @@ class SimulationRunner:
             messages_sent=stats.app_sent,
             messages_delivered=stats.app_delivered,
             messages_dropped=stats.app_dropped,
+            messages_duplicated=stats.app_duplicates_delivered,
+            messages_blocked_by_partition=stats.app_blocked_by_partition,
             control_messages=control_messages,
             total_collected=sum(
                 node.storage.total_eliminated() for node in self._nodes

@@ -68,6 +68,9 @@ class TraceSink(Protocol):
     def on_receive(self, message_id: int, time: float) -> None:
         """A message delivery was recorded."""
 
+    def on_duplicate_receive(self, message_id: int, time: float) -> None:
+        """A duplicate delivery of an already-received message was recorded."""
+
     def on_checkpoint(
         self,
         pid: int,
@@ -180,6 +183,29 @@ class TraceRecorder:
         self._version += 1
         for sink in self._sinks:
             sink.on_receive(message_id, time)
+
+    def record_duplicate_receive(self, message_id: int, time: float) -> None:
+        """Record the delivery of a *duplicate* copy of a received message.
+
+        A duplicate carries a piggyback the receiver has already absorbed
+        (the network delivers whichever copy arrives first as the real
+        receive), so it contributes **no** causal dependency: it is recorded
+        as an internal event at the receiver — the event exists (the
+        protocol may have acted on it) but adds no edge to the CCP.  The
+        :class:`repro.causality.events.EventLog` invariant that every
+        message is received at most once is thereby preserved.
+        """
+        if message_id in self._dropped_messages or not self._log.has_message(message_id):
+            return
+        message = self._log.message(message_id)
+        if not message.delivered:
+            raise ValueError(
+                f"duplicate delivery of message {message_id} before its first receive"
+            )
+        self._log.add_internal(message.receiver, time=time)
+        self._version += 1
+        for sink in self._sinks:
+            sink.on_duplicate_receive(message_id, time)
 
     def record_checkpoint(
         self,

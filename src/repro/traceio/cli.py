@@ -100,9 +100,21 @@ def _cmd_record(args: argparse.Namespace) -> int:
 # replay
 # ----------------------------------------------------------------------
 def _replay_directory(args: argparse.Namespace) -> int:
-    from repro.scenarios.campaign import aggregate_campaign
+    from repro.scenarios.campaign import DEFAULT_GROUP_BY, aggregate_campaign
 
+    group_by = tuple(
+        axis.strip() for axis in (args.group_by or "").split(",") if axis.strip()
+    ) or DEFAULT_GROUP_BY
     records = campaign_records_from_traces(args.path)
+    valid_axes = set(records[0]["params"]) if records else set()
+    unknown = [axis for axis in group_by if axis not in valid_axes]
+    if unknown:
+        print(
+            f"error: unknown --group-by axis {', '.join(unknown)}; "
+            f"available: {', '.join(sorted(valid_axes))}",
+            file=sys.stderr,
+        )
+        return 2
     if args.verify:
         violations: List[str] = []
         for record in records:
@@ -118,7 +130,7 @@ def _replay_directory(args: argparse.Namespace) -> int:
     if len(failed) == len(records):
         print("every recorded cell failed; nothing to aggregate", file=sys.stderr)
         return 1
-    summary = aggregate_campaign(records)
+    summary = aggregate_campaign(records, group_by=group_by)
     print(summary.table().render())
     print(f"{len(records)} cells re-aggregated from traces (no re-simulation)")
     if args.out:
@@ -174,6 +186,16 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     print(f"  collector:    {header['collector']} {header.get('collector_options') or ''}")
     print(f"  workload:     {header.get('workload')}")
     print(f"  duration:     {header.get('duration')}")
+    network = header.get("network") or {}
+    if network.get("channel"):
+        print(f"  channel:      {network['channel'].get('kind')} {network['channel']}")
+    if network.get("partitions"):
+        windows = ", ".join(
+            f"[{p['start']:g},{p['end']:g})" for p in network["partitions"]
+        )
+        print(f"  partitions:   {windows}")
+    if network.get("fifo"):
+        print("  discipline:   FIFO")
     schedule = header.get("failure_schedule") or []
     if schedule:
         crashes = ", ".join(f"p{pid}@{time:g}" for time, pid in schedule)
@@ -188,8 +210,9 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
                 counts[parsed[0]] = counts.get(parsed[0], 0) + 1
     except TraceError:
         pass
-    names = {"s": "sends", "r": "receives", "c": "checkpoints", "i": "internal",
-             "v": "recoveries", "S": "samples"}
+    names = {"s": "sends", "r": "receives", "d": "duplicates", "c": "checkpoints",
+             "i": "internal", "v": "recoveries", "S": "samples",
+             "p": "partition events"}
     rendered = ", ".join(
         f"{counts[tag]} {names.get(tag, tag)}" for tag in sorted(counts)
     )
@@ -298,6 +321,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     replay.add_argument(
         "--out", default=None,
         help="directory for the re-aggregated tables (directory mode)",
+    )
+    replay.add_argument(
+        "--group-by", default=None,
+        help="comma-separated grouping axes for the re-aggregation "
+             "(directory mode; default: workload,collector,failures — match "
+             "the grouping of the live sweep to compare tables byte for byte)",
     )
     replay.add_argument(
         "--verify", action="store_true",

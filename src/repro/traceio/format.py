@@ -24,6 +24,9 @@ tag     payload
 ======  ============================================================
 ``s``   ``[sender, receiver, message_id, time]`` — application send
 ``r``   ``[message_id, time]`` — delivery of a message
+``d``   ``[message_id, time]`` — delivery of a *duplicate* copy of an
+        already-received message (at-least-once channels; replays as a
+        causally-neutral internal event at the receiver)
 ``c``   ``[pid, index, forced, time, [dv...]]`` — stable checkpoint
         with the dependency vector the middleware stored with it
 ``i``   ``[pid, time]`` — internal application event
@@ -31,15 +34,23 @@ tag     payload
         recovery session: faulty set, recovery line, rollback
         directives and the last-interval vector of Algorithm 3
 ``S``   ``[time, [retained...]]`` — storage occupancy sample
+``p``   ``[kind, time, [[pid...]...]]`` — partition transition
+        (``kind`` is ``cut`` or ``heal``); provenance only, replay
+        collects but does not feed them to the recorder
 ======  ============================================================
 
 Versioning: :data:`FORMAT_VERSION` is bumped whenever a record's shape
-changes incompatibly.  Readers refuse newer versions
-(:class:`TraceVersionError`) rather than misinterpreting records, and
-refuse structurally invalid content (:class:`TraceFormatError`) rather
-than replaying a corrupted history.  A file whose footer is missing, or
-whose footer counts disagree with the records actually present, raises
-:class:`TraceTruncatedError` unless the caller opts into partial replay.
+changes incompatibly.  Version 2 added the ``d``/``p`` records and the
+fault-model provenance in the header ``network`` object (channel model,
+partition schedule, FIFO discipline — absent for the default uniform
+transport, so default-config headers are byte-identical to version 1's).
+Version-1 traces remain readable (their tag set is a strict subset).
+Readers refuse newer versions (:class:`TraceVersionError`) rather than
+misinterpreting records, and refuse structurally invalid content
+(:class:`TraceFormatError`) rather than replaying a corrupted history.
+A file whose footer is missing, or whose footer counts disagree with
+the records actually present, raises :class:`TraceTruncatedError`
+unless the caller opts into partial replay.
 """
 
 from __future__ import annotations
@@ -53,19 +64,32 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 FORMAT_NAME = "repro-trace"
 
 #: Current trace format version.  Bump on incompatible record changes.
-FORMAT_VERSION = 1
+#: Version 2: duplicate-delivery (``d``) and partition (``p``) records,
+#: fault-model provenance in the header ``network`` object.
+FORMAT_VERSION = 2
 
 #: Record tags (first element of every record array).
 TAG_SEND = "s"
 TAG_RECEIVE = "r"
+TAG_DUPLICATE = "d"
 TAG_CHECKPOINT = "c"
 TAG_INTERNAL = "i"
 TAG_RECOVERY = "v"
 TAG_SAMPLE = "S"
+TAG_PARTITION = "p"
 
 #: Tags the current version knows how to replay.
 KNOWN_TAGS = frozenset(
-    (TAG_SEND, TAG_RECEIVE, TAG_CHECKPOINT, TAG_INTERNAL, TAG_RECOVERY, TAG_SAMPLE)
+    (
+        TAG_SEND,
+        TAG_RECEIVE,
+        TAG_DUPLICATE,
+        TAG_CHECKPOINT,
+        TAG_INTERNAL,
+        TAG_RECOVERY,
+        TAG_SAMPLE,
+        TAG_PARTITION,
+    )
 )
 
 
@@ -98,7 +122,6 @@ def make_header(
     re-generates actions — the recorded events *are* the execution — so the
     header only needs enough to identify the run, not to re-run it.
     """
-    network = config.network
     return {
         "format": FORMAT_NAME,
         "version": FORMAT_VERSION,
@@ -109,11 +132,10 @@ def make_header(
         "collector": config.collector,
         "collector_options": dict(config.collector_options),
         "workload": type(config.workload).__name__,
-        "network": {
-            "base_latency": network.base_latency,
-            "jitter": network.jitter,
-            "drop_probability": network.drop_probability,
-        },
+        # Full fault-model provenance: channel model, partition schedule and
+        # FIFO discipline appear as extra keys only when present, so default
+        # uniform-transport headers keep their version-1 shape.
+        "network": config.network.describe(),
         "failure_schedule": [[crash.time, crash.pid] for crash in config.failures],
         "audit": config.audit,
         "meta": dict(meta or config.trace_meta),
@@ -188,6 +210,8 @@ def result_to_record(result: "SimulationResult") -> Dict[str, Any]:
         "messages_sent": result.messages_sent,
         "messages_delivered": result.messages_delivered,
         "messages_dropped": result.messages_dropped,
+        "messages_duplicated": result.messages_duplicated,
+        "messages_blocked_by_partition": result.messages_blocked_by_partition,
         "control_messages": result.control_messages,
         "total_collected": result.total_collected,
         "retained_final": list(result.retained_final),
@@ -210,7 +234,7 @@ def metrics_from_record(record: Mapping[str, Any]) -> Dict[str, float]:
     lets a campaign be re-aggregated from its trace artifacts alone with
     byte-identical output.
     """
-    return {
+    metrics: Dict[str, float] = {
         "checkpoints": record["basic_checkpoints"] + record["forced_checkpoints"],
         "basic": record["basic_checkpoints"],
         "forced": record["forced_checkpoints"],
@@ -227,6 +251,14 @@ def metrics_from_record(record: Mapping[str, Any]) -> Dict[str, float]:
         "collection_ratio": record["collection_ratio"],
         "recoveries": record["recoveries"],
     }
+    # Version-1 result records predate the fault-model counters; mirroring
+    # them only when present keeps v1 footers verifying cleanly (their
+    # stored metrics lack the keys too) while v2 records always carry them.
+    if "messages_duplicated" in record:
+        metrics["duplicated"] = record["messages_duplicated"]
+    if "messages_blocked_by_partition" in record:
+        metrics["partition_blocked"] = record["messages_blocked_by_partition"]
+    return metrics
 
 
 # ----------------------------------------------------------------------
@@ -269,10 +301,12 @@ def validate_record(record: Any, *, line: int, path: str = "<trace>") -> List[An
     arity = {
         TAG_SEND: 5,
         TAG_RECEIVE: 3,
+        TAG_DUPLICATE: 3,
         TAG_CHECKPOINT: 6,
         TAG_INTERNAL: 3,
         TAG_RECOVERY: 5,
         TAG_SAMPLE: 3,
+        TAG_PARTITION: 4,
     }.get(tag)
     if arity is None:
         raise TraceFormatError(f"{path}:{line}: unknown record tag {tag!r}")

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.ccp.consistency import GlobalCheckpoint
@@ -28,7 +28,9 @@ from repro.recovery.rollback_plan import ProcessRollback, RollbackPlan
 from repro.simulation.trace import TraceRecorder
 from repro.traceio.format import (
     TAG_CHECKPOINT,
+    TAG_DUPLICATE,
     TAG_INTERNAL,
+    TAG_PARTITION,
     TAG_RECEIVE,
     TAG_RECOVERY,
     TAG_SAMPLE,
@@ -51,6 +53,10 @@ class ReplayedTrace:
     samples: List[Tuple[float, Tuple[int, ...]]]
     recovery_plans: List[RollbackPlan]
     footer: Optional[Dict[str, Any]]
+    #: ``(kind, time, groups)`` of every partition cut/heal the run recorded.
+    partition_events: List[Tuple[str, float, Tuple[Tuple[int, ...], ...]]] = field(
+        default_factory=list
+    )
     truncated: bool = False
 
     @property
@@ -214,6 +220,7 @@ class TraceReader:
         recorder: Optional[TraceRecorder] = None
         samples: List[Tuple[float, Tuple[int, ...]]] = []
         plans: List[RollbackPlan] = []
+        partitions: List[Tuple[str, float, Tuple[Tuple[int, ...], ...]]] = []
         records = 0
         events = 0
         truncated = False
@@ -238,7 +245,7 @@ class TraceReader:
                 records += 1
                 assert recorder is not None
                 try:
-                    events += self._apply(recorder, record, samples, plans)
+                    events += self._apply(recorder, record, samples, plans, partitions)
                 except TraceFormatError:
                     raise
                 except Exception as exc:
@@ -278,6 +285,7 @@ class TraceReader:
             samples=samples,
             recovery_plans=plans,
             footer=footer,
+            partition_events=partitions,
             truncated=truncated,
         )
 
@@ -287,6 +295,7 @@ class TraceReader:
         record: List[Any],
         samples: List[Tuple[float, Tuple[int, ...]]],
         plans: List[RollbackPlan],
+        partitions: List[Tuple[str, float, Tuple[Tuple[int, ...], ...]]],
     ) -> int:
         """Replay one record; returns how many recorder events it produced."""
         tag = record[0]
@@ -297,6 +306,10 @@ class TraceReader:
         if tag == TAG_RECEIVE:
             _, message_id, time = record
             recorder.record_receive(message_id, time)
+            return 1
+        if tag == TAG_DUPLICATE:
+            _, message_id, time = record
+            recorder.record_duplicate_receive(message_id, time)
             return 1
         if tag == TAG_CHECKPOINT:
             _, pid, index, forced, time, dv = record
@@ -325,6 +338,10 @@ class TraceReader:
         if tag == TAG_SAMPLE:
             _, time, retained = record
             samples.append((time, tuple(retained)))
+            return 0
+        if tag == TAG_PARTITION:
+            _, kind, time, groups = record
+            partitions.append((kind, time, tuple(tuple(g) for g in groups)))
             return 0
         raise TraceFormatError(f"{self._path}: unknown record tag {tag!r}")
 

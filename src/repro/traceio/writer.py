@@ -18,7 +18,9 @@ from typing import Any, Dict, Mapping, Optional, Sequence, TYPE_CHECKING
 
 from repro.traceio.format import (
     TAG_CHECKPOINT,
+    TAG_DUPLICATE,
     TAG_INTERNAL,
+    TAG_PARTITION,
     TAG_RECEIVE,
     TAG_RECOVERY,
     TAG_SAMPLE,
@@ -103,6 +105,11 @@ class TraceWriter:
         self._events += 1
         self._write_record([TAG_RECEIVE, message_id, time])
 
+    def on_duplicate_receive(self, message_id: int, time: float) -> None:
+        """Persist a duplicate delivery (at-least-once channels)."""
+        self._events += 1
+        self._write_record([TAG_DUPLICATE, message_id, time])
+
     def on_checkpoint(
         self,
         pid: int,
@@ -141,6 +148,14 @@ class TraceWriter:
     def write_sample(self, time: float, retained_per_process: Sequence[int]) -> None:
         """Persist a storage-occupancy sample."""
         self._write_record([TAG_SAMPLE, time, list(retained_per_process)])
+
+    def write_partition_event(
+        self, kind: str, time: float, groups: Sequence[Sequence[int]]
+    ) -> None:
+        """Persist a partition transition (``kind`` is ``cut`` or ``heal``)."""
+        self._write_record(
+            [TAG_PARTITION, kind, time, [list(group) for group in groups]]
+        )
 
     # ------------------------------------------------------------------
     # Completion

@@ -12,6 +12,7 @@ FAST_EXAMPLES = [
     "paper_figures_walkthrough.py",
     "failure_recovery_demo.py",
     "campaign_quickstart.py",
+    "fault_model_study.py",
 ]
 
 
@@ -38,6 +39,21 @@ def test_campaign_quickstart_demonstrates_resume(capsys):
     output = capsys.readouterr().out
     assert "8 executed, 0 resumed" in output
     assert "0 executed, 8 resumed" in output
+
+
+def test_fault_model_study_covers_every_regime(capsys):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, "fault_model_study.py"))
+    runpy.run_path(path, run_name="__main__")
+    output = capsys.readouterr().out
+    for regime in (
+        "network=lat=1.0/jit=0.5/drop=0.0",
+        "network=ch=gilbert-elliott",
+        "network=ch=duplicating",
+        "part[20,40)g0,1",
+        "churn(hazard_rate=0.03)",
+    ):
+        assert regime in output
+    assert "duplicated" in output and "partition_blocked" in output
 
 
 def test_figures_walkthrough_mentions_every_figure(capsys):

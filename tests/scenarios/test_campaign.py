@@ -16,7 +16,17 @@ from repro.scenarios.campaign import (
     spec_from_mapping,
 )
 from repro.scenarios.campaign.cli import main as campaign_main
-from repro.scenarios.experiments import paper_campaign_spec, smoke_campaign_spec
+from repro.scenarios.experiments import (
+    fault_model_campaign_spec,
+    paper_campaign_spec,
+    smoke_campaign_spec,
+)
+from repro.simulation.channels import (
+    GilbertElliottChannel,
+    PartitionSchedule,
+)
+from repro.simulation.failures import FailureModelSpec
+from repro.simulation.network import NetworkConfig
 
 
 def tiny_spec(*, seeds=(0, 1), failure_counts=(0,), name="tiny"):
@@ -159,6 +169,159 @@ class TestCellIdentity:
         assert config.collector == cell.collector
         assert config.seed == cell.seed
         assert len(config.failures) == 1
+
+
+class TestFaultModelAxes:
+    """Fault models are first-class grid axes, hashed into cell identities."""
+
+    def test_default_cell_params_keep_their_pre_fault_model_shape(self):
+        """The network params of a default cell must stay exactly the three
+        scalar keys — anything else silently re-identifies (and re-seeds)
+        every existing study."""
+        cell = tiny_spec().cells()[0]
+        assert cell.params()["network"] == {
+            "base_latency": 1.0,
+            "jitter": 0.5,
+            "drop_probability": 0.0,
+        }
+        assert cell.params()["failures"] == 0
+
+    def test_fault_models_change_the_cell_identity(self):
+        def with_network(network):
+            return CampaignSpec(
+                name="fault-id",
+                num_processes=3,
+                duration=25.0,
+                collectors=(CollectorSpec.of("rdt-lgc"),),
+                workloads=(WorkloadSpec.of("uniform-random"),),
+                networks=(network,),
+            ).cells()[0]
+
+        base = with_network(NetworkConfig())
+        bursty = with_network(NetworkConfig(channel=GilbertElliottChannel()))
+        fifo = with_network(NetworkConfig(fifo=True))
+        split = with_network(
+            NetworkConfig(partitions=PartitionSchedule.of([(5.0, 10.0, ((0,),))]))
+        )
+        ids = {c.cell_id for c in (base, bursty, fifo, split)}
+        assert len(ids) == 4
+        seeds = {c.seed for c in (base, bursty, fifo, split)}
+        assert len(seeds) == 4
+
+    def test_churn_axis_entry_materialises_and_is_identity_bearing(self):
+        spec = CampaignSpec(
+            name="churny",
+            num_processes=3,
+            duration=60.0,
+            collectors=(CollectorSpec.of("rdt-lgc"),),
+            workloads=(WorkloadSpec.of("uniform-random"),),
+            failure_counts=(0, FailureModelSpec.of("churn", {"hazard_rate": 0.1})),
+        )
+        calm, churny = spec.cells()
+        assert calm.cell_id != churny.cell_id
+        assert churny.params()["failures"] == "churn(hazard_rate=0.1)"
+        schedule = churny.failure_schedule()
+        assert len(schedule) > 0
+        assert churny.failure_schedule() == schedule  # derived, reproducible
+
+    def test_mixed_failure_axis_rejects_bad_entries(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(
+                name="bad",
+                collectors=(CollectorSpec.of("rdt-lgc"),),
+                workloads=(WorkloadSpec.of("uniform-random"),),
+                failure_counts=("churn",),  # type: ignore[arg-type]
+            )
+
+    def test_spec_from_mapping_parses_fault_models(self):
+        spec = spec_from_mapping(
+            {
+                "name": "json-faults",
+                "num_processes": 3,
+                "duration": 30.0,
+                "collectors": ["rdt-lgc"],
+                "workloads": ["uniform-random"],
+                "networks": [
+                    {},
+                    {"channel": {"kind": "gilbert-elliott", "loss_bad": 0.7}},
+                    {
+                        "partitions": [
+                            {"start": 5.0, "end": 15.0, "groups": [[0, 1]]}
+                        ],
+                        "fifo": True,
+                    },
+                ],
+                "failure_counts": [0, {"model": "churn", "hazard_rate": 0.05}],
+                "seeds": 2,
+            }
+        )
+        assert spec.cell_count == 1 * 1 * 3 * 2 * 2
+        kinds = {
+            (network.channel.kind if network.channel else "uniform")
+            for network in spec.networks
+        }
+        assert kinds == {"uniform", "gilbert-elliott"}
+        assert any(network.fifo for network in spec.networks)
+        assert any(network.partitions for network in spec.networks)
+        assert any(
+            isinstance(entry, FailureModelSpec) for entry in spec.failure_counts
+        )
+
+    def test_spec_from_mapping_rejects_model_without_name(self):
+        with pytest.raises(ValueError):
+            spec_from_mapping(
+                {
+                    "name": "bad",
+                    "failure_counts": [{"hazard_rate": 0.05}],
+                }
+            )
+
+    def test_same_channel_different_severity_never_pools(self):
+        """Two parameterizations of one channel model must aggregate into
+        distinct groups — a severity comparison silently averaged into one
+        row is a corrupted study."""
+        spec = CampaignSpec(
+            name="severities",
+            num_processes=3,
+            duration=25.0,
+            collectors=(CollectorSpec.of("rdt-lgc"),),
+            workloads=(WorkloadSpec.of("uniform-random"),),
+            networks=(
+                NetworkConfig(channel=GilbertElliottChannel(loss_bad=0.1)),
+                NetworkConfig(channel=GilbertElliottChannel(loss_bad=0.9)),
+            ),
+        )
+        run = run_campaign(spec)
+        summary = aggregate_campaign(run.records, group_by=("network",))
+        assert {group.key[0] for group in summary.groups} == {
+            "ch=gilbert-elliott(loss_bad=0.1)",
+            "ch=gilbert-elliott(loss_bad=0.9)",
+        }
+
+    def test_fault_model_sweep_executes_and_groups_per_regime(self):
+        spec = fault_model_campaign_spec(
+            num_processes=3,
+            duration=30.0,
+            num_seeds=1,
+            collectors=(("rdt-lgc", {}),),
+        )
+        run = run_campaign(spec)
+        assert run.cell_count == spec.cell_count
+        summary = aggregate_campaign(
+            run.records, group_by=("network", "failures")
+        )
+        regimes = {group.key[0] for group in summary.groups}
+        assert "ch=gilbert-elliott(loss_bad=0.4,p_bad_to_good=0.3)" in regimes
+        assert "ch=duplicating(duplicate_probability=0.2)" in regimes
+        assert any(r.startswith("ch=latency-matrix(latencies#") for r in regimes)
+        assert "lat=1.0/jit=0.5/drop=0.0/part[10,20)g0,1" in regimes
+        assert "lat=1.0/jit=0.5/drop=0.0/fifo" in regimes
+        # The adversaries' pressure is measured per cell.
+        metrics = [
+            r["metrics"] for r in run.records if r.get("status") == "ok"
+        ]
+        assert any(m["duplicated"] > 0 for m in metrics)
+        assert any(m["partition_blocked"] > 0 for m in metrics)
 
 
 class TestStore:

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.simulation.channels import DuplicatingChannel, GilbertElliottChannel
 from repro.simulation.engine import SimulationEngine, StopReason
 from repro.simulation.network import Network, NetworkConfig
 
@@ -203,3 +204,135 @@ class TestNetwork:
         network.send_app_message(0, 1, (0,))
         with pytest.raises(RuntimeError):
             engine.run()
+
+
+class TestPerLinkDeterminism:
+    """Regression tests for the per-link random streams.
+
+    Latency/loss draws are derived per directed link from the engine seed;
+    traffic (or a fault model) on one link must never perturb the draws of
+    another — the same isolation the control plane always had.
+    """
+
+    @staticmethod
+    def _delivery_times(config, traffic):
+        """Run ``traffic(network, engine)`` and map message_id -> arrival."""
+        engine = SimulationEngine(seed=123)
+        network = Network(engine, config)
+        arrivals = {}
+        network.on_app_delivery(
+            lambda m: arrivals.setdefault((m.sender, m.receiver, m.message_id), engine.now)
+        )
+        network.on_duplicate_delivery(lambda m: None)
+        network.on_control_delivery(lambda s, r, p: None)
+        traffic(network, engine)
+        engine.run()
+        return arrivals
+
+    def test_extra_traffic_on_one_link_leaves_other_links_untouched(self):
+        def base(network, engine):
+            for _ in range(5):
+                network.send_app_message(2, 3, (0, 0, 0, 0))
+
+        def with_noise(network, engine):
+            for _ in range(5):
+                network.send_app_message(0, 1, (0, 0, 0, 0))  # extra link traffic
+                network.send_app_message(2, 3, (0, 0, 0, 0))
+
+        quiet = self._delivery_times(NetworkConfig(), base)
+        noisy = self._delivery_times(NetworkConfig(), with_noise)
+        quiet_23 = sorted(t for (s, r, _), t in quiet.items() if (s, r) == (2, 3))
+        noisy_23 = sorted(t for (s, r, _), t in noisy.items() if (s, r) == (2, 3))
+        assert quiet_23 == noisy_23
+
+    def test_fault_model_perturbs_only_its_own_draws(self):
+        """A channel model changes per-link draw *counts*; links still do not
+        interfere: with bursty loss on, the surviving deliveries on (2, 3)
+        are the same whether or not (0, 1) carries traffic."""
+        config = NetworkConfig(channel=GilbertElliottChannel(loss_bad=0.8))
+
+        def base(network, engine):
+            for _ in range(30):
+                network.send_app_message(2, 3, (0, 0, 0, 0))
+
+        def with_noise(network, engine):
+            for _ in range(30):
+                network.send_app_message(0, 1, (0, 0, 0, 0))
+                network.send_app_message(2, 3, (0, 0, 0, 0))
+
+        quiet = self._delivery_times(config, base)
+        noisy = self._delivery_times(config, with_noise)
+        quiet_23 = sorted(t for (s, r, _), t in quiet.items() if (s, r) == (2, 3))
+        noisy_23 = sorted(t for (s, r, _), t in noisy.items() if (s, r) == (2, 3))
+        assert quiet_23 == noisy_23
+
+    def test_control_traffic_does_not_perturb_app_draws(self):
+        def base(network, engine):
+            for _ in range(5):
+                network.send_app_message(0, 1, (0, 0, 0, 0))
+
+        def with_control(network, engine):
+            for _ in range(5):
+                network.send_control_message(0, 1, "gc-round")
+                network.send_app_message(0, 1, (0, 0, 0, 0))
+
+        assert sorted(self._delivery_times(NetworkConfig(), base).values()) == sorted(
+            t
+            for (s, r, _), t in self._delivery_times(
+                NetworkConfig(), with_control
+            ).items()
+            if (s, r) == (0, 1)
+        )
+
+
+class TestDropInFlightAccounting:
+    """The satellite: drop_in_flight stats cover every copy, duplicates too."""
+
+    def test_discards_count_every_copy(self):
+        engine = SimulationEngine(seed=1)
+        network = Network(
+            engine,
+            NetworkConfig(
+                base_latency=5.0,
+                jitter=0.0,
+                channel=DuplicatingChannel(duplicate_probability=1.0, copies=3),
+            ),
+        )
+        network.on_app_delivery(lambda m: None)
+        network.on_duplicate_delivery(lambda m: None)
+        for _ in range(4):
+            network.send_app_message(0, 1, (0, 0))
+        assert network.stats.app_sent == 4
+        assert network.in_flight_count() == 12  # 3 copies per message
+        assert network.drop_in_flight() == 12
+        assert network.stats.app_discarded_by_recovery == 12
+        assert network.in_flight_count() == 0
+        engine.run()
+        # Nothing was delivered: every copy was discarded in transit.
+        assert network.stats.app_delivered == 0
+        assert network.stats.app_duplicates_delivered == 0
+
+    def test_counters_reconcile_after_partial_delivery(self):
+        engine = SimulationEngine(seed=1)
+        network = Network(engine, NetworkConfig(base_latency=5.0, jitter=0.0))
+        delivered = []
+        network.on_app_delivery(delivered.append)
+        network.send_app_message(0, 1, (0, 0))
+        engine.run()  # first message arrives
+        network.send_app_message(0, 1, (0, 0))
+        discarded = network.drop_in_flight()  # second is still in transit
+        assert discarded == 1
+        stats = network.stats
+        assert stats.app_sent == 2
+        assert stats.app_delivered == len(delivered) == 1
+        assert stats.app_discarded_by_recovery == 1
+        assert (
+            stats.app_sent
+            == stats.app_delivered
+            + stats.app_dropped
+            + stats.app_blocked_by_partition
+            + stats.app_discarded_by_recovery
+        )
+        # Idempotent on an empty transport.
+        assert network.drop_in_flight() == 0
+        assert stats.app_discarded_by_recovery == 1

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.simulation.failures import Crash, FailureSchedule
+from repro.simulation.failures import Crash, FailureModelSpec, FailureSchedule
 from repro.simulation.workloads import (
     Action,
     ActionKind,
@@ -236,3 +236,116 @@ class TestFailureSchedules:
 
     def test_crash_ordering(self):
         assert Crash(1.0, 3) < Crash(2.0, 0)
+
+
+class TestChurnSchedules:
+    def test_every_process_churns_repeatedly(self):
+        schedule = FailureSchedule.churn(
+            num_processes=3,
+            duration=1000.0,
+            rng=random.Random(0),
+            hazard_rate=0.02,
+        )
+        per_pid = {pid: 0 for pid in range(3)}
+        for crash in schedule:
+            per_pid[crash.pid] += 1
+        # Mean inter-crash time 50 over 800 post-warmup seconds: every
+        # process crashes many times — churn, not a one-off failure.
+        assert all(count >= 3 for count in per_pid.values())
+
+    def test_respects_bounds_and_warmup(self):
+        for seed in range(10):
+            schedule = FailureSchedule.churn(
+                num_processes=4,
+                duration=200.0,
+                rng=random.Random(seed),
+                hazard_rate=0.05,
+                warmup_fraction=0.25,
+            )
+            assert all(50.0 < crash.time < 200.0 for crash in schedule)
+            assert list(schedule) == sorted(schedule)
+
+    def test_min_gap_spaces_consecutive_crashes(self):
+        schedule = FailureSchedule.churn(
+            num_processes=1,
+            duration=2000.0,
+            rng=random.Random(3),
+            hazard_rate=0.5,
+            min_gap=10.0,
+        )
+        times = [crash.time for crash in schedule]
+        assert len(times) > 5
+        assert all(b - a >= 10.0 for a, b in zip(times, times[1:]))
+
+    def test_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            FailureSchedule.churn(
+                num_processes=2, duration=10.0, rng=rng, hazard_rate=0.0
+            )
+        with pytest.raises(ValueError):
+            FailureSchedule.churn(
+                num_processes=2, duration=0.0, rng=rng, hazard_rate=0.1
+            )
+        with pytest.raises(ValueError):
+            FailureSchedule.churn(
+                num_processes=2, duration=10.0, rng=rng, hazard_rate=0.1, min_gap=-1.0
+            )
+        with pytest.raises(ValueError):
+            FailureSchedule.churn(
+                num_processes=2,
+                duration=10.0,
+                rng=rng,
+                hazard_rate=0.1,
+                warmup_fraction=1.0,
+            )
+
+
+class TestFailureModelSpec:
+    def test_churn_spec_materialises_a_churn_schedule(self):
+        spec = FailureModelSpec.of("churn", {"hazard_rate": 0.05})
+        schedule = spec.schedule(
+            num_processes=3, duration=400.0, rng=random.Random(1)
+        )
+        assert len(schedule) > 0
+        assert all(crash.time < 400.0 for crash in schedule)
+
+    def test_crashes_spec_matches_random_schedule(self):
+        spec = FailureModelSpec.of("crashes", {"count": 3})
+        direct = FailureSchedule.random(
+            num_processes=4, duration=100.0, count=3, rng=random.Random(7)
+        )
+        via_spec = spec.schedule(
+            num_processes=4, duration=100.0, rng=random.Random(7)
+        )
+        assert via_spec == direct
+
+    def test_zero_count_is_no_failures(self):
+        spec = FailureModelSpec.of("crashes")
+        assert (
+            spec.schedule(num_processes=2, duration=10.0, rng=random.Random(0))
+            == FailureSchedule.none()
+        )
+
+    def test_label_is_canonical(self):
+        spec = FailureModelSpec.of(
+            "churn", {"warmup_fraction": 0.1, "hazard_rate": 0.05}
+        )
+        assert spec.label() == "churn(hazard_rate=0.05,warmup_fraction=0.1)"
+
+    def test_unknown_model_and_parameters_fail_fast(self):
+        with pytest.raises(ValueError):
+            FailureModelSpec.of("meteor-strike")
+        with pytest.raises(ValueError):
+            FailureModelSpec.of("churn", {"hazard": 0.1})
+        with pytest.raises(ValueError):
+            FailureModelSpec.of("churn", {"hazard_rate": -1.0})
+
+    def test_specs_are_hashable_axis_entries(self):
+        axis = (
+            0,
+            2,
+            FailureModelSpec.of("churn", {"hazard_rate": 0.05}),
+            FailureModelSpec.of("churn", {"hazard_rate": 0.1}),
+        )
+        assert len(set(axis)) == 4

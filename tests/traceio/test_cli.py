@@ -82,7 +82,7 @@ class TestInspectAndDiff:
         )
         assert main(["inspect", trace]) == 0
         output = capsys.readouterr().out
-        assert "repro-trace v1" in output
+        assert "repro-trace v2" in output
         assert "cli-mini" in output
         assert "status:       ok" in output
 

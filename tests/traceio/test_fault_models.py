@@ -1,0 +1,296 @@
+"""Trace capture/replay under network fault models (format version 2).
+
+The acceptance path of the fault-model subsystem: runs under duplication,
+partitions and churn stream version-2 traces (``d``/``p`` records, fault
+provenance in the header) that replay into byte-identical recorders, and a
+traced partition/churn *campaign* re-aggregates byte-identically from its
+artifacts alone.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.scenarios.campaign import (
+    CampaignSpec,
+    CollectorSpec,
+    WorkloadSpec,
+    aggregate_campaign,
+    run_campaign,
+)
+from repro.simulation.channels import (
+    DuplicatingChannel,
+    GilbertElliottChannel,
+    PartitionSchedule,
+)
+from repro.simulation.failures import FailureModelSpec, FailureSchedule
+from repro.simulation.network import NetworkConfig
+from repro.simulation.runner import SimulationConfig, SimulationRunner
+from repro.simulation.workloads import UniformRandomWorkload
+from repro.traceio import TraceReader, analysis_table, verify_trace
+from repro.traceio.cli import main as traceio_main
+from repro.traceio.reader import campaign_records_from_traces
+
+ADVERSARIAL_NETWORK = NetworkConfig(
+    channel=DuplicatingChannel(
+        channel=GilbertElliottChannel(loss_bad=0.4), duplicate_probability=0.3
+    ),
+    partitions=PartitionSchedule.of([(15.0, 30.0, ((0, 1),))]),
+    fifo=True,
+)
+
+
+def _traced_run(path, *, network=ADVERSARIAL_NETWORK, failures=None, seed=21):
+    config = SimulationConfig(
+        num_processes=4,
+        duration=60.0,
+        workload=UniformRandomWorkload(),
+        network=network,
+        failures=failures if failures is not None else FailureSchedule.none(),
+        seed=seed,
+        trace_path=str(path),
+    )
+    runner = SimulationRunner(config)
+    result = runner.run()
+    return runner, result
+
+
+class TestFaultModelRoundTrip:
+    @pytest.fixture()
+    def traced(self, tmp_path):
+        path = tmp_path / "adversarial.trace.jsonl"
+        runner, result = _traced_run(
+            path,
+            failures=FailureSchedule.of([(40.0, 2)]),
+        )
+        return {"path": str(path), "runner": runner, "result": result}
+
+    def test_header_carries_fault_model_provenance(self, traced):
+        header = TraceReader(traced["path"]).header()
+        assert header["version"] == 2
+        network = header["network"]
+        assert network["channel"]["kind"] == "duplicating"
+        assert network["channel"]["channel"]["kind"] == "gilbert-elliott"
+        assert network["partitions"] == [
+            {"start": 15.0, "end": 30.0, "groups": [[0, 1]]}
+        ]
+        assert network["fifo"] is True
+
+    def test_duplicate_and_partition_records_present(self, traced):
+        tags = set()
+        for _, parsed in TraceReader(traced["path"]).lines():
+            if isinstance(parsed, list):
+                tags.add(parsed[0])
+        result = traced["result"]
+        assert result.messages_duplicated > 0
+        assert "d" in tags
+        assert "p" in tags
+
+    def test_replay_is_byte_identical(self, traced):
+        replayed = TraceReader(traced["path"]).replay()
+        live = traced["runner"].trace
+        assert (
+            analysis_table(replayed.recorder).render()
+            == analysis_table(live).render()
+        )
+        assert replayed.recorder.log.total_events() == live.log.total_events()
+        assert (
+            replayed.recorder.recorded_checkpoint_dvs()
+            == live.recorded_checkpoint_dvs()
+        )
+        # Partition transitions are collected as provenance.
+        assert [(k, t) for k, t, _ in replayed.partition_events] == [
+            ("cut", 15.0),
+            ("heal", 30.0),
+        ]
+
+    def test_verify_passes_and_metrics_mirror(self, traced):
+        assert verify_trace(traced["path"]) == []
+        replayed = TraceReader(traced["path"]).replay()
+        assert replayed.metrics == traced["result"].metrics_dict()
+        assert replayed.metrics["duplicated"] == traced["result"].messages_duplicated
+        assert (
+            replayed.metrics["partition_blocked"]
+            == traced["result"].messages_blocked_by_partition
+        )
+
+
+class TestTracedFaultCampaign:
+    def test_partition_churn_campaign_reaggregates_byte_identically(self, tmp_path):
+        spec = CampaignSpec(
+            name="fault-replay",
+            num_processes=3,
+            duration=40.0,
+            collectors=(CollectorSpec.of("rdt-lgc"),),
+            workloads=(WorkloadSpec.of("uniform-random"),),
+            failure_counts=(FailureModelSpec.of("churn", {"hazard_rate": 0.05}),),
+            networks=(
+                NetworkConfig(
+                    partitions=PartitionSchedule.of([(10.0, 25.0, ((0,),))])
+                ),
+                NetworkConfig(
+                    channel=DuplicatingChannel(duplicate_probability=0.4)
+                ),
+            ),
+            seeds=(0, 1),
+        )
+        traces = str(tmp_path / "traces")
+        run = run_campaign(spec, trace_dir=traces)
+        live = aggregate_campaign(run.records, group_by=("network", "failures"))
+        records = campaign_records_from_traces(traces)
+        assert [r["cell_id"] for r in records] == [r["cell_id"] for r in run.records]
+        replayed = aggregate_campaign(records, group_by=("network", "failures"))
+        assert replayed.to_csv() == live.to_csv()
+        assert replayed.to_json() == live.to_json()
+
+    def test_replay_cli_group_by_reproduces_custom_grouped_tables(self, tmp_path):
+        """`replay DIR --group-by` must reproduce a fault study's per-regime
+        CSV byte for byte (the default grouping folds regimes together)."""
+        spec = CampaignSpec(
+            name="fault-replay-cli",
+            num_processes=3,
+            duration=30.0,
+            collectors=(CollectorSpec.of("rdt-lgc"),),
+            workloads=(WorkloadSpec.of("uniform-random"),),
+            networks=(
+                NetworkConfig(),
+                NetworkConfig(
+                    channel=DuplicatingChannel(duplicate_probability=0.4)
+                ),
+            ),
+            seeds=(0,),
+        )
+        traces = str(tmp_path / "traces")
+        run = run_campaign(spec, trace_dir=traces)
+        live = aggregate_campaign(run.records, group_by=("network", "collector"))
+        out = str(tmp_path / "replayed")
+        assert (
+            traceio_main(
+                ["replay", traces, "--out", out, "--group-by", "network,collector"]
+            )
+            == 0
+        )
+        with open(
+            os.path.join(out, "fault-replay-cli.csv"), encoding="utf-8"
+        ) as handle:
+            assert handle.read() == live.to_csv()
+        # A typoed axis is rejected up front with a clean error, not a
+        # KeyError mid-aggregation.
+        assert (
+            traceio_main(["replay", traces, "--group-by", "network,colector"]) == 2
+        )
+
+    def test_cell_traces_replay_under_fault_models(self, tmp_path):
+        spec = CampaignSpec(
+            name="fault-replay-cells",
+            num_processes=3,
+            duration=40.0,
+            collectors=(CollectorSpec.of("rdt-lgc"),),
+            workloads=(WorkloadSpec.of("uniform-random"),),
+            failure_counts=(FailureModelSpec.of("churn", {"hazard_rate": 0.04}),),
+            networks=(
+                NetworkConfig(
+                    channel=DuplicatingChannel(duplicate_probability=0.4)
+                ),
+            ),
+            seeds=(0,),
+        )
+        traces = str(tmp_path / "traces")
+        run_campaign(spec, trace_dir=traces)
+        for name in os.listdir(traces):
+            path = os.path.join(traces, name)
+            assert verify_trace(path) == []
+            replayed = TraceReader(path).replay()
+            assert replayed.status == "ok"
+
+
+class TestDiffOnNetworkProvenance:
+    def test_diff_flags_traces_differing_only_in_network_provenance(
+        self, tmp_path, capsys
+    ):
+        """The satellite: two byte-identical executions whose headers carry
+        different network provenance must diff as *different* — provenance is
+        part of a trace's identity — and the divergence must be pinpointed to
+        the header's network object, with zero divergent body records."""
+        implicit = tmp_path / "implicit.trace.jsonl"
+        explicit = tmp_path / "explicit.trace.jsonl"
+        # The same draws in the same order: channel=None and an explicit
+        # default UniformChannel are byte-identical *executions*.
+        _traced_run(implicit, network=NetworkConfig(), seed=5)
+        from repro.simulation.channels import UniformChannel
+
+        _traced_run(
+            explicit, network=NetworkConfig(channel=UniformChannel()), seed=5
+        )
+        body = []
+        for path in (implicit, explicit):
+            records = [
+                parsed
+                for _, parsed in TraceReader(str(path)).lines()
+                if isinstance(parsed, list)
+            ]
+            body.append(records)
+        assert body[0] == body[1]  # identical executions...
+
+        code = traceio_main(["diff", str(implicit), str(explicit)])
+        output = capsys.readouterr().out
+        assert code == 1  # ...but distinct traces
+        assert "header.network" in output
+        assert "record " not in output  # no body divergence reported
+
+    def test_diff_of_equivalent_fault_traces_passes(self, tmp_path, capsys):
+        a = tmp_path / "a.trace.jsonl"
+        b = tmp_path / "b.trace.jsonl"
+        _traced_run(a)
+        _traced_run(b)
+        assert traceio_main(["diff", str(a), str(b)]) == 0
+        assert "equivalent" in capsys.readouterr().out
+
+    def test_inspect_reports_fault_model(self, tmp_path, capsys):
+        path = tmp_path / "inspect.trace.jsonl"
+        _traced_run(path)
+        assert traceio_main(["inspect", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "channel:      duplicating" in output
+        assert "partitions:   [15,30)" in output
+        assert "discipline:   FIFO" in output
+        assert "duplicates" in output
+
+
+class TestV1Compatibility:
+    @staticmethod
+    def _downgrade_to_v1(source, path):
+        """Rewrite a v2 trace of a default-transport run as a genuine v1
+        trace: version 1 header, no fault-model counters in the footer."""
+        lines = open(source, encoding="utf-8").read().splitlines()
+        header = json.loads(lines[0])
+        header["version"] = 1
+        footer = json.loads(lines[-1])["footer"]
+        for key in ("messages_duplicated", "messages_blocked_by_partition"):
+            footer.get("result", {}).pop(key, None)
+        for key in ("duplicated", "partition_blocked"):
+            footer.get("metrics", {}).pop(key, None)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header) + "\n")
+            handle.write("\n".join(lines[1:-1]) + "\n")
+            handle.write(json.dumps({"footer": footer}) + "\n")
+
+    def test_version_1_traces_remain_readable(self, tmp_path):
+        """A v1 trace (no d/p tags, scalar network header) still replays."""
+        path = tmp_path / "v1.trace.jsonl"
+        source = tmp_path / "source.trace.jsonl"
+        _traced_run(source, network=NetworkConfig(), seed=2)
+        self._downgrade_to_v1(source, path)
+        replayed = TraceReader(str(path)).replay()
+        assert replayed.status == "ok"
+        assert replayed.recorder.log.total_events() > 0
+
+    def test_version_1_traces_verify_cleanly(self, tmp_path):
+        """The metrics mirror must not inject v2 counters into a v1 record:
+        verify_trace on a genuine v1 trace reports no violations."""
+        path = tmp_path / "v1.trace.jsonl"
+        source = tmp_path / "source.trace.jsonl"
+        _traced_run(source, network=NetworkConfig(), seed=2)
+        self._downgrade_to_v1(source, path)
+        assert verify_trace(str(path)) == []

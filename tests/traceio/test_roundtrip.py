@@ -237,7 +237,10 @@ class TestCampaignRoundTrip:
             ),
             workloads=(WorkloadSpec.of("uniform-random"),),
             failure_counts=(2,),
-            seeds=tuple(range(6)),
+            # Seed 14 is a grid point known to trip the unsafe collector
+            # under the per-link random streams; the window keeps the sweep
+            # small while guaranteeing at least one failed cell.
+            seeds=tuple(range(12, 18)),
         )
         traces = str(tmp_path / "traces")
         run = run_campaign(spec, trace_dir=traces)
