@@ -1,0 +1,132 @@
+"""Explorer throughput and reduction-ratio benchmark.
+
+Measures the schedule-space explorer on the canonical ring configurations:
+states (prefix executions) per second, complete schedules per second, and
+the sleep-set reduction ratio — executions with the reduction disabled
+divided by executions with it enabled, on the same configuration (the naive
+enumeration is run only at sizes where it stays in seconds).
+
+Writes ``benchmarks/results/BENCH_explore.json`` with one row per measured
+configuration.  Run directly::
+
+    python benchmarks/bench_explore.py            # full matrix
+    python benchmarks/bench_explore.py --smoke    # seconds-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_REPO_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.explore import ExploreConfig, explore, ring_program  # noqa: E402
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+#: (processes, messages, also-run-naive-enumeration)
+FULL_MATRIX = ((2, 2, True), (2, 4, True), (2, 6, False), (3, 4, False))
+SMOKE_MATRIX = ((2, 2, True), (2, 3, True))
+
+
+def _measure(
+    num_processes: int, messages: int, *, reduction: bool, budget: Optional[int]
+) -> Dict[str, Any]:
+    config = ExploreConfig(
+        num_processes=num_processes,
+        program=ring_program(num_processes, messages),
+    )
+    started = time.perf_counter()
+    result = explore(config, reduction=reduction, max_executions=budget)
+    elapsed = time.perf_counter() - started
+    if not result.ok:
+        raise SystemExit(
+            f"benchmark configuration violated an oracle: {result.first.violation}"
+        )
+    stats = result.stats
+    return {
+        "executions": stats.executions,
+        "schedules": stats.schedules,
+        "sleep_pruned": stats.sleep_pruned,
+        "complete": stats.complete,
+        "seconds": round(elapsed, 4),
+        "states_per_second": round(stats.executions / elapsed, 1) if elapsed else None,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="seconds-sized matrix")
+    parser.add_argument(
+        "--max-executions", type=int, default=None,
+        help="budget per configuration (default: exhaustive)",
+    )
+    parser.add_argument(
+        "--output", default=os.path.join(RESULTS_DIR, "BENCH_explore.json"),
+        help="result document path",
+    )
+    args = parser.parse_args(argv)
+
+    matrix = SMOKE_MATRIX if args.smoke else FULL_MATRIX
+    rows: List[Dict[str, Any]] = []
+    print(f"{'config':>14} {'reduced':>22} {'naive':>22} {'ratio':>7}")
+    for num_processes, messages, with_naive in matrix:
+        reduced = _measure(
+            num_processes, messages, reduction=True, budget=args.max_executions
+        )
+        naive = (
+            _measure(
+                num_processes, messages, reduction=False,
+                budget=args.max_executions,
+            )
+            if with_naive
+            else None
+        )
+        ratio = (
+            round(naive["executions"] / reduced["executions"], 2)
+            if naive and reduced["executions"]
+            else None
+        )
+        rows.append(
+            {
+                "processes": num_processes,
+                "messages": messages,
+                "reduced": reduced,
+                "naive": naive,
+                "reduction_ratio": ratio,
+            }
+        )
+        reduced_text = f"{reduced['executions']}ex/{reduced['seconds']}s"
+        naive_text = (
+            f"{naive['executions']}ex/{naive['seconds']}s" if naive else "-"
+        )
+        print(
+            f"{num_processes}p/{messages}m{'':>8} {reduced_text:>22} "
+            f"{naive_text:>22} {ratio if ratio is not None else '-':>7}"
+        )
+    throughput = [
+        row["reduced"]["states_per_second"]
+        for row in rows
+        if row["reduced"]["states_per_second"]
+    ]
+    print(
+        f"peak throughput: {max(throughput):.0f} states/s over "
+        f"{len(rows)} configurations"
+    )
+    os.makedirs(os.path.dirname(os.path.abspath(args.output)), exist_ok=True)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump({"matrix": rows}, handle, indent=2)
+        handle.write("\n")
+    print(f"results written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

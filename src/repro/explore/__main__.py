@@ -1,0 +1,6 @@
+"""``python -m repro.explore`` entry point."""
+
+from repro.explore.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

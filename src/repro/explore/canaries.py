@@ -1,0 +1,126 @@
+"""Deliberately broken collectors that mutation-test the oracle stack.
+
+An explorer whose oracles never fire proves nothing.  The two canaries here
+are RDT-LGC variants with one seeded, interleaving-flavoured bug each:
+
+* :class:`UnsafeCanaryCollector` treats a **stale** message — one whose
+  piggyback updates no dependency-vector entry, which only happens when
+  deliveries are reordered so that newer information overtook it — as
+  evidence that every checkpoint the ``UC`` table protects on behalf of a
+  peer is obsolete, and releases those references.  Under delivery orders
+  where the released checkpoint is still Theorem-1-required this *discards a
+  required checkpoint*: a safety (Theorem 4) violation, and with a
+  subsequent crash a broken recovery.
+* :class:`HoarderCanaryCollector` vetoes every other elimination the ``UC``
+  bookkeeping decides on, so a Theorem-2-obsolete checkpoint stays
+  *retained*: an optimality (Theorem 5) violation while remaining perfectly
+  safe.
+
+Neither is registered by default — they exist to be caught.  Tests and the
+CLI opt in via :func:`register_canaries` / :func:`canaries_registered`; the
+conformance suite asserts the explorer finds both within a fixed budget
+while RDT-LGC sweeps the same space clean.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.core.uncollected import UncollectedTable
+from repro.gc.rdt_lgc_collector import RdtLgcCollector
+from repro.gc.registry import register_collector, unregister_collector
+from repro.storage.stable import StableStorage
+
+
+class UnsafeCanaryCollector(RdtLgcCollector):
+    """RDT-LGC with a reordering-triggered unsafe release (test-only).
+
+    The bug: a delivery that updates no DV entry is taken as proof that the
+    sender-side knowledge protecting peer-referenced checkpoints is stale,
+    and every non-self ``UC`` entry is released.  Plausible-looking — the
+    message indeed carried nothing new — but Theorem 2 retains those
+    checkpoints precisely *because* no newer causal knowledge has arrived.
+    """
+
+    name = "canary-unsafe"
+    claims_optimality = False
+
+    def on_receive(
+        self,
+        piggybacked: Sequence[int],
+        updated_entries: Sequence[int],
+        dv: Sequence[int],
+    ) -> None:
+        if updated_entries:
+            super().on_receive(piggybacked, updated_entries, dv)
+            return
+        # BUG: stale message => drop every peer-held retention reference.
+        for entry in range(self._num_processes):
+            if entry != self._pid:
+                self._uc.release(entry)
+
+
+class HoarderCanaryCollector(RdtLgcCollector):
+    """RDT-LGC that vetoes every other elimination (test-only).
+
+    The ``UC`` bookkeeping is untouched — references are released exactly as
+    Algorithm 2 dictates — but when the table decides a checkpoint is
+    collectible, every second decision is silently ignored and the
+    checkpoint stays on stable storage.  Safe (retaining more never violates
+    Theorem 4) but non-optimal: the survivor is Theorem-2-obsolete the
+    moment RDT-LGC would have eliminated it.
+    """
+
+    name = "canary-hoarder"
+    claims_optimality = True
+
+    def __init__(self, pid: int, num_processes: int, storage: StableStorage) -> None:
+        super().__init__(pid, num_processes, storage)
+        self._eliminations = 0
+        self._hoarded: List[int] = []
+        # Re-create the UC table with the vetoing elimination callback; the
+        # bookkeeping itself stays exactly Algorithm 1/2.
+        self._uc = UncollectedTable(num_processes, on_eliminate=self._eliminate)
+
+    @property
+    def hoarded_indices(self) -> Tuple[int, ...]:
+        """Checkpoint indices the veto kept alive (diagnostics)."""
+        return tuple(self._hoarded)
+
+    def _eliminate(self, index: int) -> None:
+        self._eliminations += 1
+        if self._eliminations % 2 == 0:
+            # BUG: every second collectible checkpoint is hoarded.
+            self._hoarded.append(index)
+            return
+        self._storage.eliminate(index)
+
+
+#: The canary classes, in registration order.
+CANARY_COLLECTORS = (UnsafeCanaryCollector, HoarderCanaryCollector)
+
+#: Their registry names.
+CANARY_NAMES = tuple(cls.name for cls in CANARY_COLLECTORS)
+
+
+def register_canaries() -> None:
+    """Register both canaries with the collector registry (idempotent)."""
+    for cls in CANARY_COLLECTORS:
+        register_collector(cls)
+
+
+def unregister_canaries() -> None:
+    """Remove both canaries from the collector registry (idempotent)."""
+    for cls in CANARY_COLLECTORS:
+        unregister_collector(cls.name)
+
+
+@contextlib.contextmanager
+def canaries_registered() -> Iterator[Tuple[str, ...]]:
+    """Scoped registration for tests and CLI sweeps."""
+    register_canaries()
+    try:
+        yield CANARY_NAMES
+    finally:
+        unregister_canaries()

@@ -1,0 +1,273 @@
+"""Command-line front end of the schedule-space explorer.
+
+Exhaustively explore the canonical 2-process configuration for one
+collector, or sweep the whole protocol × collector grid::
+
+    python -m repro.explore run --collector rdt-lgc
+    python -m repro.explore sweep --processes 2 --messages 6
+    python -m repro.explore sweep --smoke            # the CI gate sweep
+    python -m repro.explore sweep --canaries --traces counterexamples/
+
+Budget and reduction knobs::
+
+    python -m repro.explore sweep --processes 3 --messages 6 \\
+        --max-executions 20000 --no-reduction
+
+Replay a shrunk counterexample artifact (re-executes it live and
+byte-compares the fresh trace against the persisted one)::
+
+    python -m repro.explore replay counterexamples/canary-unsafe.trace.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import List, Optional
+
+from repro.explore.canaries import canaries_registered
+from repro.explore.explorer import SweepEntry, explore
+from repro.explore.program import ExploreConfig, ring_program
+from repro.explore.shrink import (
+    counterexample_summary,
+    persist_counterexample,
+    replay_counterexample,
+    schedule_to_json,
+    shrink,
+)
+from repro.scenarios.experiments import explore_sweep_configs
+
+
+def _config_from_args(args: argparse.Namespace) -> ExploreConfig:
+    return ExploreConfig(
+        num_processes=args.processes,
+        program=ring_program(
+            args.processes,
+            args.messages,
+            crash_pid=0 if args.crash else None,
+        ),
+        protocol=args.protocol,
+        collector=args.collector,
+    )
+
+
+def _report_entry(entry: SweepEntry, *, traces: Optional[str], quiet: bool) -> bool:
+    """Print one sweep cell; persist its first counterexample.  True == clean."""
+    result = entry.result
+    stats = result.stats
+    status = "ok" if result.ok else "VIOLATION"
+    if not stats.complete:
+        status += " (budget exhausted)"
+    if not quiet or not result.ok:
+        print(
+            f"{entry.protocol:>14} / {entry.collector:<20} "
+            f"{stats.executions:>7} executions  {stats.schedules:>6} schedules  "
+            f"{stats.sleep_pruned:>6} pruned  {status}"
+        )
+    counterexample = result.first
+    if counterexample is None:
+        return True
+    shrunk = shrink(
+        counterexample.config, counterexample.schedule, counterexample.violation
+    )
+    print(f"  violation: {shrunk.violation}")
+    print(
+        f"  shrunk to {len(shrunk.schedule)} schedule tokens / "
+        f"{shrunk.trace_events} trace events "
+        f"({shrunk.attempts} shrink executions)"
+    )
+    print(f"  schedule: {schedule_to_json(shrunk.schedule)}")
+    if traces:
+        os.makedirs(traces, exist_ok=True)
+        path = os.path.join(
+            traces, f"{entry.protocol}-{entry.collector}.trace.jsonl"
+        )
+        persist_counterexample(shrunk, path)
+        print(f"  counterexample trace: {path}")
+        print(f"  replay with: python -m repro.explore replay {path}")
+    return False
+
+
+# ----------------------------------------------------------------------
+# run — one configuration
+# ----------------------------------------------------------------------
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    started = time.perf_counter()
+    result = explore(
+        config,
+        max_executions=args.max_executions,
+        reduction=not args.no_reduction,
+    )
+    elapsed = time.perf_counter() - started
+    entry = SweepEntry(config.protocol, config.collector, result)
+    clean = _report_entry(entry, traces=args.traces, quiet=False)
+    stats = result.stats
+    rate = stats.executions / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"explored {stats.executions} prefixes ({stats.schedules} complete "
+        f"schedules, deepest {stats.deepest}) in {elapsed:.2f}s — {rate:.0f}/s"
+    )
+    if not stats.complete:
+        print("budget exhausted; re-run with a larger --max-executions to extend")
+    return 0 if clean else 1
+
+
+# ----------------------------------------------------------------------
+# sweep — the protocol × collector grid
+# ----------------------------------------------------------------------
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.smoke:
+        args.processes, args.messages = 2, 4
+        if args.max_executions is None:
+            args.max_executions = 30000
+    protocols = args.protocols.split(",") if args.protocols else None
+    collectors = None
+    if args.collectors:
+        collectors = tuple((name, {}) for name in args.collectors.split(","))
+
+    def run_and_report() -> tuple[List[SweepEntry], int]:
+        configs = explore_sweep_configs(
+            num_processes=args.processes,
+            messages=args.messages,
+            protocols=protocols,
+            collectors=collectors,
+            with_crash=args.crash,
+        )
+        entries: List[SweepEntry] = []
+        dirty = 0
+        # One cell at a time so progress streams; reporting also shrinks and
+        # persists counterexamples, which re-executes their configurations —
+        # canaries must still be registered here.
+        for config in configs:
+            result = explore(
+                config,
+                max_executions=args.max_executions,
+                reduction=not args.no_reduction,
+            )
+            entry = SweepEntry(config.protocol, config.collector, result)
+            entries.append(entry)
+            if not _report_entry(entry, traces=args.traces, quiet=args.quiet):
+                dirty += 1
+        return entries, dirty
+
+    started = time.perf_counter()
+    if args.canaries:
+        with canaries_registered():
+            entries, dirty = run_and_report()
+    else:
+        entries, dirty = run_and_report()
+    elapsed = time.perf_counter() - started
+    executions = sum(entry.result.stats.executions for entry in entries)
+    print(
+        f"{len(entries)} configurations, {executions} executions in "
+        f"{elapsed:.2f}s; {dirty} with violations"
+    )
+    if args.expect_violations is not None and dirty != args.expect_violations:
+        print(
+            f"error: expected exactly {args.expect_violations} violating "
+            f"configuration(s), found {dirty}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0 if dirty == 0 or args.expect_violations is not None else 1
+
+
+# ----------------------------------------------------------------------
+# replay — a persisted counterexample
+# ----------------------------------------------------------------------
+def _cmd_replay(args: argparse.Namespace) -> int:
+    with canaries_registered():
+        replay = replay_counterexample(args.path)
+    print(counterexample_summary(replay))
+    return 0 if replay.byte_identical else 1
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def _add_exploration_knobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--processes", type=int, default=2, help="process count (default: 2)"
+    )
+    parser.add_argument(
+        "--messages", type=int, default=6, help="message budget (default: 6)"
+    )
+    parser.add_argument(
+        "--crash", action="store_true",
+        help="inject a process-0 crash before the final checkpoint round",
+    )
+    parser.add_argument(
+        "--max-executions", type=int, default=None,
+        help="execution budget (default: none — exhaustive)",
+    )
+    parser.add_argument(
+        "--no-reduction", action="store_true",
+        help="disable the sleep-set reduction (literally every interleaving)",
+    )
+    parser.add_argument(
+        "--traces", default=None,
+        help="directory for shrunk counterexample trace artifacts",
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.explore",
+        description=(
+            "Systematically explore message-delivery interleavings of small "
+            "configurations against the paper's theorem oracles."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="explore one configuration")
+    _add_exploration_knobs(run)
+    run.add_argument("--protocol", default="fdas", help="protocol name")
+    run.add_argument("--collector", default="rdt-lgc", help="collector name")
+    run.set_defaults(func=_cmd_run)
+
+    sweep_cmd = commands.add_parser(
+        "sweep", help="explore the protocol x collector grid"
+    )
+    _add_exploration_knobs(sweep_cmd)
+    sweep_cmd.add_argument(
+        "--protocols", default=None,
+        help="comma-separated protocol names (default: all registered)",
+    )
+    sweep_cmd.add_argument(
+        "--collectors", default=None,
+        help="comma-separated collector names (default: all registered)",
+    )
+    sweep_cmd.add_argument(
+        "--canaries", action="store_true",
+        help="also sweep the deliberately broken canary collectors",
+    )
+    sweep_cmd.add_argument(
+        "--expect-violations", type=int, default=None,
+        help="exit 0 only if exactly this many configurations violate "
+             "(CI conformance mode)",
+    )
+    sweep_cmd.add_argument(
+        "--smoke", action="store_true",
+        help="the CI gate shape: exhaustive 2-process / 4-message grid",
+    )
+    sweep_cmd.add_argument(
+        "--quiet", action="store_true", help="only print violating cells"
+    )
+    sweep_cmd.set_defaults(func=_cmd_sweep)
+
+    replay = commands.add_parser(
+        "replay", help="replay a persisted counterexample byte for byte"
+    )
+    replay.add_argument("path", help="a counterexample .trace.jsonl artifact")
+    replay.set_defaults(func=_cmd_replay)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,72 @@
+"""The explorer's concrete :class:`repro.simulation.network.ScheduleController`.
+
+Parks every application message copy the network hands over and exposes the
+pending set as delivery choices.  The explorer only drives loss-free,
+duplication-free channels (one copy per message, ``message_id`` assignment is
+the send ordinal), which :meth:`PendingDeliveries.on_copy_in_flight` enforces
+— a configuration whose channel drops or duplicates would silently shrink or
+alias the schedule alphabet, so it is rejected loudly instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.simulation.network import AppMessage, Network
+
+
+class PendingDeliveries:
+    """Custody of in-flight message copies, keyed by message ordinal."""
+
+    def __init__(self, network: Network) -> None:
+        self._network = network
+        #: message_id -> (delivery_id, receiver)
+        self._pending: Dict[int, tuple[int, int]] = {}
+        self._discarded: List[int] = []
+        network.attach_controller(self)
+
+    # ------------------------------------------------------------------
+    # ScheduleController protocol
+    # ------------------------------------------------------------------
+    def on_copy_in_flight(
+        self, delivery_id: int, message: AppMessage, sampled_delivery_time: float
+    ) -> None:
+        if message.message_id in self._pending:
+            raise RuntimeError(
+                f"message {message.message_id} produced a second in-flight copy; "
+                f"the explorer only drives duplication-free channels"
+            )
+        self._pending[message.message_id] = (delivery_id, message.receiver)
+
+    def on_copies_discarded(self, delivery_ids: List[int]) -> None:
+        dropped = set(delivery_ids)
+        for message_id, (delivery_id, _) in list(self._pending.items()):
+            if delivery_id in dropped:
+                del self._pending[message_id]
+                self._discarded.append(message_id)
+
+    # ------------------------------------------------------------------
+    # Explorer-facing API
+    # ------------------------------------------------------------------
+    def pending_message_ids(self) -> List[int]:
+        """Message ordinals currently awaiting a delivery choice, ascending."""
+        return sorted(self._pending)
+
+    def receiver(self, message_id: int) -> int:
+        """The receiver of a pending message."""
+        return self._pending[message_id][1]
+
+    def discarded_message_ids(self) -> List[int]:
+        """Messages whose copies a recovery session discarded, in drop order."""
+        return list(self._discarded)
+
+    def deliver(self, message_id: int) -> None:
+        """Deliver a pending message now (current engine time)."""
+        try:
+            delivery_id, _ = self._pending.pop(message_id)
+        except KeyError:
+            raise ValueError(
+                f"message {message_id} is not pending (already delivered, "
+                f"discarded by recovery, or never sent)"
+            ) from None
+        self._network.release_delivery(delivery_id)

@@ -1,0 +1,280 @@
+"""Controlled execution of one schedule over one configuration.
+
+A :class:`ScheduleExecutor` builds the regular simulation stack — engine,
+network, nodes, recorder, recovery manager — through
+:class:`~repro.simulation.runner.SimulationRunner`, attaches a
+:class:`~repro.explore.controller.PendingDeliveries` controller so no message
+is delivered until the schedule says so, and then executes schedule tokens
+one by one:
+
+* ``("a", i)`` advances the engine clock to program step ``i``'s slot
+  (running any control messages or collector timers due before it — those
+  stay engine-driven and deterministic) and executes the step on its node;
+* ``("d", m)`` delivers pending message ``m`` at the current clock.
+
+After every token the oracle stack audits the reached state; the first
+violation stops the execution.  An exception escaping the simulation (the
+way an unsafe collector breaks a recovery session) is itself a violation of
+kind ``execution-error``.  Determinism: the executed prefix fully determines
+the reached state, so re-executing a prefix reproduces it exactly — the
+property both the stateless DFS and counterexample replay rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.explore.controller import PendingDeliveries
+from repro.explore.oracles import OracleStack
+from repro.explore.program import (
+    ADVANCE,
+    DELIVER,
+    Choice,
+    ExecutionOutcome,
+    ExploreConfig,
+    StepKind,
+    Violation,
+)
+from repro.simulation.runner import SimulationConfig, SimulationRunner
+from repro.simulation.workloads import ScriptedWorkload
+
+
+class ScheduleExecutor:
+    """Executes schedules of one configuration, one fresh run per call."""
+
+    def __init__(
+        self,
+        config: ExploreConfig,
+        oracles: Optional[OracleStack] = None,
+    ) -> None:
+        self._config = config
+        self._oracles = oracles if oracles is not None else OracleStack.for_config(config)
+        # Terminal-state counter across this executor's executions; drives
+        # the deterministic kernel-cross-check sampling.
+        self._terminals_seen = 0
+
+    @property
+    def config(self) -> ExploreConfig:
+        """The executed configuration."""
+        return self._config
+
+    @property
+    def oracles(self) -> OracleStack:
+        """The oracle stack applied to every executed state."""
+        return self._oracles
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        schedule: Sequence[Choice],
+        *,
+        check_from: int = 0,
+        trace_path: Optional[str] = None,
+        trace_meta: Optional[Dict[str, object]] = None,
+    ) -> ExecutionOutcome:
+        """Run ``schedule`` from a fresh initial state.
+
+        ``check_from`` skips the per-state oracle audits of the first that
+        many tokens — the DFS passes the parent prefix's length, whose
+        states it already audited on the way down, so each search node pays
+        for exactly one new audit (re-execution of a clean prefix is
+        deterministic, so re-auditing it cannot find anything new).
+
+        With ``trace_path`` the execution streams a replayable v2 traceio
+        artifact (header: scripted-style with the configuration, schedule
+        and ``trace_meta`` as provenance); a violating execution seals it
+        with an ``aborted`` footer carrying the violation, so the artifact
+        is a self-describing counterexample.
+        """
+        config = self._config
+        runner = SimulationRunner(
+            SimulationConfig(
+                num_processes=config.num_processes,
+                duration=config.duration,
+                workload=ScriptedWorkload([]),
+                protocol=config.protocol,
+                collector=config.collector,
+                collector_options=config.collector_options_dict(),
+                seed=config.seed,
+            )
+        )
+        controller = PendingDeliveries(runner.network)
+        writer = None
+        if trace_path is not None:
+            from repro.traceio.writer import TraceWriter
+
+            meta: Dict[str, object] = {
+                "explorer": {
+                    "config": config.describe(),
+                    "schedule": [list(token) for token in schedule],
+                    **(trace_meta or {}),
+                }
+            }
+            writer = TraceWriter.scripted(
+                trace_path,
+                config.num_processes,
+                seed=config.seed,
+                workload="explore",
+                meta=meta,
+            )
+            runner.trace.attach_sink(writer)
+        try:
+            outcome = self._drive(runner, controller, schedule, check_from)
+        except BaseException:
+            if writer is not None and not writer.closed:
+                writer.abort("executor crashed")
+            raise
+        if writer is not None:
+            if outcome.violation is not None:
+                writer.abort(f"violation: {outcome.violation}")
+            else:
+                writer.seal()
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _drive(
+        self,
+        runner: SimulationRunner,
+        controller: PendingDeliveries,
+        schedule: Sequence[Choice],
+        check_from: int,
+    ) -> ExecutionOutcome:
+        config = self._config
+        for node in runner.nodes:
+            node.start()  # the model's initial stable checkpoints s_i^0
+        next_step = 0
+        violation = (
+            self._oracles.check_state(runner, 0) if check_from == 0 else None
+        )
+        executed = 0
+        if violation is None:
+            for token in schedule:
+                kind, value = token[0], token[1]
+                audited = executed >= check_from
+                eliminated_before = sum(
+                    node.storage.total_eliminated() for node in runner.nodes
+                )
+                is_send = (
+                    kind == ADVANCE
+                    and config.program[value].kind is StepKind.SEND
+                )
+                try:
+                    if kind == ADVANCE:
+                        if value != next_step:
+                            raise ValueError(
+                                f"schedule expects program step {next_step}, "
+                                f"token says {value}"
+                            )
+                        violation = self._advance(
+                            runner, next_step, executed + 1, audited
+                        )
+                        next_step += 1
+                    elif kind == DELIVER:
+                        controller.deliver(value)
+                    else:
+                        raise ValueError(f"unknown schedule token kind {kind!r}")
+                except Exception as exc:
+                    violation = Violation(
+                        kind="execution-error",
+                        detail=f"{type(exc).__name__}: {exc}",
+                        step=executed + 1,
+                    )
+                executed += 1
+                if violation is None and audited:
+                    # A send mutates neither stable storage nor the
+                    # Theorem-1/2 characterisations (it adds no incoming
+                    # causal edge and absorbs nothing), so unless a timer
+                    # fired and eliminated something en route the verdict
+                    # equals the parent state's, which was already clean.
+                    eliminated_after = sum(
+                        node.storage.total_eliminated() for node in runner.nodes
+                    )
+                    if not (is_send and eliminated_after == eliminated_before):
+                        violation = self._oracles.check_state(runner, executed)
+                if violation is not None:
+                    break
+        enabled: Tuple[Choice, ...] = ()
+        affected: Dict[Choice, Optional[int]] = {}
+        terminal = False
+        if violation is None:
+            choices: List[Choice] = []
+            if next_step < len(config.program):
+                step = config.program[next_step]
+                choice: Choice = (ADVANCE, next_step)
+                choices.append(choice)
+                affected[choice] = None if step.kind is StepKind.CRASH else step.pid
+            for message_id in controller.pending_message_ids():
+                choice = (DELIVER, message_id)
+                choices.append(choice)
+                affected[choice] = controller.receiver(message_id)
+            enabled = tuple(choices)
+            if not enabled:
+                terminal = True
+                # Flush trailing engine work (collector timers, late control
+                # messages) up to the nominal duration, then run the final,
+                # full-stack audit including the (sampled) kernel cross-check.
+                period = max(self._oracles.kernel_cross_check_period, 1)
+                cross_check = self._terminals_seen % period == 0
+                self._terminals_seen += 1
+                try:
+                    runner.engine.run(until=config.duration)
+                    violation = self._oracles.check_state(
+                        runner, executed, final=True, cross_check=cross_check
+                    )
+                except Exception as exc:
+                    violation = Violation(
+                        kind="execution-error",
+                        detail=f"{type(exc).__name__}: {exc}",
+                        step=executed,
+                    )
+        return ExecutionOutcome(
+            enabled=enabled,
+            violation=violation,
+            executed=executed,
+            terminal=terminal,
+            trace_events=runner.trace.log.total_events(),
+            affected=affected,
+        )
+
+    def _advance(
+        self,
+        runner: SimulationRunner,
+        step_index: int,
+        position: int,
+        audited: bool,
+    ) -> Optional[Violation]:
+        """Execute program step ``step_index`` at its time slot.
+
+        ``position`` is the 1-based schedule position, used to stamp any
+        recovery-oracle violation; with ``audited`` False the recovery check
+        is skipped (the prefix was already audited by a previous execution).
+        """
+        config = self._config
+        step = config.program[step_index]
+        slot = (step_index + 1) * config.step_gap
+        # Run engine-scheduled work due before the slot (collector timers and
+        # control-message deliveries — deterministic, not explored choices).
+        runner.engine.run(until=slot)
+        node = runner.nodes[step.pid]
+        if step.kind is StepKind.SEND:
+            assert step.target is not None
+            node.send_message(step.target)
+            return None
+        if step.kind is StepKind.CHECKPOINT:
+            node.take_checkpoint(forced=False)
+            return None
+        assert step.kind is StepKind.CRASH
+        if not audited:
+            runner.inject_crash(step.pid)
+            return None
+        # Recovery validity is checked against the pattern at the crash
+        # instant; current_ccp() is memoised, so the manager reuses it.
+        pre_crash_ccp = runner.current_ccp()
+        runner.inject_crash(step.pid)
+        return self._oracles.check_recovery(
+            pre_crash_ccp, runner.recoveries[-1], position
+        )

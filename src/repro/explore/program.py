@@ -1,0 +1,315 @@
+"""Explorable configurations: a fixed program plus its schedule alphabet.
+
+The explorer separates *what the application does* from *when the network
+delivers*.  An :class:`ExploreConfig` fixes the former completely — a small
+deterministic :class:`ExploreProgram` of sends, basic checkpoints and
+injected crashes, executed in program order — and leaves the latter as the
+explored axis: a **schedule** interleaves the program's steps with delivery
+choices for the messages the program put in flight.
+
+Schedule tokens
+---------------
+
+A schedule is a sequence of tokens:
+
+* ``("a", i)`` — execute program step ``i`` (steps are consumed strictly in
+  order, so ``i`` is always the number of ``"a"`` tokens before this one);
+* ``("d", m)`` — deliver message ``m`` (messages are numbered ``0, 1, ...``
+  in send order, which is exactly the network's ``message_id`` assignment
+  for loss-free, duplication-free channels — the only channels the explorer
+  drives).
+
+A token sequence is *well-formed* if every ``("d", m)`` appears after the
+send step that produced message ``m`` and at most once.  Tokens are plain
+tuples so schedules embed directly in trace-header provenance and compare
+bytewise across runs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.gc.registry import collector_class
+from repro.protocols.registry import protocol_class
+
+#: One schedule token (see the module docstring).
+Choice = Tuple[str, int]
+
+#: Token kinds.
+ADVANCE = "a"
+DELIVER = "d"
+
+
+class StepKind(enum.Enum):
+    """What one fixed program step does."""
+
+    SEND = "send"
+    CHECKPOINT = "checkpoint"
+    CRASH = "crash"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class ProgramStep:
+    """One fixed application step of an explorable configuration."""
+
+    kind: StepKind
+    pid: int
+    target: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is StepKind.SEND and self.target is None:
+            raise ValueError("SEND steps need a target process")
+        if self.kind is not StepKind.SEND and self.target is not None:
+            raise ValueError(f"{self.kind.value} steps take no target")
+
+    def describe(self) -> List[Any]:
+        """Compact JSON form (trace provenance)."""
+        if self.kind is StepKind.SEND:
+            return [self.kind.value, self.pid, self.target]
+        return [self.kind.value, self.pid]
+
+    @classmethod
+    def from_description(cls, description: Sequence[Any]) -> "ProgramStep":
+        kind = StepKind(description[0])
+        target = description[2] if kind is StepKind.SEND else None
+        return cls(kind, int(description[1]), target)
+
+
+def send(pid: int, target: int) -> ProgramStep:
+    """Shorthand for a send step."""
+    return ProgramStep(StepKind.SEND, pid, target)
+
+
+def checkpoint(pid: int) -> ProgramStep:
+    """Shorthand for a basic-checkpoint step."""
+    return ProgramStep(StepKind.CHECKPOINT, pid)
+
+
+def crash(pid: int) -> ProgramStep:
+    """Shorthand for an injected-crash step (triggers a full recovery session)."""
+    return ProgramStep(StepKind.CRASH, pid)
+
+
+@dataclass(frozen=True)
+class ExploreConfig:
+    """Everything that is *fixed* about one explored configuration.
+
+    ``collector_options`` is stored as sorted ``(key, value)`` pairs (the
+    campaign layer's convention) so configurations stay hashable.
+    """
+
+    num_processes: int
+    program: Tuple[ProgramStep, ...]
+    protocol: str = "fdas"
+    collector: str = "rdt-lgc"
+    collector_options: Tuple[Tuple[str, Any], ...] = ()
+    seed: int = 0
+    #: Simulated time between consecutive program steps.  Delivery choices
+    #: execute at the current clock, so the gap only spaces the fixed steps
+    #: (and with it any timer-based collector's notion of age).
+    step_gap: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_processes <= 0:
+            raise ValueError("an explorable configuration needs at least one process")
+        if self.step_gap <= 0:
+            raise ValueError("the step gap must be positive")
+        for step in self.program:
+            for pid in (step.pid, step.target):
+                if pid is not None and not 0 <= pid < self.num_processes:
+                    raise ValueError(
+                        f"program step {step} references process {pid} but the "
+                        f"configuration has {self.num_processes} processes"
+                    )
+        protocol_class(self.protocol)  # fail fast on unknown names
+        collector_class(self.collector)
+
+    @property
+    def message_count(self) -> int:
+        """Number of messages the program sends (== delivery choices)."""
+        return sum(1 for step in self.program if step.kind is StepKind.SEND)
+
+    @property
+    def duration(self) -> float:
+        """Simulated duration covering every program step plus a flush margin."""
+        return (len(self.program) + 2) * self.step_gap
+
+    def send_ordinal(self, step_index: int) -> int:
+        """The message number produced by send step ``step_index``."""
+        step = self.program[step_index]
+        if step.kind is not StepKind.SEND:
+            raise ValueError(f"program step {step_index} is not a send")
+        return sum(
+            1 for other in self.program[:step_index] if other.kind is StepKind.SEND
+        )
+
+    def collector_options_dict(self) -> Dict[str, Any]:
+        """The collector options as a plain dict."""
+        return dict(self.collector_options)
+
+    def describe(self) -> Dict[str, Any]:
+        """Canonical JSON form (persisted in counterexample trace headers)."""
+        return {
+            "num_processes": self.num_processes,
+            "program": [step.describe() for step in self.program],
+            "protocol": self.protocol,
+            "collector": self.collector,
+            "collector_options": self.collector_options_dict(),
+            "seed": self.seed,
+            "step_gap": self.step_gap,
+        }
+
+    @classmethod
+    def from_mapping(cls, document: Mapping[str, Any]) -> "ExploreConfig":
+        """Rebuild a configuration from its :meth:`describe` mapping."""
+        return cls(
+            num_processes=int(document["num_processes"]),
+            program=tuple(
+                ProgramStep.from_description(step) for step in document["program"]
+            ),
+            protocol=str(document["protocol"]),
+            collector=str(document["collector"]),
+            collector_options=tuple(
+                sorted(dict(document.get("collector_options") or {}).items())
+            ),
+            seed=int(document.get("seed", 0)),
+            step_gap=float(document.get("step_gap", 1.0)),
+        )
+
+
+def validate_schedule(config: ExploreConfig, schedule: Sequence[Choice]) -> None:
+    """Reject malformed schedules loudly (unknown tokens, deliveries before
+    their send or repeated, program steps out of order or out of range)."""
+    next_step = 0
+    sent = 0
+    delivered = set()
+    for position, token in enumerate(schedule):
+        kind, value = token[0], token[1]
+        if kind == ADVANCE:
+            if value != next_step:
+                raise ValueError(
+                    f"schedule token {position}: expected program step {next_step}, "
+                    f"got {value} (steps are consumed in order)"
+                )
+            if next_step >= len(config.program):
+                raise ValueError(
+                    f"schedule token {position}: program has only "
+                    f"{len(config.program)} steps"
+                )
+            if config.program[next_step].kind is StepKind.SEND:
+                sent += 1
+            next_step += 1
+        elif kind == DELIVER:
+            if value in delivered:
+                raise ValueError(
+                    f"schedule token {position}: message {value} delivered twice"
+                )
+            if value >= sent:
+                raise ValueError(
+                    f"schedule token {position}: message {value} has not been "
+                    f"sent yet"
+                )
+            delivered.add(value)
+        else:
+            raise ValueError(f"schedule token {position}: unknown kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Canonical configurations
+# ----------------------------------------------------------------------
+def ring_program(
+    num_processes: int,
+    messages: int,
+    *,
+    checkpoint_every: int = 0,
+    crash_pid: Optional[int] = None,
+) -> Tuple[ProgramStep, ...]:
+    """The canonical explorable program: a message ring with checkpoint rounds.
+
+    Message ``m`` is sent by process ``m % n`` to its ring successor; after
+    every ``checkpoint_every`` sends (default: one round, ``n`` sends) every
+    process takes a basic checkpoint, and a final checkpoint round closes the
+    program.  With ``crash_pid`` set, that process crashes just before the
+    final round, so every schedule exercises a full recovery session.
+    """
+    if messages < 0:
+        raise ValueError("the message budget must be non-negative")
+    period = checkpoint_every or num_processes
+    steps: List[ProgramStep] = []
+    for m in range(messages):
+        sender = m % num_processes
+        steps.append(send(sender, (sender + 1) % num_processes))
+        if (m + 1) % period == 0:
+            steps.extend(checkpoint(pid) for pid in range(num_processes))
+    if crash_pid is not None:
+        steps.append(crash(crash_pid))
+    if messages % period != 0 or crash_pid is not None or messages == 0:
+        steps.extend(checkpoint(pid) for pid in range(num_processes))
+    return tuple(steps)
+
+
+@dataclass
+class ScheduleStats:
+    """Bookkeeping of one exploration (reported by CLI and benchmark)."""
+
+    executions: int = 0
+    schedules: int = 0
+    violations: int = 0
+    sleep_pruned: int = 0
+    deepest: int = 0
+    complete: bool = True
+    #: Populated when the execution budget ran out: the deterministic
+    #: schedule prefix at which the search stopped (resume provenance).
+    frontier: Optional[Tuple[Choice, ...]] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        document: Dict[str, Any] = {
+            "executions": self.executions,
+            "schedules": self.schedules,
+            "violations": self.violations,
+            "sleep_pruned": self.sleep_pruned,
+            "deepest": self.deepest,
+            "complete": self.complete,
+        }
+        if self.frontier is not None:
+            document["frontier"] = [list(token) for token in self.frontier]
+        return document
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One oracle violation, pinned to the schedule position that exposed it."""
+
+    kind: str
+    detail: str
+    #: Number of schedule tokens executed when the violation surfaced
+    #: (0 == the initial state, before any token).
+    step: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.kind} @ step {self.step}] {self.detail}"
+
+
+@dataclass
+class ExecutionOutcome:
+    """What one (prefix) execution observed."""
+
+    #: Choices enabled in the state reached after the executed prefix.
+    enabled: Tuple[Choice, ...]
+    #: First violation observed, if any (execution stops there).
+    violation: Optional[Violation]
+    #: Number of schedule tokens actually executed (< len(schedule) when a
+    #: violation cut the run short).
+    executed: int
+    #: True when the prefix ran to quiescence with the program exhausted.
+    terminal: bool = False
+    #: Events in the recorder when execution stopped (counterexample sizing).
+    trace_events: int = 0
+    #: Affected-process metadata per enabled choice (sleep-set independence):
+    #: maps a choice to the pid it touches, or None for global effects.
+    affected: Dict[Choice, Optional[int]] = field(default_factory=dict)

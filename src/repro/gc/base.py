@@ -59,6 +59,11 @@ class GarbageCollector(abc.ABC):
     uses_time_assumptions: ClassVar[bool] = False
     #: True if the collector exchanges control messages.
     uses_control_messages: ClassVar[bool] = False
+    #: True if the collector claims Theorem-5 optimality (its retained set
+    #: equals the Theorem-2 retained set at every instant of an RDT
+    #: execution).  Oracle stacks audit optimality only for collectors that
+    #: claim it — baselines are merely required to be safe.
+    claims_optimality: ClassVar[bool] = False
 
     def __init__(self, pid: int, num_processes: int, storage: StableStorage) -> None:
         if not 0 <= pid < num_processes:

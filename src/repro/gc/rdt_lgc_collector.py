@@ -28,6 +28,7 @@ class RdtLgcCollector(GarbageCollector):
     asynchronous = True
     uses_time_assumptions = False
     uses_control_messages = False
+    claims_optimality = True
 
     def __init__(self, pid: int, num_processes: int, storage: StableStorage) -> None:
         super().__init__(pid, num_processes, storage)

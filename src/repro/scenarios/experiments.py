@@ -17,7 +17,10 @@ Two tiers live here:
 from __future__ import annotations
 
 import random
-from typing import Mapping, Optional, Sequence, Tuple
+from typing import Mapping, Optional, Sequence, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.explore.program import ExploreConfig
 
 from repro.scenarios.campaign.aggregate import CampaignSummary, aggregate_campaign
 from repro.scenarios.campaign.executor import CampaignRun, run_campaign
@@ -266,6 +269,62 @@ def smoke_campaign_spec(*, num_seeds: int = 2) -> CampaignSpec:
         ),
         failure_counts=(0, 1),
         seeds=tuple(range(num_seeds)),
+    )
+
+
+def explore_sweep_configs(
+    *,
+    num_processes: int = 2,
+    messages: int = 6,
+    protocols: Optional[Sequence[str]] = None,
+    collectors: Optional[Sequence[Tuple[str, Mapping[str, object]]]] = None,
+    with_crash: bool = False,
+) -> Tuple["ExploreConfig", ...]:
+    """The canonical schedule-exploration grid (campaign ``explore`` mode).
+
+    One :class:`repro.explore.ExploreConfig` per (protocol, collector) pair
+    over the canonical ring program — the configuration family the
+    acceptance sweep, the CI smoke gate, the nightly bounded sweep and
+    ``python -m repro.explore sweep`` all share.  Defaults to every
+    registered protocol × every registered collector; crash mode inserts a
+    process-0 crash before the final checkpoint round so every schedule
+    exercises a recovery session.
+    """
+    from repro.explore.program import ExploreConfig, ring_program
+    from repro.gc.registry import available_collectors
+    from repro.protocols.registry import available_protocols
+
+    program = ring_program(
+        num_processes, messages, crash_pid=0 if with_crash else None
+    )
+    if protocols is None:
+        protocols = available_protocols()
+    if collectors is None:
+        chosen_names = available_collectors()
+        options_by_name: Mapping[str, Mapping[str, object]] = dict(STUDY_COLLECTORS)
+        # Every collector runs with its assumptions *honoured* on the
+        # explorer's step-per-time-unit scale: the sweep's contract is "zero
+        # violations expected".  In particular Manivannan–Singhal gets a
+        # window far above any explorer program length — its
+        # violated-window failure mode is a *found counterexample* test
+        # (tests/explore), not a sweep expectation.
+        options_by_name = {
+            **options_by_name,
+            "manivannan-singhal": {"checkpoint_period": 50.0},
+        }
+        collectors = tuple(
+            (name, options_by_name.get(name, {})) for name in chosen_names
+        )
+    return tuple(
+        ExploreConfig(
+            num_processes=num_processes,
+            program=program,
+            protocol=protocol,
+            collector=name,
+            collector_options=tuple(sorted(dict(options).items())),
+        )
+        for protocol in protocols
+        for name, options in collectors
     )
 
 

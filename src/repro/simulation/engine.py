@@ -81,6 +81,15 @@ class SimulationEngine:
         """Number of callbacks still queued."""
         return len(self._queue)
 
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest queued callback, or None if the queue is empty.
+
+        Introspection companion to :meth:`pending_events`: external drivers
+        can see how far ``run(until=...)`` would have to go without executing
+        anything.
+        """
+        return self._queue[0][0] if self._queue else None
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------

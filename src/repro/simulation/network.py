@@ -38,7 +38,7 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple
 
 from repro.simulation.channels import (
     ChannelModel,
@@ -148,6 +148,35 @@ class AppMessage:
     payload: Any = None
 
 
+class ScheduleController(Protocol):
+    """External owner of application-message delivery *order*.
+
+    With a controller attached (:meth:`Network.attach_controller`), the
+    network still decides the *fate* of every copy exactly as before — the
+    channel model samples loss/duplication/latency from the same per-link
+    random streams in the same order, so a controlled run consumes draws
+    identically to an uncontrolled one — but instead of scheduling the copy
+    on the engine at its sampled delivery time, custody is handed to the
+    controller.  The controller delivers a copy whenever its schedule says
+    so by calling :meth:`Network.release_delivery`; the copy is then
+    delivered at the *current* engine time.  This is the hook the
+    schedule-space explorer (:mod:`repro.explore`) drives interleavings
+    through.
+    """
+
+    def on_copy_in_flight(
+        self, delivery_id: int, message: AppMessage, sampled_delivery_time: float
+    ) -> None:
+        """The network placed one message copy in the controller's custody.
+
+        ``sampled_delivery_time`` is the delivery instant the engine *would*
+        have used (provenance only — the controller decides the real order).
+        """
+
+    def on_copies_discarded(self, delivery_ids: List[int]) -> None:
+        """A recovery session discarded in-custody copies (drop_in_flight)."""
+
+
 @dataclass
 class NetworkStats:
     """Counters kept by the transport."""
@@ -178,6 +207,7 @@ class Network:
         self._duplicate_handler: Optional[Callable[[AppMessage], None]] = None
         self._control_handler: Optional[Callable[[int, int, Any], None]] = None
         self._partition_hook: Optional[Callable[[PartitionEvent], None]] = None
+        self._controller: Optional[ScheduleController] = None
         self._next_message_id = 0
         self._next_delivery_id = 0
         # In-transit copies keyed by a per-copy delivery id (a duplicated
@@ -223,6 +253,18 @@ class Network:
     def on_partition_event(self, handler: Callable[[PartitionEvent], None]) -> None:
         """Register the callback invoked at every partition cut/heal instant."""
         self._partition_hook = handler
+
+    def attach_controller(self, controller: ScheduleController) -> None:
+        """Hand delivery *ordering* to an external :class:`ScheduleController`.
+
+        Must be attached before the first application send; copies already
+        scheduled on the engine are not re-parented.  Channel fate sampling
+        (loss, duplication, latency draws) is unchanged — see
+        :class:`ScheduleController`.
+        """
+        if self._controller is not None:
+            raise RuntimeError("a schedule controller is already attached")
+        self._controller = controller
 
     # ------------------------------------------------------------------
     # Per-link state
@@ -304,10 +346,24 @@ class Network:
             delivery_id = self._next_delivery_id
             self._next_delivery_id += 1
             self._in_flight[delivery_id] = message
-            self._engine.schedule_at(
-                delivery_time, lambda did=delivery_id: self._deliver_copy(did)
-            )
+            if self._controller is not None:
+                self._controller.on_copy_in_flight(delivery_id, message, delivery_time)
+            else:
+                self._engine.schedule_at(
+                    delivery_time, lambda did=delivery_id: self._deliver_copy(did)
+                )
         return message
+
+    def release_delivery(self, delivery_id: int) -> None:
+        """Deliver a controller-held copy *now* (current engine time).
+
+        Only meaningful with a :class:`ScheduleController` attached; a copy
+        discarded by a recovery session in the meantime is silently ignored,
+        mirroring the engine-scheduled path.
+        """
+        if self._controller is None:
+            raise RuntimeError("release_delivery requires an attached schedule controller")
+        self._deliver_copy(delivery_id)
 
     def _deliver_copy(self, delivery_id: int) -> None:
         message = self._in_flight.pop(delivery_id, None)
@@ -334,7 +390,10 @@ class Network:
         """Discard every in-transit application copy (recovery sessions)."""
         discarded = len(self._in_flight)
         self.stats.app_discarded_by_recovery += discarded
+        dropped_ids = sorted(self._in_flight)
         self._in_flight.clear()
+        if self._controller is not None and dropped_ids:
+            self._controller.on_copies_discarded(dropped_ids)
         return discarded
 
     # ------------------------------------------------------------------

@@ -283,9 +283,19 @@ class SimulationRunner:
         return self._engine
 
     @property
+    def network(self) -> Network:
+        """The shared transport (useful for custom drivers and the explorer)."""
+        return self._network
+
+    @property
     def trace(self) -> TraceRecorder:
         """The global trace recorder."""
         return self._trace
+
+    @property
+    def recoveries(self) -> List[RecoveryRecord]:
+        """The recovery sessions executed so far (in order)."""
+        return self._recoveries
 
     # ------------------------------------------------------------------
     # Delivery plumbing
@@ -412,6 +422,14 @@ class SimulationRunner:
     # ------------------------------------------------------------------
     # Failure handling
     # ------------------------------------------------------------------
+    def inject_crash(self, pid: int) -> None:
+        """Crash ``pid`` now and run the full recovery session.
+
+        Public entry point for external drivers (the schedule-space
+        explorer); scheduled failure injection goes through the same path.
+        """
+        self._handle_crash(pid)
+
     def _handle_crash(self, pid: int) -> None:
         node = self._nodes[pid]
         if node.storage.retained_count() == 0:

@@ -217,6 +217,11 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         f"{counts[tag]} {names.get(tag, tag)}" for tag in sorted(counts)
     )
     print(f"  records:      {rendered or 'none'}")
+    # Always rendered, "none" included: crash-free traces (counterexamples
+    # from the explorer's crash-free sweeps, zero-failure campaign cells)
+    # must inspect uniformly with crashing ones.
+    sessions = counts.get("v", 0)
+    print(f"  recoveries:   {sessions if sessions else 'none'}")
     if footer is None:
         print("  footer:       MISSING — trace is truncated")
         return 1

@@ -1,0 +1,126 @@
+"""The ScheduleController hook: custody, determinism and error paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.explore.controller import PendingDeliveries
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.network import Network, NetworkConfig
+
+
+def _wired_network(engine, config=None):
+    network = Network(engine, config)
+    delivered = []
+    network.on_app_delivery(lambda m: delivered.append(m.message_id))
+    network.on_duplicate_delivery(lambda m: delivered.append(("dup", m.message_id)))
+    return network, delivered
+
+
+class TestCustody:
+    def test_copies_are_parked_not_engine_scheduled(self):
+        engine = SimulationEngine(seed=3)
+        network, delivered = _wired_network(engine)
+        controller = PendingDeliveries(network)
+        network.send_app_message(0, 1, (0, 0))
+        network.send_app_message(1, 0, (0, 0))
+        assert engine.pending_events() == 0  # nothing on the engine queue
+        assert controller.pending_message_ids() == [0, 1]
+        assert controller.receiver(0) == 1
+        assert controller.receiver(1) == 0
+        engine.run()
+        assert delivered == []  # running the engine delivers nothing
+
+    def test_release_delivers_in_the_chosen_order(self):
+        engine = SimulationEngine(seed=3)
+        network, delivered = _wired_network(engine)
+        controller = PendingDeliveries(network)
+        for _ in range(3):
+            network.send_app_message(0, 1, (0, 0))
+        controller.deliver(2)
+        controller.deliver(0)
+        controller.deliver(1)
+        assert delivered == [2, 0, 1]
+        assert controller.pending_message_ids() == []
+        assert network.stats.app_delivered == 3
+
+    def test_fate_sampling_is_unchanged_by_the_controller(self):
+        """The controller owns order, not fate: the same per-link draws are
+        consumed, so the sampled delivery times match the uncontrolled run."""
+        config = NetworkConfig(base_latency=1.0, jitter=0.7)
+        free_engine = SimulationEngine(seed=11)
+        free = Network(free_engine, config)
+        arrival = {}
+        free.on_app_delivery(
+            lambda m: arrival.__setitem__(m.message_id, free_engine.now)
+        )
+        for _ in range(4):
+            free.send_app_message(0, 1, (0, 0))
+        free_engine.run()
+
+        controlled_engine = SimulationEngine(seed=11)
+        controlled = Network(controlled_engine, config)
+        controlled.on_app_delivery(lambda m: None)
+        sampled = {}
+
+        class Spy(PendingDeliveries):
+            def on_copy_in_flight(self, delivery_id, message, sampled_delivery_time):
+                sampled[message.message_id] = sampled_delivery_time
+                super().on_copy_in_flight(delivery_id, message, sampled_delivery_time)
+
+        Spy(controlled)
+        for _ in range(4):
+            controlled.send_app_message(0, 1, (0, 0))
+        assert sampled == arrival
+
+    def test_drop_in_flight_reclaims_custody(self):
+        engine = SimulationEngine(seed=3)
+        network, _ = _wired_network(engine)
+        controller = PendingDeliveries(network)
+        network.send_app_message(0, 1, (0, 0))
+        network.send_app_message(0, 1, (0, 0))
+        assert network.drop_in_flight() == 2
+        assert controller.pending_message_ids() == []
+        assert controller.discarded_message_ids() == [0, 1]
+        with pytest.raises(ValueError, match="not pending"):
+            controller.deliver(0)
+
+
+class TestErrors:
+    def test_double_attach_is_rejected(self):
+        engine = SimulationEngine(seed=0)
+        network, _ = _wired_network(engine)
+        PendingDeliveries(network)
+        with pytest.raises(RuntimeError, match="already attached"):
+            PendingDeliveries(network)
+
+    def test_release_without_controller_is_rejected(self):
+        engine = SimulationEngine(seed=0)
+        network, _ = _wired_network(engine)
+        with pytest.raises(RuntimeError, match="requires an attached"):
+            network.release_delivery(0)
+
+    def test_duplicating_channels_are_rejected(self):
+        from repro.simulation.channels import DuplicatingChannel, UniformChannel
+
+        engine = SimulationEngine(seed=1)
+        network, _ = _wired_network(
+            engine,
+            NetworkConfig(
+                channel=DuplicatingChannel(
+                    channel=UniformChannel(), duplicate_probability=1.0
+                )
+            ),
+        )
+        PendingDeliveries(network)
+        with pytest.raises(RuntimeError, match="duplication-free"):
+            network.send_app_message(0, 1, (0, 0))
+
+    def test_engine_peek_time(self):
+        engine = SimulationEngine(seed=0)
+        assert engine.peek_time() is None
+        engine.schedule_at(4.0, lambda: None)
+        engine.schedule_at(2.5, lambda: None)
+        assert engine.peek_time() == 2.5
+        engine.run()
+        assert engine.peek_time() is None

@@ -86,6 +86,25 @@ class TestInspectAndDiff:
         assert "cli-mini" in output
         assert "status:       ok" in output
 
+    def test_inspect_always_renders_a_recoveries_row(self, recorded, capsys):
+        """Crash-free traces show an explicit 'none', never an omitted section.
+
+        Regression test: counterexample traces from crash-free explorations
+        must inspect uniformly with crashing campaign cells.
+        """
+        outputs = []
+        for name in sorted(os.listdir(recorded["traces"])):
+            assert main(["inspect", os.path.join(recorded["traces"], name)]) == 0
+            outputs.append(capsys.readouterr().out)
+        for output in outputs:
+            assert "recoveries:" in output
+        # The grid holds both zero-failure and one-failure cells.
+        assert any("recoveries:   none" in output for output in outputs)
+        assert any(
+            "recoveries:   none" not in output and "recoveries:" in output
+            for output in outputs
+        )
+
     def test_diff_of_identical_traces_passes(self, recorded, capsys):
         names = sorted(os.listdir(recorded["traces"]))
         a = os.path.join(recorded["traces"], names[0])

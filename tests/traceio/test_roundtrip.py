@@ -12,6 +12,7 @@ corrupt/truncated/version-mismatch error paths.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import json
 import os
 
@@ -58,6 +59,64 @@ def _traced_run(tmp_path, *, seed, protocol="fdas", crashes=0, **kwargs):
     runner = SimulationRunner(config)
     result = runner.run()
     return runner, result, path
+
+
+def _unsafe_collector_spec(*, seeds) -> CampaignSpec:
+    """The unsafe Manivannan–Singhal grid (window far below the actual
+    checkpoint cadence, crash injection on) over the given seed indices."""
+    return CampaignSpec(
+        name="traceio-unsafe",
+        num_processes=3,
+        duration=60.0,
+        collectors=(
+            CollectorSpec.of(
+                "manivannan-singhal",
+                {"checkpoint_period": 4.0, "max_message_delay": 0.1},
+            ),
+        ),
+        workloads=(WorkloadSpec.of("uniform-random"),),
+        failure_counts=(2,),
+        seeds=tuple(seeds),
+    )
+
+
+@functools.lru_cache(maxsize=1)
+def _scan_unsafe_seeds(limit: int = 64):
+    """``(passing, failing)`` seed indices of the unsafe-collector grid.
+
+    Scans the grid's own derived seeds (each cell is materialised and run
+    exactly as the campaign would run it) instead of trusting a magic seed
+    window: whenever an RNG change re-rolls the network draws, the scan
+    lands on a new tripping seed and the dependent tests stay meaningful —
+    or fail loudly here if the failure mode itself disappeared.
+    """
+    passing = None
+    failing = None
+    for seed_index in range(limit):
+        cell = _unsafe_collector_spec(seeds=(seed_index,)).cells()[0]
+        try:
+            SimulationRunner(cell.config()).run()
+        except Exception:
+            failing = failing if failing is not None else seed_index
+        else:
+            passing = passing if passing is not None else seed_index
+        if passing is not None and failing is not None:
+            return passing, failing
+    raise AssertionError(
+        f"range({limit}) holds no (passing, failing) seed pair for the unsafe "
+        f"Manivannan-Singhal grid (found passing={passing}, failing={failing}); "
+        f"the roundtrip failure-path tests would be vacuous"
+    )
+
+
+def find_failing_seed() -> int:
+    """The first seed index whose cell trips the unsafe collector."""
+    return _scan_unsafe_seeds()[1]
+
+
+def find_passing_seed() -> int:
+    """The first seed index whose unsafe-collector cell completes cleanly."""
+    return _scan_unsafe_seeds()[0]
 
 
 def _event_view(recorder: TraceRecorder):
@@ -225,28 +284,17 @@ class TestCampaignRoundTrip:
             assert a["metrics"] == b["metrics"]
 
     def test_failed_cells_leave_aborted_but_replayable_traces(self, tmp_path):
-        spec = CampaignSpec(
-            name="traceio-unsafe",
-            num_processes=3,
-            duration=60.0,
-            collectors=(
-                CollectorSpec.of(
-                    "manivannan-singhal",
-                    {"checkpoint_period": 4.0, "max_message_delay": 0.1},
-                ),
-            ),
-            workloads=(WorkloadSpec.of("uniform-random"),),
-            failure_counts=(2,),
-            # Seed 14 is a grid point known to trip the unsafe collector
-            # under the per-link random streams; the window keeps the sweep
-            # small while guaranteeing at least one failed cell.
-            seeds=tuple(range(12, 18)),
+        # Scanned, not hard-coded: a magic seed window silently goes vacuous
+        # whenever seeded network draws re-roll (it already happened once,
+        # with PR 4's per-link streams).  find_failing_seed() re-derives a
+        # tripping grid point — and *fails* if none exists in the scan range.
+        spec = _unsafe_collector_spec(
+            seeds=tuple(sorted({find_passing_seed(), find_failing_seed()}))
         )
         traces = str(tmp_path / "traces")
         run = run_campaign(spec, trace_dir=traces)
         failed = run.failed_records
-        if not failed:
-            pytest.skip("no cell of this grid tripped the unsafe collector")
+        assert failed, "find_failing_seed() returned a seed that did not fail"
         records = {r["cell_id"]: r for r in campaign_records_from_traces(traces)}
         for record in failed:
             replayed_record = records[record["cell_id"]]
