@@ -53,12 +53,115 @@ for _path in (_SRC, _REPO_ROOT):  # repo root makes `benchmarks.*` importable
 
 BASELINE_PATH = os.path.join(_REPO_ROOT, "BENCH_perf.json")
 
+# Committed-document acceptance gates: the datacenter row must stay under
+# this per-instant latency, and the medium-tier memory pass must keep at
+# least this much of its pruning benefit.
+LARGE_LATENCY_CONFIG = (64, 100000)
+LARGE_LATENCY_CEILING_S = 0.05
+MIN_MEMORY_REDUCTION = 0.30
+# Fresh-run memory gate: peak traced bytes of a pruned medium-tier run may
+# grow at most this much over the committed baseline.
+MEMORY_GROWTH_THRESHOLD = 0.20
 
-def _load_rows(path: str) -> Dict[Tuple[int, int], Dict[str, Any]]:
+
+def _load_document(path: str) -> Dict[str, Any]:
     with open(path, "r", encoding="utf-8") as handle:
         document = json.load(handle)
-    rows = document["rows"] if isinstance(document, dict) else document
-    return {(row["processes"], row["messages"]): row for row in rows}
+    if not isinstance(document, dict):
+        document = {"rows": document}
+    return document
+
+
+def _load_rows(path: str) -> Dict[Tuple[int, int], Dict[str, Any]]:
+    document = _load_document(path)
+    return {(row["processes"], row["messages"]): row for row in document["rows"]}
+
+
+def check_committed_document(path: str) -> List[str]:
+    """Static acceptance gates on the committed BENCH_perf.json itself.
+
+    These hold the document to the claims the kernel makes: the 64-process /
+    10^5-message pruned row must analyse in under
+    ``LARGE_LATENCY_CEILING_S`` per instant, and the medium-tier memory pass
+    must show at least ``MIN_MEMORY_REDUCTION`` peak reduction from pruning.
+    No fresh measurement happens here — CI regenerates the document in the
+    nightly large-tier job, and this gate keeps a stale or regressed document
+    from being committed as the new baseline.
+    """
+    violations: List[str] = []
+    document = _load_document(path)
+    rows = {(row["processes"], row["messages"]): row for row in document["rows"]}
+    large = rows.get(LARGE_LATENCY_CONFIG)
+    if large is None:
+        violations.append(
+            f"committed baseline has no "
+            f"{LARGE_LATENCY_CONFIG[0]} procs x {LARGE_LATENCY_CONFIG[1]} msgs "
+            f"row (the datacenter acceptance configuration)"
+        )
+    elif float(large["new_per_instant_s"]) >= LARGE_LATENCY_CEILING_S:
+        violations.append(
+            f"committed large-tier latency {large['new_per_instant_s']:.4f}s "
+            f"per instant breaches the {LARGE_LATENCY_CEILING_S:.3f}s ceiling"
+        )
+    memory = document.get("memory")
+    if memory is None:
+        violations.append("committed baseline has no memory section")
+    elif float(memory["reduction"]) < MIN_MEMORY_REDUCTION:
+        violations.append(
+            f"committed memory reduction {float(memory['reduction']) * 100:.0f}% "
+            f"is below the {MIN_MEMORY_REDUCTION * 100:.0f}% floor"
+        )
+    # Single-sample old-path baselines are noise: every measured row must
+    # either have >= 3 samples or be explicitly marked extrapolated.
+    for key, row in sorted(rows.items()):
+        if row.get("old_extrapolated"):
+            continue
+        if int(row.get("old_instants_measured", 0)) < 3:
+            violations.append(
+                f"{key[0]} procs x {key[1]} msgs: old path measured at "
+                f"{row.get('old_instants_measured')} instant(s); need >= 3 "
+                f"or an explicit old_extrapolated marker"
+            )
+    return violations
+
+
+def check_memory_regression(
+    baseline_document: Dict[str, Any],
+    *,
+    threshold: float = MEMORY_GROWTH_THRESHOLD,
+) -> List[str]:
+    """Fresh-run memory gate: re-measure the pruned medium-tier peak.
+
+    tracemalloc peaks count allocations, not host RSS, so they transfer
+    between machines; a growth beyond ``threshold`` over the committed
+    baseline means the recorder's live frontier stopped being bounded (a
+    pruning regression) rather than noise.
+    """
+    memory = baseline_document.get("memory")
+    if memory is None:
+        return ["baseline has no memory section to gate against"]
+    from benchmarks.bench_perf_scaling import MEMORY_CONFIG, measure_memory_pass
+
+    config = memory.get("config", {})
+    expected = (
+        config.get("processes"),
+        config.get("messages"),
+        config.get("samples"),
+    )
+    if expected != MEMORY_CONFIG:
+        return [
+            f"baseline memory config {expected} does not match the current "
+            f"medium-tier memory configuration {MEMORY_CONFIG}"
+        ]
+    fresh = measure_memory_pass(*MEMORY_CONFIG, prune=True)
+    base = int(memory["peak_pruned_bytes"])
+    ceiling = base * (1.0 + threshold)
+    if fresh > ceiling:
+        return [
+            f"pruned medium-tier peak memory regressed: {fresh} bytes vs "
+            f"committed {base} (allowed ceiling {ceiling:.0f})"
+        ]
+    return []
 
 
 def compare(
@@ -170,6 +273,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="skip the campaign serial-vs-pool determinism gate",
     )
+    parser.add_argument(
+        "--skip-memory",
+        action="store_true",
+        help="skip the fresh pruned-run memory gate",
+    )
     args = parser.parse_args(argv)
 
     campaign_violations: List[str] = []
@@ -183,7 +291,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 1
         print(f"check_regression: no baseline at {args.baseline}; nothing to check")
         return 0
+    baseline_document = _load_document(args.baseline)
     baseline = _load_rows(args.baseline)
+
+    document_violations = check_committed_document(args.baseline)
+    memory_violations: List[str] = []
+    if not args.skip_memory:
+        memory_violations = check_memory_regression(baseline_document)
 
     if args.fresh is not None:
         if not os.path.exists(args.fresh):
@@ -201,21 +315,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         document = run_sweep(configs)
         fresh = {(r["processes"], r["messages"]): r for r in document["rows"]}
 
-    violations = campaign_violations + compare(
-        baseline,
-        fresh,
-        threshold=args.threshold,
-        absolute=args.absolute,
-        min_seconds=args.min_seconds,
+    violations = (
+        campaign_violations
+        + document_violations
+        + memory_violations
+        + compare(
+            baseline,
+            fresh,
+            threshold=args.threshold,
+            absolute=args.absolute,
+            min_seconds=args.min_seconds,
+        )
     )
     if violations:
         for violation in violations:
             print(f"REGRESSION: {violation}", file=sys.stderr)
         return 1
     campaign_note = "skipped" if args.skip_campaign else "deterministic"
+    memory_note = "skipped" if args.skip_memory else "within threshold"
     print(
         f"check_regression: {len(fresh)} row(s) within threshold, "
-        f"campaign gate {campaign_note} — ok"
+        f"campaign gate {campaign_note}, memory gate {memory_note} — ok"
     )
     return 0
 

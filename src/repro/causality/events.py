@@ -179,11 +179,30 @@ class EventLog:
     * event sequence numbers are contiguous per process;
     * each message id is sent exactly once and received at most once;
     * a receive event can only be recorded after its send event exists.
+
+    A log may be *based*: ``checkpoint_bases[pid]`` is the index of the first
+    checkpoint event of ``pid`` present in the log (0 for a full record).
+    Based logs arise from obsolescence-driven pruning, which discards the
+    prefix of each history up to a garbage-collected checkpoint (see
+    :meth:`suffix`); checkpoint indices remain globally meaningful, only the
+    events of earlier intervals are gone.
     """
 
-    def __init__(self, num_processes: int) -> None:
+    def __init__(
+        self,
+        num_processes: int,
+        *,
+        checkpoint_bases: Optional[Sequence[int]] = None,
+    ) -> None:
         if num_processes <= 0:
             raise ValueError("an execution needs at least one process")
+        if checkpoint_bases is None:
+            checkpoint_bases = [0] * num_processes
+        if len(checkpoint_bases) != num_processes:
+            raise ValueError("one checkpoint base per process is required")
+        if any(base < 0 for base in checkpoint_bases):
+            raise ValueError("checkpoint bases must be non-negative")
+        self._checkpoint_bases: List[int] = list(checkpoint_bases)
         self._histories: List[ProcessHistory] = [
             ProcessHistory(pid) for pid in range(num_processes)
         ]
@@ -202,6 +221,18 @@ class EventLog:
     def processes(self) -> range:
         """The process ids ``0 .. n-1``."""
         return range(self.num_processes)
+
+    def checkpoint_base(self, pid: int) -> int:
+        """Index of the first checkpoint event of ``pid`` recorded in this log.
+
+        0 for full records; greater for logs whose prefix was pruned away.
+        """
+        return self._checkpoint_bases[pid]
+
+    @property
+    def checkpoint_bases(self) -> Tuple[int, ...]:
+        """Per-process first recorded checkpoint index (all zero when unpruned)."""
+        return tuple(self._checkpoint_bases)
 
     def history(self, pid: int) -> ProcessHistory:
         """The event history of process ``pid``."""
@@ -256,12 +287,14 @@ class EventLog:
     ) -> Event:
         """Record a checkpoint event at process ``pid``.
 
-        Checkpoint indices must be taken in increasing order, starting at 0.
+        Checkpoint indices must be taken in increasing order, starting at the
+        process's checkpoint base (0 unless the log was pruned).
         """
         last = self._histories[pid].last_checkpoint_index()
-        if checkpoint_index != last + 1:
+        expected = self._checkpoint_bases[pid] if last < 0 else last + 1
+        if checkpoint_index != expected:
             raise ValueError(
-                f"process {pid}: expected checkpoint index {last + 1}, "
+                f"process {pid}: expected checkpoint index {expected}, "
                 f"got {checkpoint_index}"
             )
         event = Event(
@@ -349,7 +382,7 @@ class EventLog:
         """
         if len(lengths) != self.num_processes:
             raise ValueError("one prefix length per process is required")
-        sub = EventLog(self.num_processes)
+        sub = EventLog(self.num_processes, checkpoint_bases=self._checkpoint_bases)
         kept_sends: Dict[int, EventId] = {}
         for pid in self.processes:
             length = lengths[pid]
@@ -407,7 +440,7 @@ class EventLog:
         self, lengths: Sequence[int], kept_sends: Dict[int, EventId]
     ) -> "EventLog":
         """Rebuild a prefix log preserving per-process event order exactly."""
-        sub = EventLog(self.num_processes)
+        sub = EventLog(self.num_processes, checkpoint_bases=self._checkpoint_bases)
         # Replay events in an interleaving that respects message causality:
         # repeatedly pick a process whose next event is enabled (a receive is
         # enabled only once its send has been replayed).
@@ -458,6 +491,92 @@ class EventLog:
                 raise ValueError(
                     "prefix is not replayable: a receive precedes its send "
                     "within the requested prefix"
+                )
+        return sub
+
+    def suffix(
+        self, starts: Sequence[int], *, checkpoint_bases: Sequence[int]
+    ) -> "EventLog":
+        """Drop a per-process event prefix, re-sequencing the remainder from 0.
+
+        ``starts[pid]`` is the number of leading events of ``pid`` to discard;
+        ``checkpoint_bases[pid]`` must be the index of the first checkpoint
+        event that survives for ``pid`` (it becomes the new log's base).  The
+        cut must be *send-closed*: a delivered message whose send event
+        survives must also keep its receive event — obsolescence pruning
+        guarantees this by weakening the cut to a consistent one first.
+        Receives whose send was discarded are kept as INTERNAL placeholders so
+        per-process event counts (and trace replay) stay meaningful; sends
+        pending at the cut survive as undelivered messages.
+        """
+        if len(starts) != self.num_processes:
+            raise ValueError("one suffix start per process is required")
+        for pid in self.processes:
+            if not 0 <= starts[pid] <= len(self._histories[pid]):
+                raise ValueError(f"invalid suffix start {starts[pid]} for process {pid}")
+        kept_sends = {
+            message_id
+            for message_id, message in self._messages.items()
+            if message.send_event.seq >= starts[message.sender]
+        }
+        for message_id in kept_sends:
+            message = self._messages[message_id]
+            if (
+                message.receive_event is not None
+                and message.receive_event.seq < starts[message.receiver]
+            ):
+                raise ValueError(
+                    f"suffix is not send-closed: message {message_id} keeps its "
+                    "send but drops its receive"
+                )
+        sub = EventLog(self.num_processes, checkpoint_bases=checkpoint_bases)
+        # Replay with the same enabled-event scheduler as _rebuild_prefix:
+        # receives wait for their send unless the send was discarded, in which
+        # case they degrade to INTERNAL placeholders immediately.
+        cursors = list(starts)
+        replayed_sends: Dict[int, int] = {}
+        total = sum(len(self._histories[pid]) - starts[pid] for pid in self.processes)
+        replayed = 0
+        while replayed < total:
+            progressed = False
+            for pid in self.processes:
+                if cursors[pid] >= len(self._histories[pid]):
+                    continue
+                event = self._histories[pid][cursors[pid]]
+                if event.kind is EventKind.RECEIVE:
+                    assert event.message_id is not None
+                    if event.message_id not in replayed_sends:
+                        if event.message_id not in kept_sends:
+                            sub.add_internal(pid, time=event.time)
+                            cursors[pid] += 1
+                            replayed += 1
+                            progressed = True
+                        continue
+                    sub.add_receive(event.message_id, time=event.time)
+                elif event.kind is EventKind.SEND:
+                    assert event.message_id is not None
+                    original = self._messages[event.message_id]
+                    sub.add_send(
+                        pid,
+                        original.receiver,
+                        message_id=event.message_id,
+                        time=event.time,
+                    )
+                    replayed_sends[event.message_id] = pid
+                elif event.kind is EventKind.CHECKPOINT:
+                    assert event.checkpoint_index is not None
+                    sub.add_checkpoint(
+                        pid, event.checkpoint_index, time=event.time, forced=event.forced
+                    )
+                else:
+                    sub.add_internal(pid, time=event.time)
+                cursors[pid] += 1
+                replayed += 1
+                progressed = True
+            if not progressed:
+                raise ValueError(
+                    "suffix is not replayable: a receive precedes its send "
+                    "within the requested suffix"
                 )
         return sub
 

@@ -81,74 +81,107 @@ class AnalysisCache:
     # ------------------------------------------------------------------
     # Obsolete-checkpoint characterisations (Theorems 1 and 2)
     # ------------------------------------------------------------------
-    # These are batch equivalents of the per-checkpoint transcriptions in
-    # repro.core.obsolete (_is_retained_theorem1/2), with the loop-invariant
-    # subterms hoisted: the last stable checkpoint of each process (Theorem 1)
-    # and the last-known-checkpoint matrix last_k_i(f) (Theorem 2) do not
-    # depend on the checkpoint under test, so computing them per checkpoint —
-    # as the literal transcription does — made every full audit quadratic in
-    # the number of checkpoints.  The equivalence-property tests pin both
-    # implementations to the literal statements of the theorems.
+    # The classic computations are batch equivalents of the per-checkpoint
+    # transcriptions in repro.core.obsolete (_is_retained_theorem1/2), with
+    # the loop-invariant subterms hoisted: the last stable checkpoint of each
+    # process (Theorem 1) and the last-known-checkpoint matrix last_k_i(f)
+    # (Theorem 2) do not depend on the checkpoint under test, so computing
+    # them per checkpoint — as the literal transcription does — made every
+    # full audit quadratic in the number of checkpoints.  The
+    # equivalence-property tests pin both implementations to the literal
+    # statements of the theorems.
+    #
+    # When the CCP carries an ``analysis_provider`` (a live recorder's
+    # incremental knowledge state), the provider's answer is served instead:
+    # on pruned histories it is the only authoritative one.  In "check" mode
+    # the classic answer is computed as well and compared, whenever the log
+    # is unpruned and therefore a valid reference.
+
+    def _provider_answer(self, attribute: str):
+        provider = self._ccp.analysis_provider
+        if provider is None:
+            return None
+        answer = getattr(provider, attribute)()
+        if provider.mode == "check" and provider.comparable:
+            classic = getattr(self, f"_classic_{attribute}")()
+            if classic != answer:
+                raise AssertionError(
+                    f"incremental {attribute} diverged from full recompute: "
+                    f"incremental={sorted(answer)} classic={sorted(classic)}"
+                )
+        return answer
 
     @property
     def theorem1_retained(self) -> FrozenSet[CheckpointId]:
         """Stable checkpoints Theorem 1 still deems necessary."""
         if self._theorem1_retained is None:
-            ccp = self._ccp
-            lasts = [
-                ccp.last_stable_id(f) for f in ccp.processes if ccp.last_stable(f) >= 0
-            ]
-            retained = set()
-            for pid in ccp.processes:
-                for cid in ccp.stable_ids(pid):
-                    successor = CheckpointId(pid, cid.index + 1)
-                    for last in lasts:
-                        if ccp.causally_precedes(
-                            last, successor
-                        ) and not ccp.causally_precedes(last, cid):
-                            retained.add(cid)
-                            break
-            self._theorem1_retained = frozenset(retained)
+            answer = self._provider_answer("theorem1_retained")
+            self._theorem1_retained = (
+                answer if answer is not None else self._classic_theorem1_retained()
+            )
         return self._theorem1_retained
+
+    def _classic_theorem1_retained(self) -> FrozenSet[CheckpointId]:
+        ccp = self._ccp
+        lasts = [
+            ccp.last_stable_id(f) for f in ccp.processes if ccp.last_stable(f) >= 0
+        ]
+        retained = set()
+        for pid in ccp.processes:
+            for cid in ccp.stable_ids(pid):
+                successor = CheckpointId(pid, cid.index + 1)
+                for last in lasts:
+                    if ccp.causally_precedes(
+                        last, successor
+                    ) and not ccp.causally_precedes(last, cid):
+                        retained.add(cid)
+                        break
+        return frozenset(retained)
 
     @property
     def theorem2_retained(self) -> FrozenSet[CheckpointId]:
         """Stable checkpoints retained under causal knowledge only (Theorem 2)."""
         if self._theorem2_retained is None:
-            ccp = self._ccp
-            # last_known[i][f]: index of the latest stable checkpoint of p_f in
-            # the causal past of p_i's volatile state (-1 if none) — last_k_i(f).
-            last_known = [
-                [
-                    max(
-                        (
-                            cid.index
-                            for cid in ccp.stable_ids(f)
-                            if ccp.causally_precedes(cid, ccp.volatile_id(observer))
-                        ),
-                        default=-1,
-                    )
-                    for f in ccp.processes
-                ]
-                for observer in ccp.processes
-            ]
-            retained = set()
-            for pid in ccp.processes:
-                known_ids = [
-                    CheckpointId(f, index)
-                    for f, index in enumerate(last_known[pid])
-                    if index >= 0
-                ]
-                for cid in ccp.stable_ids(pid):
-                    successor = CheckpointId(pid, cid.index + 1)
-                    for known in known_ids:
-                        if ccp.causally_precedes(
-                            known, successor
-                        ) and not ccp.causally_precedes(known, cid):
-                            retained.add(cid)
-                            break
-            self._theorem2_retained = frozenset(retained)
+            answer = self._provider_answer("theorem2_retained")
+            self._theorem2_retained = (
+                answer if answer is not None else self._classic_theorem2_retained()
+            )
         return self._theorem2_retained
+
+    def _classic_theorem2_retained(self) -> FrozenSet[CheckpointId]:
+        ccp = self._ccp
+        # last_known[i][f]: index of the latest stable checkpoint of p_f in
+        # the causal past of p_i's volatile state (-1 if none) — last_k_i(f).
+        last_known = [
+            [
+                max(
+                    (
+                        cid.index
+                        for cid in ccp.stable_ids(f)
+                        if ccp.causally_precedes(cid, ccp.volatile_id(observer))
+                    ),
+                    default=-1,
+                )
+                for f in ccp.processes
+            ]
+            for observer in ccp.processes
+        ]
+        retained = set()
+        for pid in ccp.processes:
+            known_ids = [
+                CheckpointId(f, index)
+                for f, index in enumerate(last_known[pid])
+                if index >= 0
+            ]
+            for cid in ccp.stable_ids(pid):
+                successor = CheckpointId(pid, cid.index + 1)
+                for known in known_ids:
+                    if ccp.causally_precedes(
+                        known, successor
+                    ) and not ccp.causally_precedes(known, cid):
+                        retained.add(cid)
+                        break
+        return frozenset(retained)
 
     # ------------------------------------------------------------------
     # Recovery lines
@@ -160,6 +193,18 @@ class AnalysisCache:
         if cached is None:
             from repro.recovery.recovery_line import _recovery_line_lemma1
 
-            cached = _recovery_line_lemma1(self._ccp, key)
+            provider = self._ccp.analysis_provider
+            if provider is not None:
+                cached = provider.recovery_line(key)
+                if provider.mode == "check" and provider.comparable:
+                    classic = _recovery_line_lemma1(self._ccp, key)
+                    if classic != cached:
+                        raise AssertionError(
+                            f"incremental recovery line for F={sorted(key)} "
+                            f"diverged from full recompute: "
+                            f"incremental={cached} classic={classic}"
+                        )
+            else:
+                cached = _recovery_line_lemma1(self._ccp, key)
             self._recovery_lines[key] = cached
         return cached

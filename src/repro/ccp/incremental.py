@@ -1,0 +1,242 @@
+"""Delta-maintained obsolescence analyses (checkpoint-knowledge tracking).
+
+The classic oracles answer Theorem-1/2 retention and Lemma-1 recovery lines
+by querying checkpoint-level causal precedence, which rides on a
+:class:`~repro.causality.happens_before.CausalOrder` — an ``O(E * P)``
+vector-clock replay of the whole event log.  This module maintains the same
+information *online*, in ``O(P)`` per recorded event, so analysis instants do
+no event-graph traversal at all:
+
+* ``ck[p][f]`` — the *checkpoint knowledge* of process ``p``: the largest
+  index of a stable checkpoint of ``f`` whose checkpoint event lies in the
+  causal past of ``p``'s current state (-1 if none).  Sends snapshot the
+  sender's vector, receives merge the snapshot elementwise-max into the
+  receiver, and taking checkpoint ``k`` sets the own entry to ``k``.
+* ``ckpt_ck[c_p^k]`` — the knowledge vector frozen just *before* the
+  checkpoint event of ``c_p^k``; it encodes the checkpoint's ground-truth
+  dependency vector (``gtdv = ckpt_ck + 1`` elementwise).
+
+Every checkpoint-level precedence fact the theorems need is then one integer
+comparison: ``c_f^m`` causally precedes ``c_i^k`` iff ``ckpt_ck[c_i^k][f] >=
+m`` (and precedes the volatile ``v_i`` iff ``ck[i][f] >= m``).  The retained
+sets and recovery lines fall out as linear scans over the *live* checkpoint
+window — bounded by obsolescence pruning, not by run length.
+
+A per-process journal of ``(seq, ck)`` snapshots at knowledge-changing events
+supports recovery truncation (restore the vector at the cut by bisection) and
+is itself pruned together with the log; this is what keeps the state exact on
+pruned histories, where a from-scratch replay is impossible because receives
+of pruned sends survive only as INTERNAL placeholders.
+
+:class:`IncrementalAnalysisView` is the read side handed to
+:class:`~repro.ccp.pattern.CCP` as its ``analysis_provider``: it is bound to
+the recorder version it was created at and refuses to answer once the
+recorded execution has moved on.  ``mode="check"`` makes the analysis cache
+compute the classic full-recompute answer as well and assert equality — the
+cross-check the equivalence test matrix runs.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+from repro.ccp.checkpoint import CheckpointId
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ccp.consistency import GlobalCheckpoint
+    from repro.simulation.trace import TraceRecorder
+
+INCREMENTAL_MODES = ("off", "on", "check")
+
+
+class CheckpointKnowledgeTracker:
+    """Online checkpoint-knowledge state, O(P) per recorded event."""
+
+    def __init__(self, num_processes: int) -> None:
+        self._num_processes = num_processes
+        self.ck: List[List[int]] = [[-1] * num_processes for _ in range(num_processes)]
+        #: Knowledge snapshot piggybacked on each sent message (kept until the
+        #: message can no longer be (re-)delivered, i.e. dropped or pruned).
+        self.msg_ck: Dict[int, Tuple[int, ...]] = {}
+        #: Knowledge frozen just before each stable checkpoint's event.
+        self.ckpt_ck: Dict[CheckpointId, Tuple[int, ...]] = {}
+        #: Per-process journal of (seq, ck-after-event) at knowledge-changing
+        #: events, for truncation rebuilds; pruned together with the log.
+        self.journal: List[List[Tuple[int, Tuple[int, ...]]]] = [
+            [] for _ in range(num_processes)
+        ]
+        #: Knowledge at the start of the retained log (all -1 until pruning).
+        self.base_ck: List[Tuple[int, ...]] = [
+            (-1,) * num_processes for _ in range(num_processes)
+        ]
+
+    # ------------------------------------------------------------------
+    # Event notifications (called by TraceRecorder)
+    # ------------------------------------------------------------------
+    def note_send(self, message_id: int, sender: int) -> None:
+        self.msg_ck[message_id] = tuple(self.ck[sender])
+
+    def note_receive(self, message_id: int, receiver: int, seq: int) -> None:
+        snapshot = self.msg_ck[message_id]
+        vector = self.ck[receiver]
+        changed = False
+        for f, known in enumerate(snapshot):
+            if known > vector[f]:
+                vector[f] = known
+                changed = True
+        if changed:
+            self.journal[receiver].append((seq, tuple(vector)))
+
+    def note_checkpoint(self, pid: int, index: int, seq: int) -> None:
+        self.ckpt_ck[CheckpointId(pid, index)] = tuple(self.ck[pid])
+        self.ck[pid][pid] = index
+        self.journal[pid].append((seq, tuple(self.ck[pid])))
+
+    # ------------------------------------------------------------------
+    # History rewrites
+    # ------------------------------------------------------------------
+    def apply_truncation(self, lengths: Sequence[int]) -> None:
+        """Restore the state at a per-process prefix cut (recovery session)."""
+        for pid in range(self._num_processes):
+            entries = self.journal[pid]
+            cut = bisect_right(entries, lengths[pid] - 1, key=lambda item: item[0])
+            del entries[cut:]
+            self.ck[pid] = list(entries[-1][1] if entries else self.base_ck[pid])
+
+    def apply_suffix(self, starts: Sequence[int]) -> None:
+        """Drop journal prefixes and re-offset seqs after the log was pruned."""
+        for pid in range(self._num_processes):
+            entries = self.journal[pid]
+            cut = bisect_right(entries, starts[pid] - 1, key=lambda item: item[0])
+            if cut:
+                self.base_ck[pid] = entries[cut - 1][1]
+            self.journal[pid] = [
+                (seq - starts[pid], vector) for seq, vector in entries[cut:]
+            ]
+
+    def forget_checkpoints(self, cids: Iterable[CheckpointId]) -> None:
+        for cid in cids:
+            self.ckpt_ck.pop(cid, None)
+
+    def forget_messages(self, message_ids: Iterable[int]) -> None:
+        for message_id in message_ids:
+            self.msg_ck.pop(message_id, None)
+
+
+class IncrementalAnalysisView:
+    """Read-only analysis provider over one recorder version.
+
+    Serves the Theorem-1/2 retained sets and Lemma-1 recovery lines straight
+    from the tracker's knowledge state.  The view is pinned to the recorder
+    version current at construction: answering from newer state would
+    silently describe a different execution, so stale access raises.
+    """
+
+    def __init__(self, recorder: "TraceRecorder", mode: str) -> None:
+        self._recorder = recorder
+        self._version = recorder.version
+        self._mode = mode
+
+    @property
+    def mode(self) -> str:
+        """``"on"`` (authoritative) or ``"check"`` (cross-checked by the cache)."""
+        return self._mode
+
+    @property
+    def comparable(self) -> bool:
+        """True when classic full recompute over the log equals ground truth.
+
+        On pruned histories the event graph has lost edges (receives of pruned
+        sends survive as INTERNAL placeholders), so the classic recomputation
+        is not a valid reference and check mode compares nothing.
+        """
+        return all(base == 0 for base in self._recorder.log.checkpoint_bases)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _state(self) -> Tuple[CheckpointKnowledgeTracker, List[int], List[int]]:
+        recorder = self._recorder
+        if recorder.version != self._version:
+            raise RuntimeError(
+                "stale incremental analysis view: the recorded execution has "
+                "changed since this CCP snapshot was taken"
+            )
+        tracker = recorder.knowledge_tracker
+        assert tracker is not None
+        last_stable = [taken - 1 for taken in recorder.checkpoints_taken]
+        bases = list(recorder.log.checkpoint_bases)
+        return tracker, last_stable, bases
+
+    def _snapshot(
+        self,
+        tracker: CheckpointKnowledgeTracker,
+        pid: int,
+        index: int,
+        last_stable: Sequence[int],
+    ) -> Sequence[int]:
+        """Knowledge just before checkpoint ``index`` of ``pid`` (volatile: now)."""
+        if index > last_stable[pid]:
+            return tracker.ck[pid]
+        return tracker.ckpt_ck[CheckpointId(pid, index)]
+
+    # ------------------------------------------------------------------
+    # Analyses
+    # ------------------------------------------------------------------
+    def theorem1_retained(self) -> FrozenSet[CheckpointId]:
+        """Theorem 1 over knowledge state: c_i^k is retained iff some process f
+        satisfies ``ckpt_ck[c_i^{k+1}][f] >= last(f) > ckpt_ck[c_i^k][f]``."""
+        tracker, last_stable, bases = self._state()
+        n = self._recorder.num_processes
+        retained = set()
+        for pid in range(n):
+            for k in range(bases[pid], last_stable[pid] + 1):
+                cid = CheckpointId(pid, k)
+                current = tracker.ckpt_ck[cid]
+                successor = self._snapshot(tracker, pid, k + 1, last_stable)
+                for f in range(n):
+                    last = last_stable[f]
+                    if last >= 0 and successor[f] >= last > current[f]:
+                        retained.add(cid)
+                        break
+        return frozenset(retained)
+
+    def theorem2_retained(self) -> FrozenSet[CheckpointId]:
+        """Theorem 2: as Theorem 1 but against the owner's *known* last
+        checkpoints ``ck[i][f]`` instead of the global ``last(f)``."""
+        tracker, last_stable, bases = self._state()
+        n = self._recorder.num_processes
+        retained = set()
+        for pid in range(n):
+            known = tracker.ck[pid]
+            for k in range(bases[pid], last_stable[pid] + 1):
+                cid = CheckpointId(pid, k)
+                current = tracker.ckpt_ck[cid]
+                successor = self._snapshot(tracker, pid, k + 1, last_stable)
+                for f in range(n):
+                    m = known[f]
+                    if m >= 0 and successor[f] >= m > current[f]:
+                        retained.add(cid)
+                        break
+        return frozenset(retained)
+
+    def recovery_line(self, faulty_set: FrozenSet[int]) -> "GlobalCheckpoint":
+        """Lemma 1: per process the last general checkpoint not causally
+        preceded by the last stable checkpoint of any faulty process."""
+        from repro.ccp.consistency import GlobalCheckpoint
+
+        tracker, last_stable, bases = self._state()
+        n = self._recorder.num_processes
+        indices: List[int] = []
+        for pid in range(n):
+            chosen = bases[pid] if bases[pid] <= last_stable[pid] + 1 else 0
+            for gamma in range(bases[pid], last_stable[pid] + 2):
+                snapshot = self._snapshot(tracker, pid, gamma, last_stable)
+                preceded = any(
+                    snapshot[f] >= last_stable[f] for f in faulty_set
+                )
+                if not preceded:
+                    chosen = gamma
+            indices.append(chosen)
+        return GlobalCheckpoint(tuple(indices))

@@ -58,6 +58,7 @@ class CCP:
         causal_order: Optional[CausalOrder] = None,
         recorded_dvs: Optional[Mapping[CheckpointId, Sequence[int]]] = None,
         message_intervals: Optional[Sequence[MessageInterval]] = None,
+        analysis_provider: Optional[object] = None,
     ) -> None:
         """Build the CCP of the full recorded execution.
 
@@ -67,7 +68,9 @@ class CCP:
             The execution.  It must be causally replayable (every receive has a
             send); use :meth:`from_log` to restrict to a cut first.
         causal_order:
-            A pre-computed :class:`CausalOrder` for ``log`` (rebuilt if absent).
+            A pre-computed :class:`CausalOrder` for ``log``.  Built lazily on
+            first event-level precedence query if absent — incrementally
+            maintained analyses never pay for the vector-clock replay.
         recorded_dvs:
             Dependency vectors recorded by the checkpointing middleware, keyed
             by checkpoint id.  When present they are attached to the
@@ -78,9 +81,17 @@ class CCP:
             message of ``log`` (derived from the log if absent).  Supplied by
             incremental producers such as the simulation trace recorder, which
             tracks intervals as events are appended.
+        analysis_provider:
+            An optional delta-maintained analysis source (see
+            :mod:`repro.ccp.incremental`).  When present, the
+            :class:`~repro.ccp.analysis_cache.AnalysisCache` serves Theorem-1/2
+            retained sets and recovery lines from it instead of recomputing
+            them from the event graph; ``provider.mode == "check"`` makes the
+            cache compute both and assert equality.
         """
         self._log = log
-        self._order = causal_order if causal_order is not None else CausalOrder(log)
+        self._lazy_order = causal_order
+        self._provider = analysis_provider
         self._recorded_dvs = dict(recorded_dvs) if recorded_dvs else {}
 
         self._stable_events: List[List[Event]] = [
@@ -169,8 +180,15 @@ class CCP:
 
     @property
     def causal_order(self) -> CausalOrder:
-        """The event-level causal order of the execution."""
-        return self._order
+        """The event-level causal order of the execution (built on demand)."""
+        if self._lazy_order is None:
+            self._lazy_order = CausalOrder(self._log)
+        return self._lazy_order
+
+    @property
+    def analysis_provider(self) -> Optional[object]:
+        """The delta-maintained analysis source attached to this pattern, if any."""
+        return self._provider
 
     @property
     def num_processes(self) -> int:
@@ -181,6 +199,15 @@ class CCP:
     def processes(self) -> range:
         """Process ids ``0 .. n-1``."""
         return self._log.processes
+
+    def base_interval(self, pid: int) -> int:
+        """The first checkpoint interval of ``pid`` retained in this pattern.
+
+        0 for full records; for pruned logs this is the log's checkpoint base
+        — no event of ``pid`` belongs to an earlier interval, which lets the
+        zigzag kernel size its bitsets by the live window.
+        """
+        return self._log.checkpoint_base(pid)
 
     def last_stable(self, pid: int) -> int:
         """``last_s(pid)``: index of the last stable checkpoint, or -1 if none."""
@@ -254,7 +281,7 @@ class CCP:
         """
         if isinstance(event, EventId):
             event = self._log.event(event)
-        last = -1
+        last = self._log.checkpoint_base(event.pid) - 1
         for ckpt in self._stable_events[event.pid]:
             if ckpt.seq <= event.seq:
                 assert ckpt.checkpoint_index is not None
@@ -312,7 +339,7 @@ class CCP:
             second_event = EventId(second.pid, second_cp.event_seq)
             if first.pid == second.pid:
                 return first.index < second.index
-            return self._order.precedes(first_event, second_event)
+            return self.causal_order.precedes(first_event, second_event)
         # second is volatile: anchored after the last event of its process.
         if first.pid == second.pid:
             return True
@@ -320,7 +347,7 @@ class CCP:
         if len(history) == 0:
             return False
         last_event = history[len(history) - 1].event_id
-        return first_event == last_event or self._order.precedes(first_event, last_event)
+        return first_event == last_event or self.causal_order.precedes(first_event, last_event)
 
     def consistent(self, first: CheckpointId, second: CheckpointId) -> bool:
         """Two checkpoints are consistent iff neither causally precedes the other."""

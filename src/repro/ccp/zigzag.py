@@ -23,9 +23,20 @@ Two implementations of the relation are provided:
   message.  Strongly connected components of this graph are exactly the
   zigzag cycles; condensing them yields a DAG over which *arrival closures*
   (the set of interval nodes that some hand-off chain can be received in) are
-  propagated in reverse topological order as Python big-int bitsets — one OR
-  per edge.  Every relation query then becomes a couple of bit operations
-  over the precomputed closures.
+  propagated level by level: components are batched into reverse-topological
+  *levels* (a component's level is one more than the maximum level of the
+  components it reaches directly), each component ORs the closures of its
+  deduplicated successor components exactly once, and whole levels are
+  processed as a block.  Two propagation backends share that schedule — the
+  default pure-Python big-int backend (the correctness reference) and an
+  optional numpy ``uint64`` blocked-bitset backend selected with
+  ``kernel="numpy"`` (or the ``REPRO_ZIGZAG_KERNEL`` environment variable),
+  which gathers each level's successor rows into one matrix and reduces them
+  with a single vectorised OR.  Every relation query then becomes a couple of
+  bit operations over the precomputed closures.  Node layouts are *based*:
+  bit 0 of a process's segment is its first retained interval, so patterns
+  whose prefix has been pruned away (see ``EventLog.checkpoint_bases``) get
+  compact bitsets sized by the live window, not by run length.
 * :class:`BruteForceZigzagAnalysis` — the original message-level BFS over the
   hand-off graph (edge ``m -> m'`` iff ``m'`` is sent by the receiver of
   ``m`` in the same or a later interval).  It is kept as the executable
@@ -38,6 +49,7 @@ search through :class:`_ZigzagBase`.
 
 from __future__ import annotations
 
+import os
 from bisect import bisect_left
 from collections import deque
 from dataclasses import dataclass
@@ -136,6 +148,10 @@ class _ZigzagBase:
         """True iff some zigzag path connects ``source`` to ``target`` (``source ~> target``)."""
         raise NotImplementedError
 
+    def zigzag_pairs(self) -> List[Tuple[CheckpointId, CheckpointId]]:
+        """All ordered pairs ``(c, c')`` with a zigzag path from ``c`` to ``c'``."""
+        raise NotImplementedError
+
     # ------------------------------------------------------------------
     # Witness paths
     # ------------------------------------------------------------------
@@ -226,42 +242,83 @@ class _ZigzagBase:
             if self.has_zigzag_cycle(cid)
         ]
 
+    def zigzag_pair_count(self) -> int:
+        """Number of ordered pairs in :meth:`zigzag_pairs`.
+
+        Engines may override this with a closed form that avoids materialising
+        the (potentially huge) pair list.
+        """
+        return len(self.zigzag_pairs())
+
+
+def _resolve_kernel(kernel: Optional[str]) -> str:
+    """Resolve the propagation backend name (argument, then env, then default)."""
+    resolved = kernel if kernel is not None else os.environ.get(
+        "REPRO_ZIGZAG_KERNEL", "bigint"
+    )
+    if resolved not in ("bigint", "numpy"):
+        raise ValueError(
+            f"unknown zigzag kernel {resolved!r} (expected 'bigint' or 'numpy')"
+        )
+    if resolved == "numpy":
+        try:
+            import numpy  # noqa: F401
+        except ImportError as exc:  # pragma: no cover - env without numpy
+            raise RuntimeError(
+                "zigzag kernel 'numpy' requested but numpy is not installed"
+            ) from exc
+    return resolved
+
 
 class ZigzagAnalysis(_ZigzagBase):
-    """Bitset zigzag kernel: interval condensation + big-int reachability.
+    """Bitset zigzag kernel: interval condensation + blocked reachability.
 
     Construction is ``O(N + M)`` graph building plus one SCC pass and one
-    big-int OR per edge, where ``N`` is the number of checkpoint intervals and
-    ``M`` the number of delivered messages.  After construction:
+    bitset OR per condensation edge, where ``N`` is the number of *retained*
+    checkpoint intervals and ``M`` the number of delivered messages.
+    Components are grouped into reverse-topological levels and each level is
+    propagated as a block; ``kernel="numpy"`` reduces each level with
+    vectorised ``uint64`` word operations while the default ``"bigint"``
+    backend stays pure Python.  After construction (both backends expose the
+    same Python big-int closures):
 
     * :meth:`zigzag_exists` is one AND over two precomputed big ints;
     * :meth:`useless_checkpoints` is one bit test per general checkpoint;
     * :meth:`zigzag_pairs` extracts, per (source, process) pair, the lowest
-      arrival bit of the closure.
+      arrival bit of the closure, and :meth:`zigzag_pair_count` sums the
+      pair counts in closed form without materialising the list.
     """
 
-    def __init__(self, ccp: CCP) -> None:
+    def __init__(self, ccp: CCP, *, kernel: Optional[str] = None) -> None:
         super().__init__(ccp)
-        # Node layout: node (p, gamma) at bit offset[p] + gamma represents the
-        # hand-off state "a message sent by p in interval >= gamma is usable";
-        # gamma ranges over 0..volatile_index(p) because every event of p lives
-        # in one of those intervals.
+        self._kernel = _resolve_kernel(kernel)
+        # Node layout: node (p, gamma) at bit offset[p] + (gamma - lo[p])
+        # represents the hand-off state "a message sent by p in interval
+        # >= gamma is usable"; gamma ranges over lo(p)..volatile_index(p),
+        # where lo(p) is the first interval retained in the (possibly pruned)
+        # log — every event of p lives in one of those intervals.
         self._volatile: List[int] = [
             ccp.volatile_index(pid) for pid in ccp.processes
         ]
+        self._lo: List[int] = [ccp.base_interval(pid) for pid in ccp.processes]
         self._offsets: List[int] = []
         total = 0
         for pid in ccp.processes:
             self._offsets.append(total)
-            total += self._volatile[pid] + 1
+            total += self._volatile[pid] - self._lo[pid] + 1
         self._num_nodes = total
         self._closures: List[int] = self._compute_closures()
+
+    @property
+    def kernel(self) -> str:
+        """The propagation backend this analysis was built with."""
+        return self._kernel
 
     # ------------------------------------------------------------------
     # Kernel construction
     # ------------------------------------------------------------------
     def _node(self, pid: int, interval: int) -> int:
-        return self._offsets[pid] + interval
+        return self._offsets[pid] + (interval - self._lo[pid])
 
     def _compute_closures(self) -> List[int]:
         """Arrival closure of every interval node, as one big int per node.
@@ -269,15 +326,18 @@ class ZigzagAnalysis(_ZigzagBase):
         Bit ``node(r, rho)`` is set in ``closure[u]`` iff some hand-off chain
         whose first message is sendable from state ``u`` ends with a message
         received by ``r`` in interval ``rho``.  Closures are computed once per
-        strongly connected component, in the reverse topological order Tarjan's
-        algorithm naturally emits (sink components first), so each edge is
-        visited exactly once.
+        strongly connected component.  Tarjan's algorithm emits components in
+        reverse topological order (every component after everything it
+        reaches), which makes levelling a single forward pass: a component's
+        level is one more than the maximum level of its (deduplicated)
+        successor components.  Levels are then propagated as blocks, sink
+        level first, by the selected backend.
         """
         n = self._num_nodes
         # Edges: chain (p, g) -> (p, g+1); message (sender, sigma) -> (receiver, rho).
         chain_next: List[int] = [-1] * n
         for pid in self._ccp.processes:
-            for gamma in range(self._volatile[pid]):
+            for gamma in range(self._lo[pid], self._volatile[pid]):
                 chain_next[self._node(pid, gamma)] = self._node(pid, gamma + 1)
         message_edges: List[List[int]] = [[] for _ in range(n)]
         for message in self._messages.values():
@@ -291,23 +351,119 @@ class ZigzagAnalysis(_ZigzagBase):
             return succ if nxt < 0 else succ + [nxt]
 
         component, components = self._tarjan_scc(edges_of, n)
+        num_comps = len(components)
 
-        closures = [0] * n
-        component_closure: List[int] = [0] * len(components)
+        # Condense: per-component direct arrival bits (message-edge targets,
+        # including intra-component ones) and deduplicated successor
+        # components, then assign reverse-topological levels.
+        comp_targets: List[List[int]] = [[] for _ in range(num_comps)]
+        comp_succs: List[List[int]] = [[] for _ in range(num_comps)]
+        level: List[int] = [0] * num_comps
         for comp_id, members in enumerate(components):
-            bits = 0
+            succ_set: Set[int] = set()
+            targets = comp_targets[comp_id]
             for u in members:
                 for v in message_edges[u]:
-                    bits |= 1 << v
+                    targets.append(v)
                     if component[v] != comp_id:
-                        bits |= component_closure[component[v]]
+                        succ_set.add(component[v])
                 nxt = chain_next[u]
                 if nxt >= 0 and component[nxt] != comp_id:
-                    bits |= component_closure[component[nxt]]
-            component_closure[comp_id] = bits
+                    succ_set.add(component[nxt])
+            succs = sorted(succ_set)
+            comp_succs[comp_id] = succs
+            if succs:
+                level[comp_id] = 1 + max(level[s] for s in succs)
+        levels: List[List[int]] = [[] for _ in range(max(level, default=-1) + 1)]
+        for comp_id, lv in enumerate(level):
+            levels[lv].append(comp_id)
+
+        if self._kernel == "numpy":
+            comp_closure = self._propagate_numpy(
+                num_comps, comp_targets, comp_succs, levels
+            )
+        else:
+            comp_closure = self._propagate_bigint(
+                num_comps, comp_targets, comp_succs, levels
+            )
+
+        closures = [0] * n
+        for comp_id, members in enumerate(components):
+            bits = comp_closure[comp_id]
             for u in members:
                 closures[u] = bits
         return closures
+
+    @staticmethod
+    def _propagate_bigint(
+        num_comps: int,
+        comp_targets: List[List[int]],
+        comp_succs: List[List[int]],
+        levels: List[List[int]],
+    ) -> List[int]:
+        """Pure-Python blocked propagation: one big-int OR per condensation edge."""
+        comp_closure: List[int] = [0] * num_comps
+        for level_comps in levels:
+            for comp_id in level_comps:
+                bits = 0
+                for v in comp_targets[comp_id]:
+                    bits |= 1 << v
+                for s in comp_succs[comp_id]:
+                    bits |= comp_closure[s]
+                comp_closure[comp_id] = bits
+        return comp_closure
+
+    def _propagate_numpy(
+        self,
+        num_comps: int,
+        comp_targets: List[List[int]],
+        comp_succs: List[List[int]],
+        levels: List[List[int]],
+    ) -> List[int]:
+        """Vectorised blocked propagation over a ``uint64`` bitset matrix.
+
+        Each component owns one row of ``ceil(num_nodes / 64)`` words.  Direct
+        arrival bits are scattered with a single ``bitwise_or.at``; per level,
+        the successor rows of every component in the level are gathered into
+        one matrix and reduced with ``bitwise_or.reduceat``.  Rows are
+        converted back to Python big ints at the end so the query layer is
+        backend independent.
+        """
+        import numpy as np
+
+        words = max(1, (self._num_nodes + 63) >> 6)
+        rows = np.zeros((num_comps, words), dtype=np.uint64)
+        comp_ids: List[int] = []
+        word_ids: List[int] = []
+        bit_vals: List[int] = []
+        for comp_id, targets in enumerate(comp_targets):
+            for v in targets:
+                comp_ids.append(comp_id)
+                word_ids.append(v >> 6)
+                bit_vals.append(1 << (v & 63))
+        if comp_ids:
+            np.bitwise_or.at(
+                rows,
+                (np.asarray(comp_ids), np.asarray(word_ids)),
+                np.asarray(bit_vals, dtype=np.uint64),
+            )
+        for level_comps in levels:
+            with_succ = [c for c in level_comps if comp_succs[c]]
+            if not with_succ:
+                continue
+            flat: List[int] = []
+            starts: List[int] = []
+            for comp_id in with_succ:
+                starts.append(len(flat))
+                flat.extend(comp_succs[comp_id])
+            reduced = np.bitwise_or.reduceat(
+                rows[np.asarray(flat)], np.asarray(starts), axis=0
+            )
+            rows[np.asarray(with_succ)] |= reduced
+        return [
+            int.from_bytes(rows[comp_id].tobytes(), "little")
+            for comp_id in range(num_comps)
+        ]
 
     @staticmethod
     def _tarjan_scc(edges_of, n: int) -> Tuple[List[int], List[List[int]]]:
@@ -368,18 +524,36 @@ class ZigzagAnalysis(_ZigzagBase):
     # Bit helpers
     # ------------------------------------------------------------------
     def _closure_of(self, source: CheckpointId) -> int:
-        """Arrival closure of the start state of ``source`` (condition i)."""
-        start = source.index + 1
-        if source.pid not in self._ccp.processes or start > self._volatile[source.pid]:
+        """Arrival closure of the start state of ``source`` (condition i).
+
+        ``start`` is clamped to the first retained interval: a start below it
+        would allow strictly more messages than exist in the pattern, so the
+        closure of the base node is exact for it.
+        """
+        if source.pid not in self._ccp.processes:
+            return 0
+        start = max(source.index + 1, self._lo[source.pid])
+        if start > self._volatile[source.pid]:
             return 0
         return self._closures[self._node(source.pid, start)]
 
     def _end_mask(self, target: CheckpointId) -> int:
         """Bits of every arrival node satisfying condition (iii) for ``target``."""
-        if target.pid not in self._ccp.processes or target.index < 0:
+        if target.pid not in self._ccp.processes:
             return 0
-        width = min(target.index, self._volatile[target.pid]) + 1
+        width = min(target.index, self._volatile[target.pid]) - self._lo[target.pid] + 1
+        if width <= 0:
+            return 0
         return ((1 << width) - 1) << self._offsets[target.pid]
+
+    def _first_arrival(self, closure: int, pid: int) -> Optional[int]:
+        """Earliest interval of ``pid`` with an arrival bit set in ``closure``."""
+        segment = (closure >> self._offsets[pid]) & (
+            (1 << (self._volatile[pid] - self._lo[pid] + 1)) - 1
+        )
+        if not segment:
+            return None
+        return self._lo[pid] + (segment & -segment).bit_length() - 1
 
     # ------------------------------------------------------------------
     # Relation queries
@@ -399,19 +573,30 @@ class ZigzagAnalysis(_ZigzagBase):
             if not closure:
                 continue
             for pid in self._ccp.processes:
-                segment = (closure >> self._offsets[pid]) & (
-                    (1 << (self._volatile[pid] + 1)) - 1
-                )
-                if not segment:
-                    continue
                 # The lowest arrival bit gives the earliest interval some chain
                 # can be received in; every checkpoint at or after it is a target.
-                first = (segment & -segment).bit_length() - 1
+                first = self._first_arrival(closure, pid)
+                if first is None:
+                    continue
                 pairs.extend(
                     (source, CheckpointId(pid, beta))
                     for beta in range(first, self._volatile[pid] + 1)
                 )
         return pairs
+
+    def zigzag_pair_count(self) -> int:
+        """Number of ordered zigzag pairs, in closed form (no pair list)."""
+        count = 0
+        for src_pid in self._ccp.processes:
+            for source in self._ccp.general_ids(src_pid):
+                closure = self._closure_of(source)
+                if not closure:
+                    continue
+                for pid in self._ccp.processes:
+                    first = self._first_arrival(closure, pid)
+                    if first is not None:
+                        count += self._volatile[pid] + 1 - first
+        return count
 
 
 class BruteForceZigzagAnalysis(_ZigzagBase):

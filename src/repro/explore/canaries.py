@@ -79,8 +79,9 @@ class HoarderCanaryCollector(RdtLgcCollector):
         super().__init__(pid, num_processes, storage)
         self._eliminations = 0
         self._hoarded: List[int] = []
-        # Re-create the UC table with the vetoing elimination callback; the
-        # bookkeeping itself stays exactly Algorithm 1/2.
+        # The UC table inherited from RdtLgcCollector already routes through
+        # self._eliminate, which the veto below overrides; the bookkeeping
+        # itself stays exactly Algorithm 1/2.
         self._uc = UncollectedTable(num_processes, on_eliminate=self._eliminate)
 
     @property
@@ -94,7 +95,7 @@ class HoarderCanaryCollector(RdtLgcCollector):
             # BUG: every second collectible checkpoint is hoarded.
             self._hoarded.append(index)
             return
-        self._storage.eliminate(index)
+        super()._eliminate(index)
 
 
 #: The canary classes, in registration order.

@@ -19,7 +19,7 @@ The split captures the paper's taxonomy directly:
 from __future__ import annotations
 
 import abc
-from typing import Any, ClassVar, List, Optional, Sequence
+from typing import Any, Callable, ClassVar, List, Optional, Sequence
 
 from repro.storage.stable import StableStorage
 
@@ -72,6 +72,7 @@ class GarbageCollector(abc.ABC):
         self._num_processes = num_processes
         self._storage = storage
         self._control: Optional[ControlPlane] = None
+        self._elimination_listeners: List[Callable[[int], None]] = []
 
     # ------------------------------------------------------------------
     # Introspection
@@ -112,6 +113,22 @@ class GarbageCollector(abc.ABC):
 
     def on_control_plane_attached(self) -> None:
         """Hook for collectors that schedule their first timer at start-up."""
+
+    def attach_elimination_listener(self, listener: Callable[[int], None]) -> None:
+        """Observe every checkpoint index this collector eliminates.
+
+        Listeners fire *after* the checkpoint was removed from stable storage.
+        The simulator uses this to feed obsolescence decisions to the trace
+        recorder's pruning machinery; concrete collectors route their
+        eliminations through :meth:`_eliminate` so the hook sees all of them.
+        """
+        self._elimination_listeners.append(listener)
+
+    def _eliminate(self, index: int) -> None:
+        """Eliminate stable checkpoint ``index`` and notify listeners."""
+        self._storage.eliminate(index)
+        for listener in self._elimination_listeners:
+            listener(index)
 
     # ------------------------------------------------------------------
     # Application-event hooks (all optional)

@@ -197,7 +197,7 @@ class CoordinatedCollectorBase(GarbageCollector):
     def _apply_decision(self, discard: Sequence[int]) -> None:
         for index in discard:
             if self._storage.contains(index) and index != self._storage.last_index():
-                self._storage.eliminate(index)
+                self._eliminate(index)
 
     def _build_report(self) -> GcReport:
         checkpoints = tuple(

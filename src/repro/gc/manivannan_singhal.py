@@ -71,4 +71,4 @@ class ManivannanSinghalCollector(GarbageCollector):
             if index == last:
                 continue
             if now - self._storage.get(index).time > self._window:
-                self._storage.eliminate(index)
+                self._eliminate(index)

@@ -32,7 +32,7 @@ class RdtLgcCollector(GarbageCollector):
 
     def __init__(self, pid: int, num_processes: int, storage: StableStorage) -> None:
         super().__init__(pid, num_processes, storage)
-        self._uc = UncollectedTable(num_processes, on_eliminate=storage.eliminate)
+        self._uc = UncollectedTable(num_processes, on_eliminate=self._eliminate)
 
     # ------------------------------------------------------------------
     # Introspection

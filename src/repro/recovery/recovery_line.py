@@ -55,11 +55,17 @@ def recovery_line(ccp: CCP, faulty: Iterable[int]) -> GlobalCheckpoint:
 
 
 def _recovery_line_lemma1(ccp: CCP, faulty_set: Set[int]) -> GlobalCheckpoint:
-    """Lemma 1 evaluated directly (uncached; called via the analysis cache)."""
+    """Lemma 1 by full recompute over checkpoint-level precedence queries.
+
+    Uncached; called via the analysis cache.  This is the *reference* path:
+    recorders running with ``incremental_analyses="on"`` serve recovery lines
+    from their maintained knowledge state instead, and ``"check"`` mode
+    compares that answer against this one.
+    """
     indices: List[int] = []
     for pid in ccp.processes:
-        chosen = 0
-        for gamma in range(ccp.volatile_index(pid) + 1):
+        chosen = ccp.base_interval(pid)
+        for gamma in range(ccp.base_interval(pid), ccp.volatile_index(pid) + 1):
             candidate = CheckpointId(pid, gamma)
             preceded = any(
                 ccp.causally_precedes(ccp.last_stable_id(f), candidate)

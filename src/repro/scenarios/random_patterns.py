@@ -125,6 +125,16 @@ class TraceFeeder:
             self._clock += 1.0
             recorder.record_checkpoint(pid, 0, zeros, forced=False, time=self._clock)
 
+    def resync(self) -> None:
+        """Re-align checkpoint indices with the recorder after a recovery.
+
+        A recovery session truncates histories, so storage reuses the rolled
+        back checkpoint indices; scripted churn schedules call this before
+        feeding the next chunk so their checkpoints continue from the
+        recorder's post-truncation frontier.
+        """
+        self._next_index = list(self._recorder.checkpoints_taken)
+
     def feed(self, script: List[Operation]) -> None:
         """Replay the next chunk of operations."""
         recorder = self._recorder

@@ -45,6 +45,15 @@ class SimulationConfig:
     sample_interval: Optional[float] = None
     audit: str = "off"
     keep_final_ccp: bool = False
+    #: Analysis mode of the trace recorder: ``"off"`` (classic full
+    #: recompute), ``"on"`` (delta-maintained checkpoint knowledge) or
+    #: ``"check"`` (both, cross-asserted — used by the equivalence tests).
+    incremental_analyses: str = "off"
+    #: When True, collectors' obsolescence decisions are fed back to the
+    #: trace recorder, which compacts garbage checkpoint intervals out of
+    #: the event log (implies ``incremental_analyses="on"``).  Persisted
+    #: traces are unaffected: sinks observe the full history.
+    prune_trace: bool = False
     #: When set, the run streams a replayable trace artifact to this path
     #: (see :mod:`repro.traceio`); ``trace_meta`` is free-form provenance
     #: persisted in the trace header (campaign cell identity and the like).
@@ -58,6 +67,10 @@ class SimulationConfig:
             raise ValueError("the duration must be positive")
         if self.audit not in ("off", "safety", "full"):
             raise ValueError("audit must be one of 'off', 'safety', 'full'")
+        if self.incremental_analyses not in ("off", "on", "check"):
+            raise ValueError(
+                "incremental_analyses must be one of 'off', 'on', 'check'"
+            )
         # Fail fast on fault models that cannot serve this process count
         # (undersized latency matrices, partitions naming unknown pids).
         self.network.validate_for(self.num_processes)
@@ -218,7 +231,11 @@ class SimulationRunner:
         self._config = config
         self._engine = SimulationEngine(seed=config.seed)
         self._network = Network(self._engine, config.network)
-        self._trace = TraceRecorder(config.num_processes)
+        self._trace = TraceRecorder(
+            config.num_processes,
+            incremental_analyses=config.incremental_analyses,
+            prune=config.prune_trace,
+        )
         self._recovery_manager = RecoveryManager()
         self._nodes: List[SimulationNode] = []
         self._samples: List[StorageSample] = []
@@ -260,6 +277,10 @@ class SimulationRunner:
                 storage,
                 **dict(config.collector_options),
             )
+            if config.prune_trace:
+                collector.attach_elimination_listener(
+                    lambda index, pid=pid: self._trace.record_elimination(pid, index)
+                )
             node = SimulationNode(
                 pid,
                 config.num_processes,

@@ -11,9 +11,6 @@ the *offline* oracles in tests and benchmarks.
 The recorder maintains the expensive CCP substrate *incrementally* rather than
 re-deriving it per snapshot:
 
-* a live :class:`repro.causality.CausalOrder` is kept current with
-  :meth:`CausalOrder.refresh`, so each event is vector-timestamped exactly
-  once over the whole run;
 * checkpoint-interval indices of message send/receive events are assigned at
   record time (an event's interval is fixed the moment it happens), so the
   :class:`repro.ccp.pattern.MessageInterval` table never has to be recomputed
@@ -23,6 +20,34 @@ re-deriving it per snapshot:
   it the same shared :class:`repro.ccp.analysis_cache.AnalysisCache`, which is
   what lets ``audit="full"`` sampling stop rebuilding the pattern and its
   zigzag/obsolete analyses at every instant.
+
+``incremental_analyses`` selects how retained sets and recovery lines are
+produced at analysis instants:
+
+* ``"off"`` (default) — classic full recompute: a live
+  :class:`repro.causality.CausalOrder` is kept current with
+  :meth:`CausalOrder.refresh` and the analysis cache derives everything from
+  checkpoint-level precedence queries.
+* ``"on"`` — a :class:`repro.ccp.incremental.CheckpointKnowledgeTracker` is
+  maintained in O(P) per event and snapshots carry an
+  :class:`repro.ccp.incremental.IncrementalAnalysisView` as their
+  ``analysis_provider``; no vector-clock replay happens at all unless some
+  caller explicitly asks for event-level precedence.
+* ``"check"`` — both substrates are maintained and the analysis cache
+  asserts they agree (the cross-check mode the equivalence tests run).
+
+``prune=True`` additionally lets the recorder *consume* the obsolescence
+decisions collectors emit (:meth:`record_elimination`): once a contiguous
+prefix of a process's checkpoints is garbage, the corresponding checkpoint
+intervals are compacted out of the event log (:meth:`maybe_prune`), bounding
+the recorder's memory by the live checkpoint frontier instead of run length.
+Pruning weakens the cut to a *send-closed consistent* one first, which is
+exactly what keeps the zigzag relation of every retained checkpoint intact;
+receives of pruned sends that arrive later are recorded as INTERNAL events
+(their knowledge merge still happens, so Theorem-2 state stays exact).
+Pruning implies ``incremental_analyses="on"``: on a pruned log the classic
+recomputation is no longer a valid stand-in for ground truth, the maintained
+knowledge state is.
 
 Recovery sessions rewrite history: the post-rollback state of the system is the
 recovery-line cut, so :meth:`apply_recovery` truncates each rolled-back
@@ -37,15 +62,22 @@ recovery sessions, which replay needs to reproduce the history truncation —
 is forwarded to each sink in recording order, which is how
 :class:`repro.traceio.writer.TraceWriter` turns a live run into a durable,
 replayable artifact without the recorder knowing anything about files.
+Pruning is *not* an occurrence: sinks observe the full history, so traces
+written from pruned runs remain complete and replayable.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Protocol, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Protocol, Sequence, Set, Tuple
 
 from repro.causality.events import EventKind, EventLog
 from repro.causality.happens_before import CausalOrder
 from repro.ccp.checkpoint import CheckpointId
+from repro.ccp.incremental import (
+    INCREMENTAL_MODES,
+    CheckpointKnowledgeTracker,
+    IncrementalAnalysisView,
+)
 from repro.ccp.pattern import CCP, MessageInterval
 from repro.recovery.rollback_plan import RollbackPlan
 
@@ -92,17 +124,54 @@ class TraceSink(Protocol):
 class TraceRecorder:
     """Records a simulated execution as an event log plus checkpoint vectors."""
 
-    def __init__(self, num_processes: int) -> None:
+    def __init__(
+        self,
+        num_processes: int,
+        *,
+        incremental_analyses: str = "off",
+        prune: bool = False,
+        prune_threshold: int = 512,
+    ) -> None:
+        if incremental_analyses not in INCREMENTAL_MODES:
+            raise ValueError(
+                f"unknown incremental_analyses mode {incremental_analyses!r} "
+                f"(expected one of {INCREMENTAL_MODES})"
+            )
+        if prune and incremental_analyses == "off":
+            # Classic recomputation over a pruned log is not authoritative
+            # (the event graph loses edges); pruning requires the maintained
+            # knowledge state.
+            incremental_analyses = "on"
         self._num_processes = num_processes
         self._log = EventLog(num_processes)
         self._recorded_dvs: Dict[CheckpointId, Tuple[int, ...]] = {}
         self._dropped_messages: set[int] = set()
         # Incremental CCP substrate.
         self._version = 0
-        self._order = CausalOrder(self._log)
+        self._incremental = incremental_analyses
+        self._tracker: Optional[CheckpointKnowledgeTracker] = (
+            CheckpointKnowledgeTracker(num_processes)
+            if incremental_analyses != "off"
+            else None
+        )
+        # "on" mode never replays vector clocks; a CCP snapshot builds a
+        # causal order lazily only if some caller asks for event-level
+        # precedence explicitly.
+        self._order: Optional[CausalOrder] = (
+            CausalOrder(self._log) if incremental_analyses != "on" else None
+        )
         self._checkpoints_taken = [0] * num_processes
         self._message_intervals: Dict[int, MessageInterval] = {}
         self._pending_sends: Dict[int, Tuple[int, int, int, int]] = {}
+        self._ckpt_seq: Dict[CheckpointId, int] = {}
+        # Obsolescence-driven pruning state.
+        self._prune_enabled = prune
+        self._prune_threshold = prune_threshold
+        self._eliminated: List[Set[int]] = [set() for _ in range(num_processes)]
+        self._prune_floor: List[int] = [0] * num_processes
+        self._pruned_pending: Dict[int, Tuple[int, int]] = {}
+        self._pruned_delivered: Dict[int, int] = {}
+        self._pruned_events = 0
         # Memoised snapshot: (version, volatile-DV fingerprint, CCP).
         self._ccp_cache: Optional[Tuple[int, object, CCP]] = None
         self._sinks: List[TraceSink] = []
@@ -117,13 +186,38 @@ class TraceRecorder:
 
     @property
     def log(self) -> EventLog:
-        """The current event log (post-rollback history only)."""
+        """The current event log (post-rollback, post-pruning history only)."""
         return self._log
 
     @property
     def version(self) -> int:
-        """Monotonic mutation counter; bumps on every recorded event or recovery."""
+        """Monotonic mutation counter; bumps on every recorded event, recovery or prune."""
         return self._version
+
+    @property
+    def incremental_analyses(self) -> str:
+        """The analysis mode this recorder runs in (``off``/``on``/``check``)."""
+        return self._incremental
+
+    @property
+    def pruning_enabled(self) -> bool:
+        """True if obsolescence-driven log compaction is active."""
+        return self._prune_enabled
+
+    @property
+    def pruned_events(self) -> int:
+        """Total events compacted out of the log by pruning so far."""
+        return self._pruned_events
+
+    @property
+    def knowledge_tracker(self) -> Optional[CheckpointKnowledgeTracker]:
+        """The maintained checkpoint-knowledge state (None in ``off`` mode)."""
+        return self._tracker
+
+    @property
+    def checkpoints_taken(self) -> Tuple[int, ...]:
+        """Per-process count of stable checkpoints taken (volatile index)."""
+        return tuple(self._checkpoints_taken)
 
     def recorded_checkpoint_dvs(self) -> Dict[CheckpointId, Tuple[int, ...]]:
         """Dependency vectors stored with the currently existing stable checkpoints."""
@@ -156,6 +250,8 @@ class TraceRecorder:
             self._checkpoints_taken[sender],
             event.seq,
         )
+        if self._tracker is not None:
+            self._tracker.note_send(message_id, sender)
         self._version += 1
         for sink in self._sinks:
             sink.on_send(sender, receiver, message_id, time)
@@ -165,9 +261,25 @@ class TraceRecorder:
 
         Deliveries of messages whose send was erased by a recovery session are
         ignored (the runner prevents them anyway by dropping in-flight
-        messages, so this is a belt-and-braces guard).
+        messages, so this is a belt-and-braces guard).  Deliveries of messages
+        whose send interval was *pruned* as obsolete are recorded as INTERNAL
+        events: the hand-off edge can only serve pruned checkpoints, but the
+        knowledge the message carries still reaches the receiver.
         """
-        if message_id in self._dropped_messages or not self._log.has_message(message_id):
+        if message_id in self._dropped_messages:
+            return
+        if message_id in self._pruned_pending:
+            _, receiver = self._pruned_pending.pop(message_id)
+            event = self._log.add_internal(receiver, time=time)
+            assert self._tracker is not None
+            self._tracker.note_receive(message_id, receiver, event.seq)
+            self._tracker.forget_messages([message_id])
+            self._pruned_delivered[message_id] = receiver
+            self._version += 1
+            for sink in self._sinks:
+                sink.on_receive(message_id, time)
+            return
+        if not self._log.has_message(message_id):
             return
         event = self._log.add_receive(message_id, time=time)
         sender, receiver, send_interval, send_seq = self._pending_sends.pop(message_id)
@@ -180,6 +292,8 @@ class TraceRecorder:
             send_seq=send_seq,
             receive_seq=event.seq,
         )
+        if self._tracker is not None:
+            self._tracker.note_receive(message_id, receiver, event.seq)
         self._version += 1
         for sink in self._sinks:
             sink.on_receive(message_id, time)
@@ -195,7 +309,16 @@ class TraceRecorder:
         :class:`repro.causality.events.EventLog` invariant that every
         message is received at most once is thereby preserved.
         """
-        if message_id in self._dropped_messages or not self._log.has_message(message_id):
+        if message_id in self._dropped_messages:
+            return
+        pruned_receiver = self._pruned_delivered.get(message_id)
+        if pruned_receiver is not None:
+            self._log.add_internal(pruned_receiver, time=time)
+            self._version += 1
+            for sink in self._sinks:
+                sink.on_duplicate_receive(message_id, time)
+            return
+        if not self._log.has_message(message_id):
             return
         message = self._log.message(message_id)
         if not message.delivered:
@@ -217,9 +340,13 @@ class TraceRecorder:
         time: float,
     ) -> None:
         """Record a stable checkpoint and the vector stored with it."""
-        self._log.add_checkpoint(pid, index, time=time, forced=forced)
-        self._recorded_dvs[CheckpointId(pid, index)] = tuple(dependency_vector)
+        event = self._log.add_checkpoint(pid, index, time=time, forced=forced)
+        cid = CheckpointId(pid, index)
+        self._recorded_dvs[cid] = tuple(dependency_vector)
         self._checkpoints_taken[pid] = index + 1
+        self._ckpt_seq[cid] = event.seq
+        if self._tracker is not None:
+            self._tracker.note_checkpoint(pid, index, event.seq)
         self._version += 1
         for sink in self._sinks:
             sink.on_checkpoint(pid, index, dependency_vector, forced=forced, time=time)
@@ -230,6 +357,149 @@ class TraceRecorder:
         self._version += 1
         for sink in self._sinks:
             sink.on_internal(pid, time)
+
+    # ------------------------------------------------------------------
+    # Obsolescence-driven pruning
+    # ------------------------------------------------------------------
+    def record_elimination(self, pid: int, index: int) -> None:
+        """Note that the collector of ``pid`` eliminated checkpoint ``index``.
+
+        Advances the per-process prune floor over the contiguous garbage
+        prefix and opportunistically compacts the log (:meth:`maybe_prune`).
+        No-op unless pruning is enabled.
+        """
+        if not self._prune_enabled:
+            return
+        if not 0 <= index < self._checkpoints_taken[pid]:
+            raise ValueError(
+                f"elimination of unknown checkpoint s{pid}^{index}"
+            )
+        if index < self._prune_floor[pid]:
+            return  # already below the garbage frontier
+        self._eliminated[pid].add(index)
+        floor = self._prune_floor[pid]
+        while floor in self._eliminated[pid]:
+            self._eliminated[pid].discard(floor)
+            floor += 1
+        self._prune_floor[pid] = floor
+        self.maybe_prune()
+
+    def maybe_prune(self, *, force: bool = False) -> bool:
+        """Compact obsolete checkpoint intervals out of the log.
+
+        The candidate cut puts each process's base at its prune floor (the
+        first non-garbage checkpoint), then weakens it to a *send-closed*
+        fixpoint: a delivered message whose send survives must keep its
+        receive, otherwise the receiver's base is lowered to just below the
+        receive interval.  Send-closedness is exactly what preserves the
+        zigzag relation of every checkpoint at or above the final bases —
+        every hand-off chain reachable from a live checkpoint consists of
+        surviving messages only.
+
+        Pruning is skipped (returns False) while the reclaimable event count
+        is below the hysteresis threshold, unless ``force`` is given.
+        """
+        if not self._prune_enabled:
+            return False
+        bases = self._log.checkpoint_bases
+        desired: List[int] = []
+        for pid in range(self._num_processes):
+            last = self._checkpoints_taken[pid] - 1
+            if last < 0:
+                desired.append(bases[pid])
+            else:
+                desired.append(max(bases[pid], min(self._prune_floor[pid], last)))
+        # Cheap upper bound on reclaimable events before paying for the fixpoint.
+        upper = sum(
+            self._ckpt_seq[CheckpointId(pid, d)] if d > bases[pid] else 0
+            for pid, d in enumerate(desired)
+        )
+        if upper == 0 or (not force and upper < self._prune_threshold):
+            return False
+        cut = desired
+        changed = True
+        while changed:
+            changed = False
+            for interval in self._message_intervals.values():
+                sender_cut = cut[interval.sender] > bases[interval.sender]
+                send_kept = (
+                    not sender_cut or interval.send_interval > cut[interval.sender]
+                )
+                if (
+                    send_kept
+                    and cut[interval.receiver] > bases[interval.receiver]
+                    and interval.receive_interval <= cut[interval.receiver]
+                ):
+                    cut[interval.receiver] = max(
+                        bases[interval.receiver], interval.receive_interval - 1
+                    )
+                    changed = True
+        starts = [
+            self._ckpt_seq[CheckpointId(pid, cut[pid])] if cut[pid] > bases[pid] else 0
+            for pid in range(self._num_processes)
+        ]
+        total = sum(starts)
+        if total == 0 or (not force and total < self._prune_threshold):
+            return False
+        self._perform_prune(cut, starts)
+        return True
+
+    def _perform_prune(self, cut: List[int], starts: List[int]) -> None:
+        """Apply a computed send-closed cut: rewrite the log and remap state."""
+        pruned_delivered = [
+            message_id
+            for message_id, interval in self._message_intervals.items()
+            if interval.send_seq < starts[interval.sender]
+        ]
+        for message_id in pruned_delivered:
+            interval = self._message_intervals.pop(message_id)
+            self._pruned_delivered[message_id] = interval.receiver
+        pruned_pending = [
+            message_id
+            for message_id, (sender, _, _, seq) in self._pending_sends.items()
+            if seq < starts[sender]
+        ]
+        for message_id in pruned_pending:
+            sender, receiver, _, _ = self._pending_sends.pop(message_id)
+            self._pruned_pending[message_id] = (sender, receiver)
+        self._log = self._log.suffix(starts, checkpoint_bases=cut)
+        self._message_intervals = {
+            message_id: MessageInterval(
+                message_id=interval.message_id,
+                sender=interval.sender,
+                receiver=interval.receiver,
+                send_interval=interval.send_interval,
+                receive_interval=interval.receive_interval,
+                send_seq=interval.send_seq - starts[interval.sender],
+                receive_seq=interval.receive_seq - starts[interval.receiver],
+            )
+            for message_id, interval in self._message_intervals.items()
+        }
+        self._pending_sends = {
+            message_id: (sender, receiver, send_interval, seq - starts[sender])
+            for message_id, (sender, receiver, send_interval, seq) in (
+                self._pending_sends.items()
+            )
+        }
+        stale_cids = [
+            cid for cid in self._recorded_dvs if cid.index < cut[cid.pid]
+        ]
+        for cid in stale_cids:
+            del self._recorded_dvs[cid]
+        self._ckpt_seq = {
+            cid: seq - starts[cid.pid]
+            for cid, seq in self._ckpt_seq.items()
+            if cid.index >= cut[cid.pid]
+        }
+        if self._tracker is not None:
+            self._tracker.apply_suffix(starts)
+            self._tracker.forget_checkpoints(stale_cids)
+            self._tracker.forget_messages(pruned_delivered)
+        if self._order is not None:
+            self._order = CausalOrder(self._log)
+        self._pruned_events += sum(starts)
+        self._ccp_cache = None
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Recovery sessions
@@ -262,9 +532,14 @@ class TraceRecorder:
             for event in self._log.history(pid).events[: lengths[pid]]:
                 if event.kind is EventKind.SEND:
                     surviving_messages.add(event.message_id)
+        newly_dropped = []
         for message in self._log.messages():
             if message.message_id not in surviving_messages:
                 self._dropped_messages.add(message.message_id)
+                newly_dropped.append(message.message_id)
+        if self._tracker is not None:
+            self._tracker.apply_truncation(lengths)
+            self._tracker.forget_messages(newly_dropped)
         self._log = self._log.prefix(lengths)
         for pid in range(self._num_processes):
             rollback = plan.rollback_for(pid)
@@ -277,6 +552,20 @@ class TraceRecorder:
             ]
             for cid in stale:
                 del self._recorded_dvs[cid]
+            if self._tracker is not None:
+                self._tracker.forget_checkpoints(stale)
+            # Rolled-back checkpoint indices are *reused* after recovery
+            # (stable storage rewinds its next index), so elimination facts
+            # recorded for the discarded incarnations must not survive to
+            # taint their successors.
+            self._eliminated[pid] = {
+                index
+                for index in self._eliminated[pid]
+                if index <= rollback.rollback_index
+            }
+            self._prune_floor[pid] = min(
+                self._prune_floor[pid], rollback.rollback_index
+            )
         self._rebuild_incremental_state()
         self._version += 1
         for sink in self._sinks:
@@ -284,16 +573,18 @@ class TraceRecorder:
 
     def _rebuild_incremental_state(self) -> None:
         """Re-derive the live substrate after history was truncated."""
-        self._order = CausalOrder(self._log)
+        if self._order is not None:
+            self._order = CausalOrder(self._log)
         self._ccp_cache = None
         self._pending_sends.clear()
         self._message_intervals.clear()
+        self._ckpt_seq.clear()
         # One pass per process assigns every event its checkpoint interval;
         # messages are then stitched together from the per-event assignments.
         send_info: Dict[int, Tuple[int, int, int, int]] = {}
         receive_info: Dict[int, Tuple[int, int]] = {}
         for pid in range(self._num_processes):
-            taken = 0
+            taken = self._log.checkpoint_base(pid)
             for event in self._log.history(pid):
                 if event.kind is EventKind.SEND:
                     assert event.message_id is not None
@@ -308,7 +599,11 @@ class TraceRecorder:
                     assert event.message_id is not None
                     receive_info[event.message_id] = (taken, event.seq)
                 elif event.kind is EventKind.CHECKPOINT:
-                    taken += 1
+                    assert event.checkpoint_index is not None
+                    self._ckpt_seq[
+                        CheckpointId(pid, event.checkpoint_index)
+                    ] = event.seq
+                    taken = event.checkpoint_index + 1
             self._checkpoints_taken[pid] = taken
         for message_id, (sender, receiver, send_interval, send_seq) in send_info.items():
             received = receive_info.get(message_id)
@@ -360,15 +655,22 @@ class TraceRecorder:
         if volatile_dvs is not None:
             for pid, dv in volatile_dvs.items():
                 recorded[CheckpointId(pid, self._checkpoints_taken[pid])] = tuple(dv)
-        self._order.refresh()
+        if self._order is not None:
+            self._order.refresh()
         intervals = [
             self._message_intervals[mid] for mid in sorted(self._message_intervals)
         ]
+        provider = (
+            IncrementalAnalysisView(self, self._incremental)
+            if self._tracker is not None
+            else None
+        )
         ccp = CCP(
             self._log,
             causal_order=self._order,
             recorded_dvs=recorded,
             message_intervals=intervals,
+            analysis_provider=provider,
         )
         self._ccp_cache = (self._version, fingerprint, ccp)
         return ccp

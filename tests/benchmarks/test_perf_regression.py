@@ -3,8 +3,11 @@
 Runs :mod:`benchmarks.check_regression` in smoke mode (only the smoke-sized
 sweep configurations, ratio comparison — hardware independent) against the
 committed ``BENCH_perf.json``, and sanity-checks the committed document
-itself, including the headline acceptance row (8 processes / 2000 messages at
->= 10x over the brute-force reference).
+itself: the headline acceptance row (8 processes / 2000 messages at >= 10x
+over the brute-force reference), the datacenter-tier latency row (64
+processes / 10^5 messages under 50 ms per instant), the medium-tier memory
+section (>= 30% peak reduction from pruning) and the fresh pruned-run memory
+gate (peak traced bytes must stay within 20% of the committed baseline).
 """
 
 import json
@@ -33,10 +36,16 @@ class TestCommittedBenchDocument:
         rows = committed_document["rows"]
         assert rows
         for row in rows:
-            assert row["kernel"] == "zigzag-bitset+incremental-ccp"
+            assert row["kernel"] == "zigzag-blocked-bitset+incremental-ccp"
             assert row["speedup"] > 0
             assert row["new_per_instant_s"] > 0
             assert row["old_per_instant_s"] > 0
+            # A measured old-path mean needs >= 3 samples to be a baseline;
+            # anything else must say it is an extrapolation, explicitly.
+            if row["old_extrapolated"]:
+                assert "old_extrapolation_basis" in row
+            else:
+                assert row["old_instants_measured"] >= 3
 
     def test_headline_configuration_meets_speedup_floor(self, committed_document):
         headline = [
@@ -46,6 +55,33 @@ class TestCommittedBenchDocument:
         ]
         assert headline, "sweep must include the 8-process / >=2000-message row"
         assert all(row["speedup"] >= 10.0 for row in headline)
+
+    def test_large_tier_rows_are_pruned_and_extrapolated(self, committed_document):
+        large = [
+            row
+            for row in committed_document["rows"]
+            if row["processes"] >= 32 and row["messages"] >= 20000
+        ]
+        assert large, "sweep must include the datacenter tier"
+        for row in large:
+            assert row["pruned"] is True
+            assert row["old_extrapolated"] is True
+            assert row["pruned_events"] > 0
+            # Pruning is the point: the live log must be a small fraction of
+            # the full event count that was compacted away.
+            assert row["live_log_events"] < row["pruned_events"] / 10
+
+    def test_committed_document_gates_pass(self, committed_document):
+        """The static acceptance gates over the committed document itself."""
+        from benchmarks.check_regression import check_committed_document
+
+        assert check_committed_document(BENCH_PATH) == []
+
+    def test_memory_section_meets_reduction_floor(self, committed_document):
+        memory = committed_document["memory"]
+        assert memory["peak_pruned_bytes"] > 0
+        assert memory["peak_unpruned_bytes"] > memory["peak_pruned_bytes"]
+        assert memory["reduction"] >= 0.30
 
 
 def test_smoke_regression_check_passes(committed_document):
@@ -57,6 +93,9 @@ def test_smoke_regression_check_passes(committed_document):
     genuine kernel regression, which shows up as an order-of-magnitude shift.
     The campaign gate is skipped here — the dedicated test below runs it once
     with clear failure attribution, instead of paying for the sweep twice.
+    The memory gate (tracemalloc-based, hardware independent) runs as part of
+    this check: a pruned medium-tier run whose peak grows more than 20% over
+    the committed baseline fails tier-1.
     """
     from benchmarks.check_regression import main
 

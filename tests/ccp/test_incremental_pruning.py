@@ -1,0 +1,307 @@
+"""Delta-maintained analyses and obsolescence pruning vs full recompute.
+
+Property corpus for the incremental subsystem: a pruning
+:class:`~repro.simulation.trace.TraceRecorder` fed an execution in chunks
+must answer every analysis — Theorem-1/2 retained sets, Lemma-1 recovery
+lines, the zigzag relation — exactly as an identically-fed unpruned twin
+does over the surviving (live) checkpoint window, at every instant of the
+churn schedule.  ``"check"`` mode recorders cross-assert the incremental and
+classic answers internally; the blocked bitset kernel is additionally pinned
+to the brute-force reference on *pruned* (based) logs, where closures start
+at per-process base intervals rather than zero; and the numpy backend must
+agree with the big-int backend bit for bit.
+
+Simulation-level churn (crashes, recovery truncation, index reuse, pruning
+interleaved with rollback-driven eliminations) is covered by running the
+same seeded simulation twice — pruned and unpruned — and comparing final
+analyses, plus replay-verifying the persisted trace of a pruned run, which
+must remain a complete, faithful artifact (pruning is invisible to sinks).
+"""
+
+import pytest
+
+from repro.ccp.checkpoint import CheckpointId
+from repro.ccp.zigzag import BruteForceZigzagAnalysis, ZigzagAnalysis
+from repro.scenarios.random_patterns import TraceFeeder, random_ccp_script
+from repro.simulation.trace import TraceRecorder
+
+SEEDS = list(range(40))
+
+
+def _script(seed: int):
+    return random_ccp_script(
+        seed,
+        num_processes=2 + seed % 5,
+        num_messages=25 + (seed * 7) % 40,
+        checkpoint_rate=0.15 + 0.04 * (seed % 6),
+        undelivered_fraction=0.15,
+    )
+
+
+def _chunks(script, parts=5):
+    size = max(1, len(script) // parts)
+    for start in range(0, len(script), size):
+        yield script[start : start + size]
+
+
+def _eliminate_theorem1_garbage(recorder: TraceRecorder) -> None:
+    """The churn driver: report everything Theorem 1 proves obsolete."""
+    ccp = recorder.ccp()
+    retained = ccp.analyses.theorem1_retained
+    for pid in range(recorder.num_processes):
+        for index in range(ccp.base_interval(pid), recorder.checkpoints_taken[pid] - 1):
+            if CheckpointId(pid, index) not in retained:
+                recorder.record_elimination(pid, index)
+
+
+def _live_ids(recorder: TraceRecorder):
+    bases = recorder.log.checkpoint_bases
+    return [
+        CheckpointId(pid, index)
+        for pid in range(recorder.num_processes)
+        for index in range(bases[pid], recorder.checkpoints_taken[pid] + 1)
+    ]
+
+
+class TestPrunedEqualsFullRecompute:
+    """Pruned recorder vs identically-fed unpruned twin, instant by instant."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_analyses_agree_on_live_window(self, seed):
+        script = _script(seed)
+        num_processes = 2 + seed % 5
+        pruned = TraceRecorder(num_processes, prune=True, prune_threshold=8)
+        full = TraceRecorder(num_processes)
+        pruned_feeder, full_feeder = TraceFeeder(pruned), TraceFeeder(full)
+        for chunk in _chunks(script):
+            pruned_feeder.feed(chunk)
+            full_feeder.feed(chunk)
+            pruned_ccp = pruned.ccp()
+            truth_ccp = full.ccp()
+            bases = pruned.log.checkpoint_bases
+
+            def live(ids):
+                return {cid for cid in ids if cid.index >= bases[cid.pid]}
+
+            assert pruned_ccp.analyses.theorem1_retained == live(
+                truth_ccp.analyses.theorem1_retained
+            ), f"seed {seed}"
+            assert pruned_ccp.analyses.theorem2_retained == live(
+                truth_ccp.analyses.theorem2_retained
+            ), f"seed {seed}"
+            for faulty in range(num_processes):
+                assert pruned_ccp.analyses.recovery_line(
+                    {faulty}
+                ) == truth_ccp.analyses.recovery_line({faulty}), f"seed {seed}"
+            _eliminate_theorem1_garbage(pruned)
+        # Force a final compaction and re-check the full analysis surface on
+        # the maximally-pruned log.
+        pruned.maybe_prune(force=True)
+        pruned_ccp = pruned.ccp()
+        truth_ccp = full.ccp()
+        bases = pruned.log.checkpoint_bases
+        assert pruned_ccp.analyses.theorem1_retained == {
+            cid
+            for cid in truth_ccp.analyses.theorem1_retained
+            if cid.index >= bases[cid.pid]
+        }
+        for faulty in range(num_processes):
+            assert pruned_ccp.analyses.recovery_line(
+                {faulty}
+            ) == truth_ccp.analyses.recovery_line({faulty})
+
+    def test_pruning_fires_across_corpus(self):
+        """The threshold heuristic must not starve: most seeds actually prune."""
+        fired = 0
+        for seed in SEEDS:
+            script = _script(seed)
+            recorder = TraceRecorder(2 + seed % 5, prune=True, prune_threshold=8)
+            feeder = TraceFeeder(recorder)
+            for chunk in _chunks(script):
+                feeder.feed(chunk)
+                _eliminate_theorem1_garbage(recorder)
+            recorder.maybe_prune(force=True)
+            if recorder.pruned_events > 0:
+                fired += 1
+        assert fired >= len(SEEDS) // 2
+
+    @pytest.mark.parametrize("seed", SEEDS[::4])
+    def test_zigzag_relation_exact_on_live_pairs(self, seed):
+        script = _script(seed)
+        num_processes = 2 + seed % 5
+        pruned = TraceRecorder(num_processes, prune=True, prune_threshold=8)
+        full = TraceRecorder(num_processes)
+        pruned_feeder, full_feeder = TraceFeeder(pruned), TraceFeeder(full)
+        for chunk in _chunks(script):
+            pruned_feeder.feed(chunk)
+            full_feeder.feed(chunk)
+            pruned_zz = pruned.ccp().analyses.zigzag
+            truth_zz = full.ccp().analyses.zigzag
+            ids = _live_ids(pruned)
+            for a in ids:
+                for b in ids:
+                    assert pruned_zz.zigzag_exists(a, b) == truth_zz.zigzag_exists(
+                        a, b
+                    ), f"seed {seed}: {a} ~> {b}"
+            assert pruned_zz.zigzag_pair_count() == len(pruned_zz.zigzag_pairs())
+            _eliminate_theorem1_garbage(pruned)
+
+
+class TestCheckModeCrossAsserts:
+    """``"check"`` recorders compare incremental vs classic at every query."""
+
+    @pytest.mark.parametrize("seed", SEEDS[::3])
+    def test_chunked_feed_with_queries(self, seed):
+        script = _script(seed)
+        num_processes = 2 + seed % 5
+        recorder = TraceRecorder(num_processes, incremental_analyses="check")
+        feeder = TraceFeeder(recorder)
+        for chunk in _chunks(script):
+            feeder.feed(chunk)
+            ccp = recorder.ccp()
+            # Each access runs the incremental view AND the classic oracle
+            # and raises on any mismatch.
+            ccp.analyses.theorem1_retained
+            ccp.analyses.theorem2_retained
+            for faulty in range(num_processes):
+                ccp.analyses.recovery_line({faulty})
+
+
+class TestKernelOnBasedLogs:
+    """Blocked kernel vs brute force on pruned patterns (nonzero bases)."""
+
+    def _pruned_ccp(self, seed):
+        script = _script(seed)
+        num_processes = 2 + seed % 5
+        recorder = TraceRecorder(num_processes, prune=True, prune_threshold=8)
+        feeder = TraceFeeder(recorder)
+        for chunk in _chunks(script):
+            feeder.feed(chunk)
+            recorder.ccp()
+            _eliminate_theorem1_garbage(recorder)
+        return recorder.ccp(), recorder
+
+    @pytest.mark.parametrize("seed", SEEDS[::4])
+    def test_bigint_kernel_matches_brute_force(self, seed):
+        ccp, recorder = self._pruned_ccp(seed)
+        kernel = ZigzagAnalysis(ccp, kernel="bigint")
+        brute = BruteForceZigzagAnalysis(ccp)
+        assert set(kernel.zigzag_pairs()) == set(brute.zigzag_pairs())
+        assert kernel.useless_checkpoints() == brute.useless_checkpoints()
+
+    @pytest.mark.parametrize("seed", SEEDS[::4])
+    def test_numpy_backend_matches_bigint(self, seed):
+        pytest.importorskip("numpy")
+        ccp, recorder = self._pruned_ccp(seed)
+        bigint = ZigzagAnalysis(ccp, kernel="bigint")
+        numpy_kernel = ZigzagAnalysis(ccp, kernel="numpy")
+        assert numpy_kernel.kernel == "numpy"
+        assert set(numpy_kernel.zigzag_pairs()) == set(bigint.zigzag_pairs())
+        assert (
+            numpy_kernel.useless_checkpoints() == bigint.useless_checkpoints()
+        )
+        ids = _live_ids(recorder)
+        for a in ids:
+            for b in ids:
+                assert numpy_kernel.zigzag_exists(a, b) == bigint.zigzag_exists(a, b)
+
+
+class TestChurnSchedules:
+    """Crash/recovery churn: pruning + truncation rebuilds + index reuse."""
+
+    def _run(self, seed, *, prune, crashes, incremental="off"):
+        from repro.simulation.failures import FailureSchedule
+        from repro.simulation.runner import SimulationConfig, SimulationRunner
+        from repro.simulation.workloads import UniformRandomWorkload
+
+        config = SimulationConfig(
+            num_processes=4,
+            duration=150.0,
+            workload=UniformRandomWorkload(
+                mean_message_gap=1.0, mean_checkpoint_gap=5.0
+            ),
+            failures=FailureSchedule.of(crashes),
+            seed=seed,
+            audit="full",
+            prune_trace=prune,
+            incremental_analyses=incremental,
+        )
+        runner = SimulationRunner(config)
+        result = runner.run()
+        return runner, result
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_pruned_run_matches_unpruned_twin_after_churn(self, seed):
+        crashes = [(50.0, seed % 4), (100.0, (seed + 2) % 4)]
+        pruned_runner, pruned_result = self._run(seed, prune=True, crashes=crashes)
+        full_runner, full_result = self._run(seed, prune=False, crashes=crashes)
+        assert len(pruned_result.recoveries) == 2
+        # The simulation itself is deterministic in the seed: recording mode
+        # must not leak into execution.
+        assert [r.recovery_line for r in pruned_result.recoveries] == [
+            r.recovery_line for r in full_result.recoveries
+        ]
+        assert pruned_result.all_audits_safe and pruned_result.all_audits_optimal
+        assert full_result.all_audits_safe and full_result.all_audits_optimal
+        pruned_ccp = pruned_runner.current_ccp()
+        truth_ccp = full_runner.current_ccp()
+        bases = pruned_runner.trace.log.checkpoint_bases
+        live_t1 = {
+            cid
+            for cid in truth_ccp.analyses.theorem1_retained
+            if cid.index >= bases[cid.pid]
+        }
+        assert pruned_ccp.analyses.theorem1_retained == live_t1
+        for faulty in range(4):
+            assert pruned_ccp.analyses.recovery_line(
+                {faulty}
+            ) == truth_ccp.analyses.recovery_line({faulty})
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_check_mode_survives_recovery_truncation(self, seed):
+        crashes = [(60.0, seed % 4), (110.0, (seed + 1) % 4)]
+        runner, result = self._run(
+            seed, prune=False, crashes=crashes, incremental="check"
+        )
+        assert len(result.recoveries) == 2
+        assert result.all_audits_safe
+        ccp = runner.current_ccp()
+        ccp.analyses.theorem1_retained
+        ccp.analyses.theorem2_retained
+        for faulty in range(4):
+            ccp.analyses.recovery_line({faulty})
+
+    def test_pruned_run_trace_replays_and_verifies(self, tmp_path):
+        """Sinks see the full history: a pruned run's trace stays complete."""
+        from repro.simulation.failures import FailureSchedule
+        from repro.simulation.runner import SimulationConfig, run_simulation
+        from repro.simulation.workloads import UniformRandomWorkload
+        from repro.traceio.cli import main as traceio_main
+
+        path = str(tmp_path / "pruned_run.trace.jsonl")
+        config = SimulationConfig(
+            num_processes=4,
+            duration=120.0,
+            workload=UniformRandomWorkload(
+                mean_message_gap=1.0, mean_checkpoint_gap=5.0
+            ),
+            failures=FailureSchedule.of([(60.0, 1)]),
+            seed=3,
+            audit="full",
+            prune_trace=True,
+            trace_path=path,
+        )
+        result = run_simulation(config)
+        assert result.recoveries
+        assert traceio_main(["replay", path, "--verify"]) == 0
+
+
+class TestFeederResync:
+    def test_resync_follows_recorder_frontier(self):
+        recorder = TraceRecorder(2)
+        feeder = TraceFeeder(recorder)
+        feeder.feed([("checkpoint", 0), ("checkpoint", 0)])
+        assert recorder.checkpoints_taken == (3, 1)
+        feeder.resync()
+        feeder.feed([("checkpoint", 0)])
+        assert recorder.checkpoints_taken == (4, 1)
