@@ -103,15 +103,14 @@ class ScheduleExecutor:
         controller = PendingDeliveries(runner.network)
         writer = None
         if trace_path is not None:
+            from repro.traceio.format import RunProvenance
             from repro.traceio.writer import TraceWriter
 
-            meta: Dict[str, object] = {
-                "explorer": {
-                    "config": config.describe(),
-                    "schedule": [list(token) for token in schedule],
-                    **(trace_meta or {}),
-                }
-            }
+            meta = RunProvenance.explorer(
+                config=config.describe(),
+                schedule=schedule,
+                extra=trace_meta,
+            ).to_meta()
             writer = TraceWriter.scripted(
                 trace_path,
                 config.num_processes,

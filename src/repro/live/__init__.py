@@ -1,0 +1,22 @@
+"""The live execution backend: the middleware on real processes and sockets.
+
+The same middleware stack the simulator runs —
+:class:`~repro.simulation.node.SimulationNode` with a pluggable protocol,
+collector and stable storage — executes here as one OS process per logical
+process, exchanging application and control messages over localhost UDP
+datagrams, with crashes injected as real SIGKILLs.  A central coordinator
+(:mod:`repro.live.coordinator`) drives rendezvous, failure injection and
+the recovery sessions, and merges the per-process durable trace shards
+(:mod:`repro.live.shard`, :mod:`repro.live.merge`) into a single v2
+:mod:`repro.traceio` artifact that verifies, replays and audits exactly
+like a simulated one.
+
+Entry points: :func:`run_live` (programmatic; also reached through
+:func:`repro.simulation.runner.run_simulation` with ``backend="live"``)
+and ``python -m repro.live`` (:mod:`repro.live.cli`).
+"""
+
+from repro.live.coordinator import LiveOptions, LiveRunResult, run_live
+from repro.live.transport import LiveTransport
+
+__all__ = ["LiveOptions", "LiveRunResult", "LiveTransport", "run_live"]

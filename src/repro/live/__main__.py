@@ -1,0 +1,7 @@
+"""``python -m repro.live`` — run the live backend CLI."""
+
+import sys
+
+from repro.live.cli import main
+
+sys.exit(main())

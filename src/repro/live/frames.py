@@ -1,0 +1,91 @@
+"""Wire encodings of the live backend.
+
+Two channels, two encodings:
+
+* **Control plane** (coordinator ⟷ worker, TCP): length-prefixed JSON
+  frames — a 4-byte big-endian length followed by a compact JSON object.
+  The prefix gives unambiguous message boundaries on a byte stream; JSON
+  keeps the protocol greppable in a packet dump and needs no third-party
+  codec (the container bakes in the stdlib only).
+* **Data plane** (worker ⟷ worker, UDP): one JSON object per datagram —
+  UDP preserves message boundaries, so no prefix is needed.
+
+Collector control payloads are arbitrary Python objects (the coordinated
+baselines exchange tuples and dataclasses); they cross the wire pickled and
+base64-wrapped so JSON transport cannot silently change their types (JSON
+would turn tuples into lists).  Both ends of every link run the same code
+from the same checkout on the same machine, so the usual pickle caveats do
+not apply.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import struct
+from typing import Any, Dict, Optional
+
+import asyncio
+
+_LENGTH = struct.Struct(">I")
+
+#: Refuse absurd frame lengths (a desynchronised stream, not a real frame).
+MAX_FRAME = 16 * 1024 * 1024
+
+
+def encode_frame(document: Dict[str, Any]) -> bytes:
+    """Encode one control-plane frame (length prefix + compact JSON)."""
+    payload = json.dumps(document, separators=(",", ":")).encode("utf-8")
+    return _LENGTH.pack(len(payload)) + payload
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
+    """Read one control-plane frame; ``None`` on a clean or torn EOF.
+
+    A SIGKILLed peer tears the stream mid-frame; the coordinator treats
+    that exactly like a clean close (the process is gone either way).
+    """
+    try:
+        prefix = await reader.readexactly(_LENGTH.size)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME:
+        raise ValueError(f"frame length {length} exceeds the {MAX_FRAME} cap")
+    try:
+        payload = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    document = json.loads(payload.decode("utf-8"))
+    if not isinstance(document, dict):
+        raise ValueError("control frames must be JSON objects")
+    return document
+
+
+def send_frame(writer: asyncio.StreamWriter, document: Dict[str, Any]) -> None:
+    """Queue one control-plane frame on ``writer`` (flushed by the loop)."""
+    writer.write(encode_frame(document))
+
+
+def encode_datagram(document: Dict[str, Any]) -> bytes:
+    """Encode one data-plane datagram (compact JSON, one object per packet)."""
+    return json.dumps(document, separators=(",", ":")).encode("utf-8")
+
+
+def decode_datagram(data: bytes) -> Dict[str, Any]:
+    """Decode one data-plane datagram."""
+    document = json.loads(data.decode("utf-8"))
+    if not isinstance(document, dict):
+        raise ValueError("datagrams must be JSON objects")
+    return document
+
+
+def pack_payload(payload: Any) -> str:
+    """Encode an arbitrary control payload for JSON transport."""
+    return base64.b64encode(pickle.dumps(payload)).decode("ascii")
+
+
+def unpack_payload(encoded: str) -> Any:
+    """Decode a :func:`pack_payload` value."""
+    return pickle.loads(base64.b64decode(encoded.encode("ascii")))

@@ -17,7 +17,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.scenarios.campaign.spec import CampaignCell, CampaignSpec
 from repro.scenarios.campaign.store import CampaignStore
-from repro.simulation.runner import SimulationResult, SimulationRunner
+from repro.simulation.runner import SimulationResult, run_simulation
 
 #: The scalar metrics persisted per cell, in extraction order.  The values
 #: come from :meth:`repro.simulation.runner.SimulationResult.metrics_dict`
@@ -77,21 +77,22 @@ def execute_cell(
     config = cell.config()
     record: Dict[str, Any] = {"cell_id": cell.cell_id, "params": cell.params()}
     if trace_dir is not None:
-        meta: Dict[str, Any] = {
-            "campaign": cell.campaign,
-            "cell_id": cell.cell_id,
-            "params": cell.params(),
-        }
-        if cell_index is not None:
-            meta["cell_index"] = cell_index
+        from repro.traceio.format import RunProvenance
+
+        provenance = RunProvenance.campaign_cell(
+            campaign=cell.campaign,
+            cell_id=cell.cell_id,
+            params=cell.params(),
+            cell_index=cell_index,
+        )
         config = dataclasses.replace(
             config,
             trace_path=os.path.join(trace_dir, trace_filename(cell.cell_id)),
-            trace_meta=meta,
+            trace_meta=provenance.to_meta(),
         )
         record["trace"] = trace_filename(cell.cell_id)
     try:
-        result = SimulationRunner(config).run()
+        result = run_simulation(config)
     except Exception as exc:  # noqa: BLE001 - the record carries the error
         record["status"] = "failed"
         record["error"] = f"{type(exc).__name__}: {exc}"

@@ -114,6 +114,7 @@ class CampaignCell:
     seed_index: int
     base_seed: int
     audit: str = "off"
+    backend: str = "sim"
 
     # ------------------------------------------------------------------
     # Identity and seed derivation
@@ -126,8 +127,11 @@ class CampaignCell:
         (channel model, partitions, FIFO discipline), so two cells differing
         only in a fault model hash to different ``cell_id`` values — while a
         cell with the paper's defaults keeps its pre-fault-model identity.
+        The execution backend follows the same rule: it appears (and hashes)
+        only when it is not the default simulator, so every pre-existing
+        sim cell keeps its ``cell_id``.
         """
-        return {
+        params = {
             "campaign": self.campaign,
             "num_processes": self.num_processes,
             "duration": self.duration,
@@ -146,6 +150,9 @@ class CampaignCell:
             "base_seed": self.base_seed,
             "audit": self.audit,
         }
+        if self.backend != "sim":
+            params["backend"] = self.backend
+        return params
 
     @property
     def cell_id(self) -> str:
@@ -196,6 +203,7 @@ class CampaignCell:
             seed=self.seed,
             audit=self.audit,
             keep_final_ccp=False,
+            backend=self.backend,
         )
 
 
@@ -216,6 +224,10 @@ class CampaignSpec:
     seeds: Tuple[int, ...] = (0,)
     base_seed: int = 0
     audit: str = "off"
+    #: Execution backends: ``"sim"`` and/or ``"live"`` — a grid axis like
+    #: any other, so one spec can run the same cells simulated and on real
+    #: processes and compare their metrics side by side.
+    backends: Tuple[str, ...] = ("sim",)
 
     def __post_init__(self) -> None:
         for axis, label in (
@@ -225,6 +237,7 @@ class CampaignSpec:
             (self.failure_counts, "failure_counts"),
             (self.networks, "networks"),
             (self.seeds, "seeds"),
+            (self.backends, "backends"),
         ):
             if not axis:
                 raise ValueError(f"a campaign needs at least one entry on the {label} axis")
@@ -248,6 +261,9 @@ class CampaignSpec:
                 )
         if self.audit not in ("off", "safety", "full"):
             raise ValueError("audit must be one of 'off', 'safety', 'full'")
+        for backend in self.backends:
+            if backend not in ("sim", "live"):
+                raise ValueError("backends entries must be 'sim' or 'live'")
 
     @property
     def cell_count(self) -> int:
@@ -259,19 +275,23 @@ class CampaignSpec:
             * len(self.failure_counts)
             * len(self.networks)
             * len(self.seeds)
+            * len(self.backends)
         )
 
     def cells(self) -> List[CampaignCell]:
         """Expand the grid.  The order is deterministic (axis-major), but a
         cell's identity and seeds do not depend on its position in it."""
         expanded: List[CampaignCell] = []
-        for protocol, collector, workload, failures, network, seed_index in itertools.product(
-            self.protocols,
-            self.collectors,
-            self.workloads,
-            self.failure_counts,
-            self.networks,
-            self.seeds,
+        for protocol, collector, workload, failures, network, seed_index, backend in (
+            itertools.product(
+                self.protocols,
+                self.collectors,
+                self.workloads,
+                self.failure_counts,
+                self.networks,
+                self.seeds,
+                self.backends,
+            )
         ):
             expanded.append(
                 CampaignCell(
@@ -288,6 +308,7 @@ class CampaignSpec:
                     seed_index=seed_index,
                     base_seed=self.base_seed,
                     audit=self.audit,
+                    backend=backend,
                 )
             )
         return expanded
@@ -310,6 +331,7 @@ def spec_from_mapping(document: Mapping[str, Any]) -> CampaignSpec:
     known_keys = {
         "name", "num_processes", "duration", "protocols", "collectors",
         "workloads", "failure_counts", "networks", "seeds", "base_seed", "audit",
+        "backends",
     }
     unknown = sorted(set(document) - known_keys)
     if unknown:
@@ -317,7 +339,9 @@ def spec_from_mapping(document: Mapping[str, Any]) -> CampaignSpec:
             f"unknown campaign spec keys: {', '.join(unknown)}; "
             f"known: {', '.join(sorted(known_keys))}"
         )
-    for axis in ("protocols", "collectors", "workloads", "failure_counts", "networks"):
+    for axis in (
+        "protocols", "collectors", "workloads", "failure_counts", "networks", "backends",
+    ):
         if isinstance(document.get(axis), (str, bytes)):
             # tuple("fdas") would expand to ('f','d','a','s') and produce
             # baffling unknown-name errors for each character.
@@ -368,4 +392,5 @@ def spec_from_mapping(document: Mapping[str, Any]) -> CampaignSpec:
         seeds=seeds,
         base_seed=int(document.get("base_seed", 0)),
         audit=str(document.get("audit", "off")),
+        backends=tuple(document.get("backends", ("sim",))),
     )

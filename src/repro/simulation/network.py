@@ -48,6 +48,17 @@ from repro.simulation.channels import (
     channel_from_mapping,
 )
 from repro.simulation.engine import SimulationEngine
+from repro.transport.base import AppMessage
+
+__all__ = [
+    "AppMessage",
+    "Network",
+    "NetworkConfig",
+    "NetworkStats",
+    "PartitionEvent",
+    "ScheduleController",
+    "network_config_from_mapping",
+]
 
 #: ``(time, kind, groups)`` of one partition cut/heal, as seen by hooks.
 PartitionEvent = Tuple[float, str, Tuple[Tuple[int, ...], ...]]
@@ -135,17 +146,6 @@ def network_config_from_mapping(document: Dict[str, Any]) -> NetworkConfig:
         ),
         fifo=fifo,
     )
-
-
-@dataclass(frozen=True)
-class AppMessage:
-    """An application message in transit."""
-
-    message_id: int
-    sender: int
-    receiver: int
-    piggyback: Tuple[int, ...]
-    payload: Any = None
 
 
 class ScheduleController(Protocol):

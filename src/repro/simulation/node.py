@@ -1,4 +1,4 @@
-"""A simulated process: application, checkpointing middleware and garbage collector.
+"""A process of the checkpointed application: middleware and garbage collector.
 
 The node is the *mechanism*: it owns the dependency vector (the only control
 information piggybacked on application messages, per the paper's model), the
@@ -9,6 +9,14 @@ stable storage and the message I/O.  The *policies* are plugged in:
 * a :class:`repro.gc.GarbageCollector` decides which stable checkpoints to
   eliminate (and may, for the coordinated baselines, use the node's control
   plane).
+
+The node talks to its environment exclusively through a
+:class:`repro.transport.Transport` — clock, application sends, control
+sends, timers — so the same middleware runs unchanged inside the
+discrete-event simulator (:class:`repro.transport.SimTransport`) and as a
+real OS process on UDP sockets (:class:`repro.live.transport.LiveTransport`).
+Despite the class name (kept for continuity), nothing in here is
+simulation-specific.
 
 The event ordering required by Section 4.5 — a forced checkpoint triggered by
 a message is stored *before* the receipt is processed and before any garbage
@@ -22,10 +30,8 @@ from typing import Any, List, Optional, Sequence, Tuple
 from repro.causality.dependency_vector import DependencyVector
 from repro.gc.base import ControlPlane, GarbageCollector
 from repro.protocols.base import CheckpointingProtocol
-from repro.simulation.engine import SimulationEngine
-from repro.simulation.network import AppMessage, Network
-from repro.simulation.trace import TraceRecorder
 from repro.storage.stable import StableStorage
+from repro.transport.base import AppMessage, TraceRecorderPort, Transport
 
 
 class _NodeControlPlane(ControlPlane):
@@ -35,7 +41,9 @@ class _NodeControlPlane(ControlPlane):
         self._node = node
 
     def send_control(self, destination: int, payload: Any) -> None:
-        self._node.network.send_control_message(self._node.pid, destination, payload)
+        self._node.transport.send_control_message(
+            self._node.pid, destination, payload
+        )
 
     def broadcast_control(self, payload: Any) -> None:
         for pid in range(self._node.num_processes):
@@ -43,34 +51,32 @@ class _NodeControlPlane(ControlPlane):
                 self.send_control(pid, payload)
 
     def schedule_timer(self, delay: float) -> None:
-        engine = self._node.engine
-        engine.schedule_after(
-            delay, lambda: self._node.collector.on_timer(engine.now)
+        transport = self._node.transport
+        transport.schedule_timer(
+            delay, lambda: self._node.collector.on_timer(transport.now())
         )
 
     def current_time(self) -> float:
-        return self._node.engine.now
+        return self._node.transport.now()
 
 
 class SimulationNode:
-    """One process of the simulated distributed application."""
+    """One process of the checkpointed distributed application."""
 
     def __init__(
         self,
         pid: int,
         num_processes: int,
         *,
-        engine: SimulationEngine,
-        network: Network,
-        trace: TraceRecorder,
+        transport: Transport,
+        trace: TraceRecorderPort,
         protocol: CheckpointingProtocol,
         collector: GarbageCollector,
         storage: StableStorage,
     ) -> None:
         self._pid = pid
         self._num_processes = num_processes
-        self._engine = engine
-        self._network = network
+        self._transport = transport
         self._trace = trace
         self._protocol = protocol
         self._collector = collector
@@ -99,14 +105,9 @@ class SimulationNode:
         return self._num_processes
 
     @property
-    def engine(self) -> SimulationEngine:
-        """The simulation engine."""
-        return self._engine
-
-    @property
-    def network(self) -> Network:
-        """The shared transport."""
-        return self._network
+    def transport(self) -> Transport:
+        """The backend this node runs on (simulated or live)."""
+        return self._transport
 
     @property
     def protocol(self) -> CheckpointingProtocol:
@@ -149,10 +150,12 @@ class SimulationNode:
         self._protocol.notify_send()
         self._collector.on_send(self._dv.as_tuple())
         piggyback = self._dv.piggyback()
-        message = self._network.send_app_message(
+        message = self._transport.send_app_message(
             self._pid, destination, piggyback, payload
         )
-        self._trace.record_send(self._pid, destination, message.message_id, self._engine.now)
+        self._trace.record_send(
+            self._pid, destination, message.message_id, self._transport.now()
+        )
         self.messages_sent += 1
 
     def deliver(self, message: AppMessage) -> None:
@@ -161,7 +164,7 @@ class SimulationNode:
             return
         if self._protocol.should_force_checkpoint(self._dv.as_tuple(), message.piggyback):
             self.take_checkpoint(forced=True)
-        self._trace.record_receive(message.message_id, self._engine.now)
+        self._trace.record_receive(message.message_id, self._transport.now())
         updated = self._dv.absorb(message.piggyback)
         self._protocol.notify_receive()
         self._collector.on_receive(message.piggyback, updated, self._dv.as_tuple())
@@ -183,7 +186,7 @@ class SimulationNode:
             return
         if self._protocol.should_force_checkpoint(self._dv.as_tuple(), message.piggyback):
             self.take_checkpoint(forced=True)
-        self._trace.record_duplicate_receive(message.message_id, self._engine.now)
+        self._trace.record_duplicate_receive(message.message_id, self._transport.now())
         updated = self._dv.absorb(message.piggyback)
         self._protocol.notify_receive()
         self._collector.on_receive(message.piggyback, updated, self._dv.as_tuple())
@@ -194,7 +197,7 @@ class SimulationNode:
         if self._crashed:
             return self._storage.last_index()
         index = self._dv.current_interval()
-        now = self._engine.now
+        now = self._transport.now()
         self._storage.store(
             index, self._dv.as_tuple(), payload=payload, forced=forced, time=now
         )
@@ -218,6 +221,7 @@ class SimulationNode:
     def crash(self) -> None:
         """Lose the volatile state; the process stays down until recovery."""
         self._crashed = True
+        self._transport.on_crash(self._pid)
 
     def apply_rollback(
         self,
@@ -241,6 +245,7 @@ class SimulationNode:
         )
         self._crashed = False
         self.rollbacks += 1
+        self._transport.on_recover(self._pid)
         return collected
 
     def apply_peer_rollback(self, last_interval_vector: Sequence[int]) -> List[int]:

@@ -27,6 +27,7 @@ from repro.simulation.node import SimulationNode
 from repro.simulation.trace import TraceRecorder
 from repro.simulation.workloads import Action, ActionKind, Workload
 from repro.storage.stable import StableStorage
+from repro.transport.sim import SimTransport
 
 
 @dataclass(frozen=True)
@@ -59,12 +60,20 @@ class SimulationConfig:
     #: persisted in the trace header (campaign cell identity and the like).
     trace_path: Optional[str] = None
     trace_meta: Mapping[str, Any] = field(default_factory=dict)
+    #: Execution backend: ``"sim"`` (the discrete-event simulator) or
+    #: ``"live"`` (real OS processes over UDP — see :mod:`repro.live`).
+    #: Provenance (trace headers, campaign cell identity) mentions the
+    #: backend only when it is not the default, so every pre-existing
+    #: simulated artifact keeps its identity.
+    backend: str = "sim"
 
     def __post_init__(self) -> None:
         if self.num_processes <= 0:
             raise ValueError("a simulation needs at least one process")
         if self.duration <= 0:
             raise ValueError("the duration must be positive")
+        if self.backend not in ("sim", "live"):
+            raise ValueError("backend must be one of 'sim', 'live'")
         if self.audit not in ("off", "safety", "full"):
             raise ValueError("audit must be one of 'off', 'safety', 'full'")
         if self.incremental_analyses not in ("off", "on", "check"):
@@ -228,9 +237,15 @@ class SimulationRunner:
     """Builds and runs one experiment from a :class:`SimulationConfig`."""
 
     def __init__(self, config: SimulationConfig) -> None:
+        if config.backend != "sim":
+            raise ValueError(
+                f"SimulationRunner drives the 'sim' backend only; use "
+                f"run_simulation() to dispatch backend {config.backend!r}"
+            )
         self._config = config
         self._engine = SimulationEngine(seed=config.seed)
         self._network = Network(self._engine, config.network)
+        self._transport = SimTransport(self._engine, self._network)
         self._trace = TraceRecorder(
             config.num_processes,
             incremental_analyses=config.incremental_analyses,
@@ -284,8 +299,7 @@ class SimulationRunner:
             node = SimulationNode(
                 pid,
                 config.num_processes,
-                engine=self._engine,
-                network=self._network,
+                transport=self._transport,
                 trace=self._trace,
                 protocol=protocol,
                 collector=collector,
@@ -302,6 +316,11 @@ class SimulationRunner:
     def engine(self) -> SimulationEngine:
         """The simulation engine."""
         return self._engine
+
+    @property
+    def transport(self) -> SimTransport:
+        """The transport facade the nodes run on."""
+        return self._transport
 
     @property
     def network(self) -> Network:
@@ -529,5 +548,16 @@ class SimulationRunner:
 
 
 def run_simulation(config: SimulationConfig) -> SimulationResult:
-    """Convenience wrapper: build a runner, run it, return the result."""
+    """Run ``config`` on its selected backend and return the result.
+
+    ``backend="sim"`` builds a :class:`SimulationRunner`; ``backend="live"``
+    dispatches to :func:`repro.live.run_live` (imported lazily —
+    :mod:`repro.live` sits above the simulation layer), which executes the
+    run on real OS processes and returns an equivalent result assembled from
+    the merged trace artifact.
+    """
+    if config.backend == "live":
+        from repro.live import run_live
+
+        return run_live(config).result
     return SimulationRunner(config).run()

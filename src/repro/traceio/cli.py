@@ -30,7 +30,7 @@ import os
 import sys
 from typing import Any, Dict, List, Optional
 
-from repro.traceio.format import TraceError
+from repro.traceio.format import RunProvenance, TraceError
 from repro.traceio.reader import (
     TraceReader,
     analysis_table,
@@ -201,8 +201,15 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         crashes = ", ".join(f"p{pid}@{time:g}" for time, pid in schedule)
         print(f"  failures:     {crashes}")
     meta = header.get("meta") or {}
-    if meta.get("cell_id"):
-        print(f"  campaign:     {meta.get('campaign')} cell {meta['cell_id']}")
+    provenance = RunProvenance.from_meta(meta)
+    if provenance is not None and provenance.kind == "campaign":
+        print(
+            f"  campaign:     {provenance.fields.get('campaign')} "
+            f"cell {provenance.fields['cell_id']}"
+        )
+    elif provenance is not None and provenance.kind == "live":
+        backend = header.get("backend", "live")
+        print(f"  backend:      {backend} ({provenance.fields})")
     counts: Dict[str, int] = {}
     try:
         for _, parsed in reader.lines():

@@ -55,6 +55,7 @@ unless the caller opts into partial replay.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -110,6 +111,103 @@ class TraceTruncatedError(TraceError):
 
 
 # ----------------------------------------------------------------------
+# Run provenance
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunProvenance:
+    """The provenance identity a driver attaches to a trace header ``meta``.
+
+    One constructor per driver — campaign sweeps, the schedule-space
+    explorer, live (multi-process) runs — and one :meth:`to_meta` encoding,
+    so the header shape each driver emits is defined in exactly one place
+    instead of being hand-assembled at every call site.  :meth:`from_meta`
+    inverts the encoding (a round-trip test pins the two together), which is
+    what campaign re-aggregation and ``traceio inspect`` parse.
+
+    The encodings are byte-compatible with the dicts the drivers emitted
+    before this helper existed, so pre-existing artifacts parse identically:
+
+    * campaign — ``{"campaign", "cell_id", "params"[, "cell_index"]}``;
+    * explore  — ``{"explorer": {"config", "schedule", ...}}``;
+    * live     — ``{"live": {...}}`` (coordinator/merge parameters).
+    """
+
+    kind: str
+    fields: Dict[str, Any]
+
+    KINDS = ("campaign", "explore", "live")
+
+    @classmethod
+    def campaign_cell(
+        cls,
+        *,
+        campaign: str,
+        cell_id: str,
+        params: Mapping[str, Any],
+        cell_index: Optional[int] = None,
+    ) -> "RunProvenance":
+        """Identity of one campaign grid cell."""
+        fields: Dict[str, Any] = {
+            "campaign": campaign,
+            "cell_id": cell_id,
+            "params": dict(params),
+        }
+        if cell_index is not None:
+            fields["cell_index"] = cell_index
+        return cls("campaign", fields)
+
+    @classmethod
+    def explorer(
+        cls,
+        *,
+        config: Mapping[str, Any],
+        schedule: Sequence[Sequence[Any]],
+        extra: Optional[Mapping[str, Any]] = None,
+    ) -> "RunProvenance":
+        """Identity of one explored schedule (configuration + choice list)."""
+        fields: Dict[str, Any] = {
+            "config": dict(config),
+            "schedule": [list(token) for token in schedule],
+        }
+        if extra:
+            fields.update(extra)
+        return cls("explore", fields)
+
+    @classmethod
+    def live_run(cls, **fields: Any) -> "RunProvenance":
+        """Identity of one live multi-process run (coordinator parameters)."""
+        return cls("live", dict(fields))
+
+    def to_meta(self) -> Dict[str, Any]:
+        """The header ``meta`` dict this provenance encodes to."""
+        if self.kind == "campaign":
+            return dict(self.fields)
+        if self.kind == "explore":
+            return {"explorer": dict(self.fields)}
+        if self.kind == "live":
+            return {"live": dict(self.fields)}
+        raise ValueError(f"unknown provenance kind {self.kind!r}")
+
+    @classmethod
+    def from_meta(cls, meta: Mapping[str, Any]) -> Optional["RunProvenance"]:
+        """Parse a header ``meta`` dict; None if no known driver wrote it."""
+        if "explorer" in meta:
+            return cls("explore", dict(meta["explorer"]))
+        if "live" in meta:
+            return cls("live", dict(meta["live"]))
+        if "cell_id" in meta and "params" in meta:
+            fields = {}
+            if "campaign" in meta:
+                fields["campaign"] = meta["campaign"]
+            fields["cell_id"] = meta["cell_id"]
+            fields["params"] = meta["params"]
+            if "cell_index" in meta:
+                fields["cell_index"] = meta["cell_index"]
+            return cls("campaign", fields)
+        return None
+
+
+# ----------------------------------------------------------------------
 # Header
 # ----------------------------------------------------------------------
 def make_header(
@@ -121,8 +219,12 @@ def make_header(
     carry the full declarative parameters in ``meta``): replay never
     re-generates actions — the recorded events *are* the execution — so the
     header only needs enough to identify the run, not to re-run it.
+
+    The execution backend appears as an extra ``backend`` key only for
+    non-default (non-``sim``) backends, so every pre-existing simulated
+    trace header keeps its exact shape.
     """
-    return {
+    header: Dict[str, Any] = {
         "format": FORMAT_NAME,
         "version": FORMAT_VERSION,
         "num_processes": config.num_processes,
@@ -140,6 +242,9 @@ def make_header(
         "audit": config.audit,
         "meta": dict(meta or config.trace_meta),
     }
+    if config.backend != "sim":
+        header["backend"] = config.backend
+    return header
 
 
 def make_scripted_header(

@@ -35,6 +35,7 @@ from repro.traceio.format import (
     TAG_RECOVERY,
     TAG_SAMPLE,
     TAG_SEND,
+    RunProvenance,
     TraceFormatError,
     TraceTruncatedError,
     metrics_from_record,
@@ -467,14 +468,15 @@ def campaign_records_from_traces(directory: str) -> List[Dict[str, Any]]:
         path = os.path.join(directory, name)
         header, footer = TraceReader(path).summary()
         meta = header.get("meta") or {}
-        if "cell_id" not in meta or "params" not in meta:
+        provenance = RunProvenance.from_meta(meta)
+        if provenance is None or provenance.kind != "campaign":
             raise TraceFormatError(
                 f"{path}: trace carries no campaign cell identity in its "
                 f"header meta — was it written outside a campaign sweep?"
             )
         record: Dict[str, Any] = {
-            "cell_id": meta["cell_id"],
-            "params": meta["params"],
+            "cell_id": provenance.fields["cell_id"],
+            "params": provenance.fields["params"],
             "trace": name,
         }
         if footer is None:
@@ -486,8 +488,10 @@ def campaign_records_from_traces(directory: str) -> List[Dict[str, Any]]:
         else:
             record["status"] = "failed"
             record["error"] = footer.get("error", "aborted")
-        order = meta.get("cell_index")
-        entries.append((order if order is not None else meta["cell_id"], record))
+        order = provenance.fields.get("cell_index")
+        entries.append(
+            (order if order is not None else provenance.fields["cell_id"], record)
+        )
     if all(isinstance(order, int) for order, _ in entries):
         entries.sort(key=lambda item: item[0])
     else:

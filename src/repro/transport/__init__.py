@@ -1,0 +1,21 @@
+"""Transport abstraction: the seam between the middleware and its world.
+
+The checkpointing middleware (:class:`repro.simulation.node.SimulationNode`,
+its control plane, the protocols and the garbage collectors) never talks to
+the :class:`repro.simulation.engine.SimulationEngine` or the
+:class:`repro.simulation.network.Network` directly — it talks to a
+:class:`Transport`.  Two implementations exist:
+
+* :class:`SimTransport` — a thin facade over the discrete-event simulator
+  (virtual clock, in-process network).  It adds no behaviour of its own, so
+  seeded simulated executions are byte-identical to the pre-abstraction
+  stack (gated by ``tests/traceio/test_golden_traces.py``).
+* :class:`repro.live.transport.LiveTransport` — real OS processes exchanging
+  UDP datagrams on localhost, with wall-clock timers and sender-side fault
+  injection mirroring the simulator's :class:`ChannelModel` semantics.
+"""
+
+from repro.transport.base import AppMessage, TraceRecorderPort, Transport
+from repro.transport.sim import SimTransport
+
+__all__ = ["AppMessage", "SimTransport", "TraceRecorderPort", "Transport"]

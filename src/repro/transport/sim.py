@@ -1,0 +1,54 @@
+"""The simulator as a :class:`Transport`.
+
+A deliberately mechanical facade: every call forwards to exactly the engine
+or network call the pre-abstraction node made, with no added draws, no added
+events and no reordering — which is what keeps seeded simulated executions
+(and their persisted traces) byte-identical across the refactor.  The
+regression gate in ``tests/traceio/test_golden_traces.py`` pins this.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Tuple, TYPE_CHECKING
+
+from repro.transport.base import AppMessage, Transport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulation.engine import SimulationEngine
+    from repro.simulation.network import Network
+
+
+class SimTransport(Transport):
+    """Virtual clock and in-process network of one simulated run."""
+
+    def __init__(self, engine: "SimulationEngine", network: "Network") -> None:
+        self._engine = engine
+        self._network = network
+
+    @property
+    def engine(self) -> "SimulationEngine":
+        """The discrete-event engine driving this run."""
+        return self._engine
+
+    @property
+    def network(self) -> "Network":
+        """The shared in-process network."""
+        return self._network
+
+    def now(self) -> float:
+        return self._engine.now
+
+    def send_app_message(
+        self,
+        sender: int,
+        receiver: int,
+        piggyback: Tuple[int, ...],
+        payload: Any = None,
+    ) -> AppMessage:
+        return self._network.send_app_message(sender, receiver, piggyback, payload)
+
+    def send_control_message(self, sender: int, receiver: int, payload: Any) -> None:
+        self._network.send_control_message(sender, receiver, payload)
+
+    def schedule_timer(self, delay: float, callback: Callable[[], None]) -> None:
+        self._engine.schedule_after(delay, callback)

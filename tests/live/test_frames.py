@@ -1,0 +1,84 @@
+"""Wire codecs of the live backend: frames, datagrams, payload packing."""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.live.frames import (
+    MAX_FRAME,
+    decode_datagram,
+    encode_datagram,
+    encode_frame,
+    pack_payload,
+    read_frame,
+    unpack_payload,
+)
+
+
+def _reader_with(data: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    if data:
+        reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+def _read(data: bytes):
+    async def scenario():
+        return await read_frame(_reader_with(data))
+
+    return asyncio.run(scenario())
+
+
+class TestFrames:
+    def test_round_trip(self):
+        doc = {"type": "init", "peers": {"0": 1234}, "actions": [[1.5, "send", 2]]}
+        assert _read(encode_frame(doc)) == doc
+
+    def test_multiple_frames_in_sequence(self):
+        docs = [{"type": "hello", "pid": 0}, {"type": "go", "at_virtual_time": 0.0}]
+
+        async def scenario():
+            reader = _reader_with(b"".join(encode_frame(doc) for doc in docs))
+            return [await read_frame(reader) for _ in docs]
+
+        assert asyncio.run(scenario()) == docs
+
+    def test_eof_returns_none(self):
+        assert _read(b"") is None
+
+    def test_torn_frame_returns_none(self):
+        """A SIGKILL mid-write leaves a partial frame: a clean close, not an error."""
+        whole = encode_frame({"type": "final", "pid": 2})
+        assert _read(whole[: len(whole) - 3]) is None
+        assert _read(whole[:2]) is None
+
+    def test_oversized_frame_rejected(self):
+        data = struct.pack(">I", MAX_FRAME + 1) + b"x"
+        with pytest.raises(ValueError):
+            _read(data)
+
+
+class TestDatagrams:
+    def test_round_trip(self):
+        doc = {"t": "app", "m": 7, "s": 0, "r": 1, "pb": [1, 2, 3], "e": 0, "l": 9}
+        assert decode_datagram(encode_datagram(doc)) == doc
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            decode_datagram(b"\xff\x00 not json")
+
+
+class TestPayloadPacking:
+    def test_tuples_survive(self):
+        """Control payloads are pickled: tuples must NOT come back as lists."""
+        payload = {"dv": (3, 1, 4), "round": 2}
+        unpacked = unpack_payload(pack_payload(payload))
+        assert unpacked == payload
+        assert isinstance(unpacked["dv"], tuple)
+
+    def test_none_payload(self):
+        assert unpack_payload(pack_payload(None)) is None

@@ -1,0 +1,162 @@
+"""End-to-end live runs: real processes, real sockets, real SIGKILLs.
+
+The acceptance gate of the live backend: a 3-process run with message loss
+and one crash/recover produces a merged v2 trace that passes
+``verify_trace``, re-merges byte-identically from its shards, and runs
+clean under the Theorem-4 safety oracle for RDT-LGC.
+
+These tests spawn real subprocesses; each run takes roughly a second of
+wall time (duration × time_scale plus handshakes).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.live import LiveOptions, run_live
+from repro.live.merge import ordered_entries, replay_entries
+from repro.live.shard import read_shard
+from repro.simulation.failures import FailureSchedule
+from repro.simulation.network import NetworkConfig
+from repro.simulation.runner import SimulationConfig, run_simulation
+from repro.simulation.workloads import make_workload
+from repro.traceio import TraceReader, TraceWriter, verify_trace
+
+pytestmark = pytest.mark.live
+
+
+OPTIONS = LiveOptions(time_scale=0.02)
+
+
+def _config(tmp_path, **overrides):
+    defaults = dict(
+        num_processes=3,
+        duration=30.0,
+        workload=make_workload("uniform-random"),
+        protocol="fdas",
+        collector="rdt-lgc",
+        network=NetworkConfig(drop_probability=0.1),
+        failures=FailureSchedule.none(),
+        seed=0,
+        audit="safety",
+        backend="live",
+        trace_path=str(tmp_path / "live.trace.jsonl"),
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+def _remerge(live, header, out_path):
+    """Re-merge the run's shards into a second artifact, deterministically."""
+    shards = [read_shard(path) for path in live.shard_paths]
+    plans = dict(enumerate(TraceReader(live.trace_path).replay().recovery_plans))
+    writer = TraceWriter(out_path, header=header)
+    replay_entries(ordered_entries(shards), header["num_processes"], plans=plans, sink=writer)
+    writer.seal()
+
+
+def _body_records(path):
+    """The raw body record lines (everything between header and footer)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    return [line for line in lines[1:] if not line.startswith("{")]
+
+
+class TestLiveEndToEnd:
+    def test_loss_and_crash_recover(self, tmp_path):
+        """The ISSUE acceptance run: loss + one SIGKILL crash/recover."""
+        config = _config(tmp_path, failures=FailureSchedule.of([(12.0, 1)]))
+        live = run_live(config, OPTIONS)
+        result = live.result
+
+        # One real recovery session happened and was recorded.
+        assert len(result.recoveries) == 1
+        recovery = result.recoveries[0]
+        assert recovery.faulty == (1,)
+        assert recovery.rolled_back_processes >= 1
+
+        # The merged artifact satisfies every v2 invariant.
+        assert verify_trace(live.trace_path) == []
+
+        # It replays: the recovery session comes back as a RollbackPlan.
+        replayed = TraceReader(live.trace_path).replay()
+        assert len(replayed.recovery_plans) == 1
+        assert tuple(replayed.recovery_plans[0].faulty) == (1,)
+        assert replayed.metrics == result.metrics_dict()
+
+        # Theorem-4 safety oracle: no eliminated checkpoint was needed.
+        assert result.audits and result.all_audits_safe
+
+        # The merge is a pure function of shards + plans: re-merging
+        # reproduces the artifact's body byte for byte.
+        second = str(tmp_path / "remerged.trace.jsonl")
+        _remerge(live, replayed.header, second)
+        assert _body_records(second) == _body_records(live.trace_path)
+
+        # The crashed worker has two incarnations on disk; its first shard
+        # has no footer (SIGKILL) yet contributed everything it recorded.
+        shards = [read_shard(path) for path in live.shard_paths]
+        assert len(shards) == 4
+        killed = [s for s in shards if s.pid == 1 and not s.complete]
+        assert len(killed) == 1
+        assert killed[0].entries
+
+    def test_clean_run_verifies_and_audits(self, tmp_path):
+        config = _config(tmp_path, duration=20.0)
+        live = run_live(config, OPTIONS)
+        result = live.result
+        assert result.messages_sent > 0
+        assert result.messages_delivered > 0
+        assert result.recoveries == []
+        assert verify_trace(live.trace_path) == []
+        assert result.audits and result.all_audits_safe
+        # Real loss happened (drop_probability=0.1 over dozens of sends) and
+        # the books balance: every send was delivered, dropped, or in flight
+        # at the stop barrier.
+        assert result.messages_delivered + result.messages_dropped <= result.messages_sent
+
+    def test_run_simulation_dispatches_live_backend(self, tmp_path):
+        config = _config(tmp_path, duration=15.0, network=NetworkConfig())
+        result = run_simulation(config)
+        assert result.config.backend == "live"
+        assert result.messages_delivered > 0
+
+    def test_coordinated_collector_over_real_control_plane(self, tmp_path):
+        """Control rounds (reliable UDP control datagrams) collect garbage."""
+        config = _config(
+            tmp_path,
+            collector="wang-coordinated",
+            collector_options={"period": 8.0},
+            network=NetworkConfig(drop_probability=0.05),
+        )
+        result = run_live(config, OPTIONS).result
+        assert result.control_messages > 0
+        assert result.total_collected > 0
+        assert result.all_audits_safe
+
+    def test_provenance_identifies_live_run(self, tmp_path):
+        from repro.traceio.format import RunProvenance
+
+        config = _config(tmp_path, duration=15.0)
+        live = run_live(config, OPTIONS)
+        header = TraceReader(live.trace_path).header()
+        assert header["backend"] == "live"
+        provenance = RunProvenance.from_meta(header["meta"])
+        assert provenance is not None and provenance.kind == "live"
+        assert provenance.fields["processes"] == 3
+
+    def test_campaign_meta_keeps_campaign_shape(self, tmp_path):
+        """A traced live campaign cell must still parse as campaign provenance."""
+        from repro.traceio.format import RunProvenance
+
+        meta = RunProvenance.campaign_cell(
+            campaign="c", cell_id="deadbeef", params={"collector": "rdt-lgc"}
+        ).to_meta()
+        config = dataclasses.replace(_config(tmp_path, duration=15.0), trace_meta=meta)
+        live = run_live(config, OPTIONS)
+        header = TraceReader(live.trace_path).header()
+        provenance = RunProvenance.from_meta(header["meta"])
+        assert provenance is not None and provenance.kind == "campaign"
+        assert header["meta"]["live_backend"]["processes"] == 3

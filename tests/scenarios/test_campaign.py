@@ -171,6 +171,63 @@ class TestCellIdentity:
         assert len(config.failures) == 1
 
 
+class TestBackendAxis:
+    """Execution backends are a grid axis; `sim` cells keep their identity."""
+
+    def test_backends_axis_expands_and_materialises(self):
+        spec = CampaignSpec(
+            name="both-backends",
+            num_processes=3,
+            duration=25.0,
+            collectors=(CollectorSpec.of("rdt-lgc"),),
+            workloads=(WorkloadSpec.of("uniform-random"),),
+            backends=("sim", "live"),
+        )
+        assert spec.cell_count == 2
+        sim_cell, live_cell = spec.cells()
+        assert sim_cell.backend == "sim"
+        assert live_cell.backend == "live"
+        assert live_cell.config().backend == "live"
+
+    def test_sim_cells_keep_their_pre_backend_identity(self):
+        """`backend` hashes into the cell_id only when non-default, so every
+        pre-existing sim study keeps its cell ids (and therefore seeds)."""
+        spec = CampaignSpec(
+            name="both-backends",
+            num_processes=3,
+            duration=25.0,
+            collectors=(CollectorSpec.of("rdt-lgc"),),
+            workloads=(WorkloadSpec.of("uniform-random"),),
+            backends=("sim", "live"),
+        )
+        sim_cell, live_cell = spec.cells()
+        assert "backend" not in sim_cell.params()
+        assert live_cell.params()["backend"] == "live"
+        assert sim_cell.cell_id != live_cell.cell_id
+        # The stable part: a sim-only spec and the sim half of a mixed spec
+        # produce the same id for the same parameters.
+        sim_only = CampaignSpec(
+            name="both-backends",
+            num_processes=3,
+            duration=25.0,
+            collectors=(CollectorSpec.of("rdt-lgc"),),
+            workloads=(WorkloadSpec.of("uniform-random"),),
+        ).cells()[0]
+        assert sim_cell.cell_id == sim_only.cell_id
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backends"):
+            CampaignSpec(name="x", backends=("sim", "emulated"))
+
+    def test_backends_from_mapping(self):
+        spec = spec_from_mapping(
+            {"name": "x", "collectors": ["rdt-lgc"], "backends": ["sim", "live"]}
+        )
+        assert spec.backends == ("sim", "live")
+        with pytest.raises(ValueError, match="must be a list"):
+            spec_from_mapping({"name": "x", "backends": "live"})
+
+
 class TestFaultModelAxes:
     """Fault models are first-class grid axes, hashed into cell identities."""
 
