@@ -1,0 +1,11 @@
+"""``python -m repro`` — the unified command-line façade.
+
+Thin launcher for :mod:`repro.cli`; see that module (or
+``python -m repro --help``) for the subcommands, shared flags and exit-code
+semantics.
+"""
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,10 +1,18 @@
-"""``python -m repro.campaign`` — run experiment campaigns from the shell.
+"""``python -m repro.campaign`` — deprecated alias of ``python -m repro campaign``.
 
-Thin launcher for :mod:`repro.scenarios.campaign.cli`; see that module (or
-``python -m repro.campaign --help``) for the flags.
+Thin launcher for :mod:`repro.scenarios.campaign.cli`; the unified
+``python -m repro`` façade is the canonical spelling.  Importing
+:func:`main` from here remains supported and warning-free.
 """
 
 from repro.scenarios.campaign.cli import main
 
 if __name__ == "__main__":
+    import sys
+
+    print(
+        "deprecated: `python -m repro.campaign` is now `python -m repro "
+        "campaign` (this alias keeps working)",
+        file=sys.stderr,
+    )
     raise SystemExit(main())

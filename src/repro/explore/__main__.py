@@ -1,6 +1,13 @@
-"""``python -m repro.explore`` entry point."""
+"""``python -m repro.explore`` — deprecated alias of ``python -m repro explore``."""
 
 from repro.explore.cli import main
 
 if __name__ == "__main__":
+    import sys
+
+    print(
+        "deprecated: `python -m repro.explore` is now `python -m repro "
+        "explore` (this alias keeps working)",
+        file=sys.stderr,
+    )
     raise SystemExit(main())

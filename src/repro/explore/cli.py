@@ -215,7 +215,7 @@ def _add_exploration_knobs(parser: argparse.ArgumentParser) -> None:
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        prog="python -m repro.explore",
+        prog="python -m repro explore",
         description=(
             "Systematically explore message-delivery interleavings of small "
             "configurations against the paper's theorem oracles."

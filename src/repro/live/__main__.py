@@ -1,7 +1,13 @@
-"""``python -m repro.live`` — run the live backend CLI."""
+"""``python -m repro.live`` — deprecated alias of ``python -m repro live``."""
 
 import sys
 
 from repro.live.cli import main
 
-sys.exit(main())
+if __name__ == "__main__":
+    print(
+        "deprecated: `python -m repro.live` is now `python -m repro live` "
+        "(this alias keeps working)",
+        file=sys.stderr,
+    )
+    sys.exit(main())

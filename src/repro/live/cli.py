@@ -40,7 +40,7 @@ def _parse_crash(value: str) -> Tuple[float, int]:
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="python -m repro.live",
+        prog="python -m repro live",
         description="Run one checkpointing/GC experiment on real OS processes",
     )
     parser.add_argument("--processes", type=int, default=3, help="number of processes")

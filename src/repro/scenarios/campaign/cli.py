@@ -2,16 +2,29 @@
 
 Run the paper's collector-comparison grid end to end on a worker pool::
 
-    python -m repro.campaign --workers 8 --store results/paper.jsonl
+    python -m repro campaign --workers 8 --store results/paper.sqlite
 
 Resume after an interruption (completed cells are skipped)::
 
-    python -m repro.campaign --workers 8 --store results/paper.jsonl
+    python -m repro campaign --workers 8 --store results/paper.sqlite
+
+Run as one claim/lease worker of a distributed fabric — start any number of
+these, on one machine or several pointed at a shared directory, against the
+same SQL store; each cell is executed exactly once::
+
+    python -m repro campaign --worker --store shared/sweep.sqlite \\
+        --traces shared/traces
+
+Shard deterministically for CI matrices (shard k of n runs the cells whose
+expansion index is k mod n, into its own store; merge the shard stores with
+``python -m repro query merge`` and reduce with ``repro query aggregate``)::
+
+    python -m repro campaign --shard 0/2 --store shard0.sqlite
 
 Run a custom sweep described in JSON (see
 :func:`repro.scenarios.campaign.spec.spec_from_mapping` for the schema)::
 
-    python -m repro.campaign --spec my_sweep.json --out results/
+    python -m repro campaign --spec my_sweep.json --out results/
 
 Network fault models and crash-recovery churn are grid axes of the JSON
 schema: ``networks`` entries may carry a ``channel`` (e.g.
@@ -33,11 +46,26 @@ import json
 import os
 import sys
 import time
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.scenarios.campaign.aggregate import aggregate_campaign
-from repro.scenarios.campaign.executor import run_campaign
+from repro.scenarios.campaign.executor import run_campaign, run_worker
 from repro.scenarios.campaign.spec import CampaignSpec, spec_from_mapping
+
+
+def _parse_shard(value: str) -> Tuple[int, int]:
+    try:
+        shard_text, count_text = value.split("/", 1)
+        shard, count = int(shard_text), int(count_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"shard must look like K/N (e.g. 0/2), got {value!r}"
+        ) from None
+    if not 0 <= shard < count:
+        raise argparse.ArgumentTypeError(
+            f"shard must satisfy 0 <= K < N, got {value!r}"
+        )
+    return (shard, count)
 
 
 def _load_spec(args: argparse.Namespace, parser: argparse.ArgumentParser) -> CampaignSpec:
@@ -56,8 +84,11 @@ def _load_spec(args: argparse.Namespace, parser: argparse.ArgumentParser) -> Cam
                     f"{flag} shapes the default grid and cannot be combined "
                     f"with --spec (set it in the JSON spec instead)"
                 )
-        with open(args.spec, "r", encoding="utf-8") as handle:
-            return spec_from_mapping(json.load(handle))
+        try:
+            with open(args.spec, "r", encoding="utf-8") as handle:
+                return spec_from_mapping(json.load(handle))
+        except (OSError, ValueError) as exc:
+            parser.error(f"--spec {args.spec}: {exc}")
     from repro.scenarios.experiments import paper_campaign_spec
 
     return paper_campaign_spec(
@@ -70,7 +101,7 @@ def _load_spec(args: argparse.Namespace, parser: argparse.ArgumentParser) -> Cam
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        prog="python -m repro.campaign",
+        prog="python -m repro campaign",
         description="Expand, execute and aggregate an experiment campaign.",
     )
     parser.add_argument(
@@ -100,11 +131,40 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--store", default=None,
-        help="JSONL result store; an existing store makes the run resume",
+        help="result store; .jsonl is the legacy line store, .sqlite the "
+             "canonical SQL store.  An existing store makes the run resume",
     )
     parser.add_argument(
         "--retry-failed", action="store_true",
         help="re-execute cells the store recorded as failed (transient causes)",
+    )
+    parser.add_argument(
+        "--shard", type=_parse_shard, default=None, metavar="K/N",
+        help="run only the cells whose expansion index is K mod N "
+             "(deterministic CI-matrix sharding)",
+    )
+    parser.add_argument(
+        "--worker", action="store_true",
+        help="run as one claim/lease fabric worker against --store (SQL "
+             "store required); start any number of these on a shared store",
+    )
+    parser.add_argument(
+        "--worker-id", default=None,
+        help="worker identity for lease provenance (default: host:pid)",
+    )
+    parser.add_argument(
+        "--lease", type=float, default=None, metavar="SECONDS",
+        help="lease duration per claimed cell (worker mode; default 900). "
+             "Must exceed the slowest cell's wall time",
+    )
+    parser.add_argument(
+        "--wait", action="store_true",
+        help="worker mode: poll until in-flight leases held by other "
+             "workers resolve instead of exiting once nothing is claimable",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the aggregate as JSON on stdout instead of tables",
     )
     parser.add_argument(
         "--traces", default=None,
@@ -155,6 +215,38 @@ def main(argv: Optional[List[str]] = None) -> int:
         if not args.quiet:
             print(f"\r{spec.name}: {done}/{total} cells", end="", file=sys.stderr, flush=True)
 
+    if args.worker:
+        if not args.store:
+            parser.error("--worker needs --store (a shared SQL result store)")
+        if args.store.endswith(".jsonl"):
+            parser.error("--worker needs a SQL store (.sqlite), not JSONL")
+        started = time.perf_counter()
+        worker_run = run_worker(
+            spec,
+            args.store,
+            worker=args.worker_id,
+            lease_duration=args.lease if args.lease is not None else 900.0,
+            trace_dir=args.traces,
+            progress=progress,
+            shard=args.shard,
+            wait=args.wait,
+        )
+        elapsed = time.perf_counter() - started
+        if not args.quiet:
+            print(file=sys.stderr)
+        print(
+            f"worker {worker_run.worker}: {worker_run.executed} cell(s) executed "
+            f"({worker_run.failed} failed, {worker_run.stale} stale) in "
+            f"{elapsed:.1f}s; {worker_run.remaining} still in flight elsewhere"
+        )
+        print(
+            f"reduce with: python -m repro query aggregate --store {args.store}"
+        )
+        return 1 if worker_run.failed else 0
+
+    if args.lease is not None or args.wait or args.worker_id:
+        parser.error("--lease/--wait/--worker-id only apply to --worker mode")
+
     started = time.perf_counter()
     run = run_campaign(
         spec,
@@ -163,10 +255,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         progress=progress,
         retry_failed=args.retry_failed,
         trace_dir=args.traces,
+        shard=args.shard,
     )
     elapsed = time.perf_counter() - started
     if not args.quiet:
         print(file=sys.stderr)
+    if run.executed == 0 and run.skipped:
+        # The short-circuit path: everything was already in the store — no
+        # pool was created and the store saw no writes.
+        print(
+            f"{run.skipped} cell(s) already complete — skipped "
+            f"(store untouched)",
+            file=sys.stderr,
+        )
 
     # Report failures before aggregating: if every cell failed, the per-cell
     # errors below are the only diagnostic the user gets.
@@ -191,17 +292,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1
 
     summary = aggregate_campaign(run.records, group_by=group_by)
-    for _, table in summary.tables_by(group_by[0]) if len(group_by) > 1 else [
-        (None, summary.table())
-    ]:
-        print(table.render())
-        print()
+    if args.json:
+        print(summary.to_json())
+    else:
+        for _, table in summary.tables_by(group_by[0]) if len(group_by) > 1 else [
+            (None, summary.table())
+        ]:
+            print(table.render())
+            print()
+    # In --json mode stdout carries only the JSON document; the run summary
+    # moves to stderr so pipelines can parse the output directly.
+    chatter = sys.stderr if args.json else sys.stdout
     print(
         f"{run.cell_count} cells ({run.executed} executed, {run.resumed} resumed "
-        f"from store) in {elapsed:.1f}s with {max(args.workers, 1)} worker(s)"
+        f"from store) in {elapsed:.1f}s with {max(args.workers, 1)} worker(s)",
+        file=chatter,
     )
     if args.traces:
-        print(f"replayable traces in {args.traces}")
+        print(f"replayable traces in {args.traces}", file=chatter)
 
     if args.out:
         os.makedirs(args.out, exist_ok=True)
@@ -211,5 +319,5 @@ def main(argv: Optional[List[str]] = None) -> int:
             handle.write(summary.to_csv())
         with open(json_path, "w", encoding="utf-8") as handle:
             handle.write(summary.to_json())
-        print(f"aggregates written to {csv_path} and {json_path}")
+        print(f"aggregates written to {csv_path} and {json_path}", file=chatter)
     return 0

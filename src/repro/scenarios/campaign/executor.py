@@ -12,11 +12,17 @@ from __future__ import annotations
 import dataclasses
 import multiprocessing
 import os
+import socket
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.scenarios.campaign.spec import CampaignCell, CampaignSpec
-from repro.scenarios.campaign.store import CampaignStore
+from repro.scenarios.campaign.sqlstore import (
+    DEFAULT_LEASE,
+    SQLResultStore,
+    open_store,
+)
 from repro.simulation.runner import SimulationResult, run_simulation
 
 #: The scalar metrics persisted per cell, in extraction order.  The values
@@ -54,6 +60,8 @@ def execute_cell(
     cell: CampaignCell,
     trace_dir: Optional[str] = None,
     cell_index: Optional[int] = None,
+    worker: Optional[str] = None,
+    attempt: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Run one cell and return its store record (module-level: pool-picklable).
 
@@ -69,10 +77,12 @@ def execute_cell(
     With ``trace_dir`` the cell's run streams a replayable
     :mod:`repro.traceio` artifact to ``<trace_dir>/<cell_id>.trace.jsonl``;
     the trace header carries the cell identity, canonical parameters and
-    grid-expansion index, so the sweep can later be re-aggregated (or
-    re-audited event by event) from the artifacts alone.  Trace persistence
-    never changes the simulation itself: cell identity and seeds are derived
-    from the cell parameters only.
+    grid-expansion index — plus, for cells executed under a lease by a
+    fabric worker, the worker identity and attempt number — so the sweep can
+    later be re-aggregated (or re-audited event by event) from the artifacts
+    alone.  Trace persistence never changes the simulation itself: cell
+    identity and seeds are derived from the cell parameters only, and the
+    shard/lease provenance lives outside the identity fields.
     """
     config = cell.config()
     record: Dict[str, Any] = {"cell_id": cell.cell_id, "params": cell.params()}
@@ -84,6 +94,8 @@ def execute_cell(
             cell_id=cell.cell_id,
             params=cell.params(),
             cell_index=cell_index,
+            worker=worker,
+            attempt=attempt,
         )
         config = dataclasses.replace(
             config,
@@ -129,6 +141,16 @@ class CampaignRun:
         return len(self.records)
 
     @property
+    def skipped(self) -> int:
+        """Cells *not* executed because the store already held their result.
+
+        The complement of ``executed``; a fully warm store short-circuits
+        the whole run (``skipped == cell_count``) without creating a pool or
+        touching the store.
+        """
+        return self.resumed
+
+    @property
     def failed_records(self) -> List[Dict[str, Any]]:
         """The cells whose simulation raised (recorded, never re-run)."""
         return [r for r in self.records if r.get("status") == "failed"]
@@ -142,26 +164,42 @@ def run_campaign(
     progress: Optional[Callable[[int, int], None]] = None,
     retry_failed: bool = False,
     trace_dir: Optional[str] = None,
+    shard: Optional[Tuple[int, int]] = None,
 ) -> CampaignRun:
     """Execute every cell of ``spec`` and return the full result set.
 
-    ``store_path`` — when given, completed cells stream to a JSONL
-    :class:`CampaignStore`; cells already in the store are *not* re-executed
-    (resume semantics).  ``workers`` — number of pool processes; ``<= 1``
-    runs serially in-process.  ``progress(done, total)`` is invoked after
-    every completed cell.  ``retry_failed`` — re-execute cells the store
-    recorded as failed: the simulation is deterministic, so by default a
-    failure is final, but a transient cause (out-of-memory worker, a since-
-    fixed bug) warrants a retry pass.  ``trace_dir`` — when given, every
-    *executed* cell additionally persists a replayable :mod:`repro.traceio`
-    artifact there (cells resumed from the store keep whatever trace their
-    original execution left).
+    ``store_path`` — when given, completed cells stream to a result store
+    and cells already in the store are *not* re-executed (resume semantics).
+    The path's extension picks the backend (see
+    :func:`~repro.scenarios.campaign.sqlstore.open_store`): ``.jsonl`` is
+    the legacy line store, anything else the canonical SQL store.
+    ``workers`` — number of pool processes; ``<= 1`` runs serially
+    in-process.  ``progress(done, total)`` is invoked after every completed
+    cell.  ``retry_failed`` — re-execute cells the store recorded as failed:
+    the simulation is deterministic, so by default a failure is final, but a
+    transient cause (out-of-memory worker, a since-fixed bug) warrants a
+    retry pass.  ``trace_dir`` — when given, every *executed* cell
+    additionally persists a replayable :mod:`repro.traceio` artifact there
+    (cells resumed from the store keep whatever trace their original
+    execution left).  ``shard=(k, n)`` restricts the run to the cells whose
+    expansion index is ``k`` modulo ``n`` — the CI-matrix spelling of
+    distribution; the claim/lease spelling is :func:`run_worker`.
+
+    A run whose cells are all already complete short-circuits: no worker
+    pool is created, no trace directory materialises and the store sees no
+    writes — the records are simply read back, and the summary reports them
+    as ``skipped``.
 
     The returned records are in grid-expansion order regardless of the order
     cells actually completed in, so downstream aggregation is deterministic.
     """
-    cells = spec.cells()
-    store = CampaignStore(store_path) if store_path else None
+    expanded = spec.cells()
+    cells = list(enumerate(expanded))
+    if shard is not None:
+        if not (0 <= shard[0] < shard[1]):
+            raise ValueError(f"shard must be (k, n) with 0 <= k < n, got {shard}")
+        cells = [(index, cell) for index, cell in cells if index % shard[1] == shard[0]]
+    store = open_store(store_path) if store_path else None
     completed: Dict[str, Dict[str, Any]] = store.load() if store else {}
     if retry_failed:
         completed = {
@@ -169,14 +207,34 @@ def run_campaign(
             for cell_id, record in completed.items()
             if record.get("status", "ok") == "ok"
         }
-    if trace_dir is not None:
-        os.makedirs(trace_dir, exist_ok=True)
+        if isinstance(store, SQLResultStore):
+            store.reset_failed()
     pending = [
         (cell, trace_dir, index)
-        for index, cell in enumerate(cells)
+        for index, cell in cells
         if cell.cell_id not in completed
     ]
     done = len(cells) - len(pending)
+    if not pending:
+        # Short-circuit: everything is already in the store.  Deliberately
+        # *before* pool creation and trace-directory setup so a warm re-run
+        # has no side effects whatsoever.
+        if progress and done:
+            progress(done, len(cells))
+        return CampaignRun(
+            spec=spec,
+            records=[completed[cell.cell_id] for _, cell in cells],
+            executed=0,
+            resumed=len(cells),
+        )
+    if isinstance(store, SQLResultStore):
+        # Register the grid (with expansion indices) before executing, so
+        # records read back from the store keep grid order — the byte-identity
+        # invariant.  After the short-circuit on purpose: a warm re-run must
+        # not touch the store at all.
+        store.enqueue(expanded, shard=shard)
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
     if progress and done:
         progress(done, len(cells))
 
@@ -198,7 +256,138 @@ def run_campaign(
                 _finish(record)
     return CampaignRun(
         spec=spec,
-        records=[completed[cell.cell_id] for cell in cells],
+        records=[completed[cell.cell_id] for _, cell in cells],
         executed=len(pending),
         resumed=len(cells) - len(pending),
     )
+
+
+# ----------------------------------------------------------------------
+# Claim/lease workers (the distributed fabric)
+# ----------------------------------------------------------------------
+def default_worker_id() -> str:
+    """The default worker identity: ``host:pid``."""
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+@dataclass
+class WorkerRun:
+    """The outcome of one :func:`run_worker` claim loop."""
+
+    worker: str
+    executed: int
+    failed: int
+    stale: int
+    remaining: int
+
+    @property
+    def drained(self) -> bool:
+        """True if the queue had nothing claimable or in flight on exit."""
+        return self.remaining == 0
+
+
+def run_worker(
+    spec: CampaignSpec,
+    store_path: str,
+    *,
+    worker: Optional[str] = None,
+    lease_duration: float = DEFAULT_LEASE,
+    batch_size: int = 1,
+    trace_dir: Optional[str] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+    shard: Optional[Tuple[int, int]] = None,
+    wait: bool = False,
+    poll_interval: float = 0.5,
+    max_cells: Optional[int] = None,
+) -> WorkerRun:
+    """Claim-and-execute cells of ``spec`` until the queue drains.
+
+    The distributed spelling of :func:`run_campaign`: any number of worker
+    processes — on one machine or several pointed at a shared directory —
+    run this loop against the same SQL store.  Each iteration atomically
+    leases up to ``batch_size`` claimable cells (pending, or expired leases
+    left behind by killed workers), executes them, and pushes the result
+    rows (plus trace artifacts when ``trace_dir`` is given, their headers
+    carrying the worker/attempt lease provenance).  Because cells are
+    content-addressed and self-seeded, *which* worker runs a cell never
+    changes its result row.
+
+    Exit condition: nothing claimable.  With ``wait=False`` (default) the
+    worker then returns even if other workers still hold live leases — the
+    reducer checks completeness.  With ``wait=True`` it polls every
+    ``poll_interval`` seconds until in-flight leases resolve, so the last
+    surviving worker also finishes cells reclaimed from killed peers.
+
+    ``lease_duration`` must comfortably exceed the slowest cell's wall time;
+    an in-flight lease that expires lets another worker re-run the cell
+    (correct but wasteful), and the late completion is refused as stale.
+    """
+    store = open_store(store_path)
+    if not isinstance(store, SQLResultStore):
+        raise ValueError(
+            "claim-based workers need a SQL result store "
+            "(.sqlite/.sqlite3/.db path), not a JSONL store"
+        )
+    identity = worker if worker is not None else default_worker_id()
+    cells = spec.cells()
+    store.enqueue(cells, shard=shard)
+    by_id = {cell.cell_id: (index, cell) for index, cell in enumerate(cells)}
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
+    total = len(cells) if shard is None else len(
+        [i for i in range(len(cells)) if i % shard[1] == shard[0]]
+    )
+    executed = failed = stale = 0
+    while True:
+        claims = store.claim(
+            worker=identity,
+            limit=batch_size,
+            lease_duration=lease_duration,
+            shard=shard,
+        )
+        if not claims:
+            claimable, inflight = store.remaining()
+            if claimable:
+                continue  # raced another worker; try again
+            if inflight and wait:
+                time.sleep(poll_interval)
+                continue
+            return WorkerRun(
+                worker=identity,
+                executed=executed,
+                failed=failed,
+                stale=stale,
+                remaining=inflight,
+            )
+        for claim in claims:
+            if claim.cell_id not in by_id:
+                raise ValueError(
+                    f"store {store_path!r} holds cell {claim.cell_id} that is "
+                    f"not in campaign {spec.name!r} — one store per campaign"
+                )
+            index, cell = by_id[claim.cell_id]
+            record = execute_cell(
+                cell,
+                trace_dir=trace_dir,
+                cell_index=index,
+                worker=identity,
+                attempt=claim.attempt,
+            )
+            if store.complete(record, worker=identity, attempt=claim.attempt):
+                executed += 1
+                if record.get("status") == "failed":
+                    failed += 1
+            else:
+                stale += 1
+            if progress:
+                counts = store.status_counts()
+                progress(counts.get("ok", 0) + counts.get("failed", 0), total)
+            if max_cells is not None and executed >= max_cells:
+                _, inflight = store.remaining()
+                return WorkerRun(
+                    worker=identity,
+                    executed=executed,
+                    failed=failed,
+                    stale=stale,
+                    remaining=inflight,
+                )

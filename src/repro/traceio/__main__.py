@@ -1,10 +1,17 @@
-"""``python -m repro.traceio`` — trace capture/replay from the shell.
+"""``python -m repro.traceio`` — deprecated alias of ``python -m repro trace``.
 
-Thin launcher for :mod:`repro.traceio.cli`; see that module (or
-``python -m repro.traceio --help``) for the subcommands.
+Thin launcher for :mod:`repro.traceio.cli`; the unified ``python -m repro``
+façade is the canonical spelling.
 """
 
 from repro.traceio.cli import main
 
 if __name__ == "__main__":
+    import sys
+
+    print(
+        "deprecated: `python -m repro.traceio` is now `python -m repro "
+        "trace` (this alias keeps working)",
+        file=sys.stderr,
+    )
     raise SystemExit(main())

@@ -297,7 +297,7 @@ def _cmd_diff(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        prog="python -m repro.traceio",
+        prog="python -m repro trace",
         description="Record, replay, inspect and diff persisted simulation traces.",
     )
     commands = parser.add_subparsers(dest="command", required=True)

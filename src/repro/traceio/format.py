@@ -145,8 +145,18 @@ class RunProvenance:
         cell_id: str,
         params: Mapping[str, Any],
         cell_index: Optional[int] = None,
+        worker: Optional[str] = None,
+        attempt: Optional[int] = None,
     ) -> "RunProvenance":
-        """Identity of one campaign grid cell."""
+        """Identity of one campaign grid cell.
+
+        ``worker``/``attempt`` carry the fabric's shard/lease provenance —
+        which claimer executed the cell and on which attempt.  They are
+        recorded only when present, so artifacts from unleased (classic
+        pool) sweeps are byte-identical to the pre-fabric encoding, and they
+        never participate in cell identity: a cell re-run after a lease
+        expiry differs from the original artifact only here.
+        """
         fields: Dict[str, Any] = {
             "campaign": campaign,
             "cell_id": cell_id,
@@ -154,6 +164,10 @@ class RunProvenance:
         }
         if cell_index is not None:
             fields["cell_index"] = cell_index
+        if worker is not None:
+            fields["worker"] = worker
+        if attempt is not None:
+            fields["attempt"] = attempt
         return cls("campaign", fields)
 
     @classmethod

@@ -1,0 +1,150 @@
+"""Tests for the unified ``python -m repro`` façade and the query CLI."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.query_cli import main as query_main
+from repro.scenarios.campaign import run_campaign, spec_from_mapping
+
+SPEC_DOCUMENT = {
+    "name": "cli-facade",
+    "num_processes": 3,
+    "duration": 10.0,
+    "collectors": ["rdt-lgc", "none"],
+    "workloads": ["ring"],
+    "failure_counts": [0],
+    "seeds": 1,
+}
+
+
+@pytest.fixture
+def store(tmp_path):
+    path = str(tmp_path / "sweep.sqlite")
+    run_campaign(spec_from_mapping(SPEC_DOCUMENT), store_path=path)
+    return path
+
+
+class TestDispatcher:
+    def test_help_lists_every_subcommand(self, capsys):
+        assert repro_main(["--help"]) == 0
+        out = capsys.readouterr().out
+        for name in ("campaign", "trace", "explore", "live", "query"):
+            assert name in out
+
+    def test_no_arguments_prints_usage(self, capsys):
+        assert repro_main([]) == 0
+        assert "usage: python -m repro" in capsys.readouterr().out
+
+    def test_unknown_command_is_a_usage_error(self, capsys):
+        assert repro_main(["destroy"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown command" in err
+
+    def test_campaign_dispatch(self, capsys, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(SPEC_DOCUMENT))
+        assert repro_main(["campaign", "--spec", str(spec_path), "--dry-run"]) == 0
+        assert "2 cells" in capsys.readouterr().out
+
+    def test_query_dispatch(self, capsys):
+        assert repro_main(["query", "list"]) == 0
+        assert "retained-winner" in capsys.readouterr().out
+
+
+class TestQueryCli:
+    def test_status(self, store, capsys):
+        assert query_main(["status", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "'ok': 2" in out
+
+    def test_status_json(self, store, capsys):
+        assert query_main(["status", "--store", store, "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["by_status"] == {"ok": 2}
+        assert document["claimable"] == 0
+
+    def test_canned_query_renders_rows(self, store, capsys):
+        assert query_main(["retained-winner", "--store", store]) == 0
+        assert "rdt-lgc" in capsys.readouterr().out
+
+    def test_canned_query_json_and_params(self, store, capsys):
+        assert query_main([
+            "collector-table", "--store", store,
+            "--param", "metric=final_retained", "--json",
+        ]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 2
+
+    def test_bad_param_is_usage_error(self, store, capsys):
+        assert query_main([
+            "retained-winner", "--store", store, "--param", "metrik=x",
+        ]) == 2
+        assert "accepted" in capsys.readouterr().err
+
+    def test_aggregate_writes_documents(self, store, tmp_path, capsys):
+        out_dir = tmp_path / "out"
+        assert query_main([
+            "aggregate", "--store", store, "--out", str(out_dir), "--json",
+        ]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["campaign"] == "cli-facade"
+        assert (out_dir / "cli-facade.csv").exists()
+        assert (out_dir / "cli-facade.json").exists()
+
+    def test_merge_folds_shards(self, tmp_path, capsys):
+        spec = spec_from_mapping(SPEC_DOCUMENT)
+        for shard in range(2):
+            run_campaign(
+                spec,
+                store_path=str(tmp_path / f"shard{shard}.sqlite"),
+                shard=(shard, 2),
+            )
+        merged = str(tmp_path / "merged.sqlite")
+        assert query_main([
+            "merge", "--store", merged,
+            str(tmp_path / "shard0.sqlite"), str(tmp_path / "shard1.sqlite"),
+        ]) == 0
+        assert query_main(["aggregate", "--store", merged]) == 0
+
+    def test_merge_missing_source_is_usage_error(self, tmp_path):
+        assert query_main([
+            "merge", "--store", str(tmp_path / "m.sqlite"),
+            str(tmp_path / "ghost.sqlite"),
+        ]) == 2
+
+
+class TestDeprecatedAliases:
+    """The historical spellings keep working and say where to go."""
+
+    @pytest.mark.parametrize(
+        "module",
+        ["repro.campaign", "repro.traceio", "repro.explore", "repro.live"],
+    )
+    def test_alias_warns_once_and_still_works(self, module):
+        result = subprocess.run(
+            [sys.executable, "-m", module, "--help"],
+            capture_output=True,
+            text=True,
+            env={**os.environ, "PYTHONPATH": os.pathsep.join(sys.path)},
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert "deprecated" in result.stderr
+        assert "python -m repro " in result.stderr
+        assert "usage" in result.stdout.lower()
+
+    def test_unified_spelling_does_not_warn(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "query", "list"],
+            capture_output=True,
+            text=True,
+            env={**os.environ, "PYTHONPATH": os.pathsep.join(sys.path)},
+            timeout=120,
+        )
+        assert result.returncode == 0
+        assert "deprecated" not in result.stderr

@@ -1,0 +1,241 @@
+"""Tests for the distributed campaign fabric: racing workers, SIGKILL, resume.
+
+These are the acceptance properties of the claim/lease work-queue: two
+executor processes racing on the same store never double-run a cell, a
+worker killed mid-lease leaves a reclaimable cell whose re-run produces a
+byte-identical result row, and a warm re-run of a completed sweep
+short-circuits without touching the store.
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+import time
+from collections import Counter
+
+import pytest
+
+import repro.scenarios.campaign.executor as executor_module
+from repro.scenarios.campaign import (
+    CampaignSpec,
+    CollectorSpec,
+    SQLResultStore,
+    WorkloadSpec,
+    aggregate_campaign,
+    run_campaign,
+    run_worker,
+    spec_from_mapping,
+)
+from repro.scenarios.campaign.executor import execute_cell
+
+#: One small grid, used by every test here so serial references are cheap.
+SPEC_DOCUMENT = {
+    "name": "fabric",
+    "num_processes": 3,
+    "duration": 15.0,
+    "collectors": ["rdt-lgc", "none"],
+    "workloads": ["uniform-random"],
+    "failure_counts": [0, 1],
+    "seeds": 2,
+}
+
+
+def fabric_spec() -> CampaignSpec:
+    return spec_from_mapping(SPEC_DOCUMENT)
+
+
+def _worker_process(store_path: str, worker_name: str) -> None:
+    """Subprocess entry: drain the shared queue as one fabric worker."""
+    run_worker(
+        fabric_spec(),
+        store_path,
+        worker=worker_name,
+        wait=True,
+        poll_interval=0.05,
+    )
+
+
+def _claim_then_die(store_path: str) -> None:
+    """Subprocess entry: lease one cell, then die without completing it."""
+    store = SQLResultStore(store_path)
+    store.enqueue(fabric_spec().cells())
+    store.claim(worker="victim", limit=1, lease_duration=60.0)
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+class TestRacingWorkers:
+    def test_two_processes_never_double_run_a_cell(self, tmp_path):
+        spec = fabric_spec()
+        store_path = str(tmp_path / "shared.sqlite")
+        workers = [
+            multiprocessing.Process(
+                target=_worker_process, args=(store_path, f"racer-{i}")
+            )
+            for i in range(2)
+        ]
+        for process in workers:
+            process.start()
+        for process in workers:
+            process.join(timeout=300)
+            assert process.exitcode == 0
+        store = SQLResultStore(store_path)
+        assert store.status_counts() == {"ok": spec.cell_count}
+        # The lease journal is the ground truth of who executed what: a
+        # double-run would surface as two 'ok' leases on one cell.
+        ok_leases = Counter(
+            entry["cell_id"]
+            for entry in store.lease_history()
+            if entry["outcome"] == "ok"
+        )
+        assert set(ok_leases.values()) == {1}
+        assert len(ok_leases) == spec.cell_count
+        # And the result set is exactly the serial reference, byte for byte.
+        serial = run_campaign(spec)
+        assert (
+            aggregate_campaign(store.records(include_incomplete=False)).to_csv()
+            == aggregate_campaign(serial.records).to_csv()
+        )
+
+
+class TestCrashRecovery:
+    def test_sigkill_mid_lease_leaves_reclaimable_cell(self, tmp_path):
+        spec = fabric_spec()
+        store_path = str(tmp_path / "crashed.sqlite")
+        victim = multiprocessing.Process(target=_claim_then_die, args=(store_path,))
+        victim.start()
+        victim.join(timeout=60)
+        assert victim.exitcode == -signal.SIGKILL
+        store = SQLResultStore(store_path)
+        counts = store.status_counts()
+        assert counts["leased"] == 1
+        # The lease is live, so the cell is NOT claimable yet...
+        now = time.time()
+        assert store.remaining(now=now)[0] == spec.cell_count - 1
+        # ...but once it expires it is, with a bumped attempt counter.
+        later = now + 120.0
+        assert store.remaining(now=later) == (spec.cell_count, 0)
+        [reclaimed] = store.claim(worker="survivor", limit=1, now=later)
+        assert reclaimed.attempt == 2
+
+        # The re-run's result row is byte-identical to a clean serial run's:
+        # cell identity and seeds derive from the parameters, not the worker.
+        cells = spec.cells()
+        record = execute_cell(cells[reclaimed.cell_index])
+        assert store.complete(record, worker="survivor", attempt=reclaimed.attempt)
+        reference = execute_cell(cells[reclaimed.cell_index])
+        assert json.dumps(record, sort_keys=True) == json.dumps(
+            reference, sort_keys=True
+        )
+
+    def test_worker_resumes_after_kill_without_rerunning_completed(self, tmp_path):
+        spec = fabric_spec()
+        store_path = str(tmp_path / "resume.sqlite")
+        store = SQLResultStore(store_path)
+        store.enqueue(spec.cells())
+        # First "incarnation": completes two cells, then (simulated) dies
+        # with a third mid-lease.
+        cells = spec.cells()
+        for claim in store.claim(worker="first", limit=2):
+            store.complete(
+                execute_cell(cells[claim.cell_index]),
+                worker="first",
+                attempt=claim.attempt,
+            )
+        store.claim(worker="first", limit=1, lease_duration=0.0)
+        # The relaunched worker drains everything else exactly once.
+        result = run_worker(spec, store_path, worker="second")
+        assert result.executed == spec.cell_count - 2
+        assert result.drained
+        store = SQLResultStore(store_path)
+        assert store.status_counts() == {"ok": spec.cell_count}
+        completions = Counter(
+            entry["cell_id"]
+            for entry in store.lease_history()
+            if entry["outcome"] == "ok"
+        )
+        assert set(completions.values()) == {1}
+
+
+class TestShortCircuit:
+    def test_completed_sweep_short_circuits(self, tmp_path, monkeypatch):
+        spec = fabric_spec()
+        store_path = str(tmp_path / "warm.sqlite")
+        first = run_campaign(spec, store_path=store_path, workers=2)
+        assert first.executed == spec.cell_count
+
+        def _no_pool(*args, **kwargs):  # pragma: no cover - failing is the point
+            raise AssertionError("short-circuit must not create a pool")
+
+        monkeypatch.setattr(executor_module.multiprocessing, "Pool", _no_pool)
+        before = os.stat(store_path).st_mtime_ns, os.path.getsize(store_path)
+        warm = run_campaign(spec, store_path=store_path, workers=4)
+        after = os.stat(store_path).st_mtime_ns, os.path.getsize(store_path)
+        assert warm.executed == 0
+        assert warm.skipped == spec.cell_count
+        assert warm.resumed == spec.cell_count
+        assert before == after, "a warm re-run must not write to the store"
+        # The read-back records still aggregate to the original bytes.
+        assert (
+            aggregate_campaign(warm.records).to_csv()
+            == aggregate_campaign(first.records).to_csv()
+        )
+
+    def test_short_circuit_does_not_create_trace_dir(self, tmp_path):
+        spec = fabric_spec()
+        store_path = str(tmp_path / "warm2.sqlite")
+        run_campaign(spec, store_path=store_path)
+        trace_dir = tmp_path / "traces-of-warm-run"
+        warm = run_campaign(spec, store_path=store_path, trace_dir=str(trace_dir))
+        assert warm.executed == 0
+        assert not trace_dir.exists()
+
+    def test_sharded_stores_reduce_to_serial_reference(self, tmp_path):
+        spec = fabric_spec()
+        for shard in range(2):
+            result = run_worker(
+                spec,
+                str(tmp_path / f"shard{shard}.sqlite"),
+                worker=f"shard-{shard}",
+                shard=(shard, 2),
+            )
+            assert result.drained
+        merged = SQLResultStore(str(tmp_path / "merged.sqlite"))
+        merged.merge_from(str(tmp_path / "shard0.sqlite"))
+        merged.merge_from(str(tmp_path / "shard1.sqlite"))
+        serial = run_campaign(spec)
+        assert (
+            aggregate_campaign(merged.records(include_incomplete=False)).to_json()
+            == aggregate_campaign(serial.records).to_json()
+        )
+
+
+class TestWorkerLoop:
+    def test_worker_rejects_jsonl_store(self, tmp_path):
+        with pytest.raises(ValueError, match="SQL result store"):
+            run_worker(fabric_spec(), str(tmp_path / "queue.jsonl"))
+
+    def test_worker_rejects_foreign_store(self, tmp_path):
+        store_path = str(tmp_path / "foreign.sqlite")
+        run_campaign(fabric_spec(), store_path=store_path)
+        other = CampaignSpec(
+            name="other",
+            num_processes=3,
+            duration=10.0,
+            collectors=(CollectorSpec.of("none"),),
+            workloads=(WorkloadSpec.of("ring"),),
+            seeds=(0,),
+        )
+        store = SQLResultStore(store_path)
+        store.enqueue(other.cells())
+        with pytest.raises(ValueError, match="one store per campaign"):
+            run_worker(fabric_spec(), store_path)
+
+    def test_max_cells_bounds_one_incarnation(self, tmp_path):
+        spec = fabric_spec()
+        result = run_worker(
+            spec, str(tmp_path / "budget.sqlite"), worker="budgeted", max_cells=3
+        )
+        assert result.executed == 3
+        counts = SQLResultStore(str(tmp_path / "budget.sqlite")).status_counts()
+        assert counts == {"ok": 3, "pending": spec.cell_count - 3}
