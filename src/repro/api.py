@@ -10,10 +10,11 @@ Three verbs cover the project's surface without touching subsystem modules::
 
 :func:`load_spec` turns a JSON file or mapping into the matching typed
 configuration — a :class:`~repro.scenarios.campaign.spec.CampaignSpec`, a
-:class:`~repro.simulation.SimulationConfig` (simulated or live) or an
-:class:`~repro.explore.ExploreConfig` — inferring the kind from the
-document's shape (an explicit ``"kind"`` key wins).  :func:`run` executes
-any of them; :func:`query` answers questions over a result store.
+:class:`~repro.simulation.SimulationConfig` (simulated or live), an
+:class:`~repro.explore.ExploreConfig` or a :class:`~repro.fuzz.FuzzSpec` —
+inferring the kind from the document's shape (an explicit ``"kind"`` key
+wins).  :func:`run` executes any of them; :func:`query` answers questions
+over a result store.
 
 Validation is front-loaded and precise: a bad document raises
 :class:`SpecValidationError` naming the offending field and, where the set
@@ -27,6 +28,7 @@ import random
 from typing import Any, Callable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.explore.program import ExploreConfig, ProgramStep, checkpoint, crash, send
+from repro.fuzz.fuzzer import FuzzSpec, builtin_targets, resolve_target
 from repro.gc import available_collectors
 from repro.protocols import available_protocols
 from repro.scenarios.campaign.executor import CampaignRun, run_campaign
@@ -48,10 +50,10 @@ from repro.simulation import (
 #: The closed vocabularies of the non-registry fields.
 _AUDITS = ("off", "safety", "full")
 _BACKENDS = ("sim", "live")
-_KINDS = ("campaign", "simulation", "explore", "live")
+_KINDS = ("campaign", "simulation", "explore", "live", "fuzz")
 _STEP_OPS = ("send", "checkpoint", "crash")
 
-AnySpec = Union[CampaignSpec, SimulationConfig, ExploreConfig]
+AnySpec = Union[CampaignSpec, SimulationConfig, ExploreConfig, "FuzzSpec"]
 
 
 class SpecValidationError(ValueError):
@@ -70,6 +72,7 @@ class SpecValidationError(ValueError):
         *,
         accepted: Optional[Sequence[Any]] = None,
     ) -> None:
+        """Record ``field``/``accepted`` and render the combined message."""
         self.field = field
         self.accepted = list(accepted) if accepted is not None else None
         rendered = f"{field}: {message}"
@@ -293,6 +296,58 @@ def _explore_config(document: Mapping[str, Any]) -> ExploreConfig:
         raise SpecValidationError("spec", str(exc)) from exc
 
 
+def _fuzz_spec(document: Mapping[str, Any]) -> FuzzSpec:
+    """A fuzz campaign: a built-in ``target`` name *or* an inline program.
+
+    ``{"kind": "fuzz", "target": "ring", "budget": 500}`` fuzzes a built-in
+    target; an explore-shaped document (``program``, ``collector``, ...)
+    plus the fuzz knobs fuzzes that custom configuration.
+    """
+    fuzz_keys = {"target", "budget", "seed", "corpus", "guided", "minimize"}
+    explore_keys = {
+        "name", "num_processes", "program", "protocol", "collector",
+        "collector_options", "step_gap",
+    }
+    unknown = sorted(set(document) - fuzz_keys - explore_keys)
+    if unknown:
+        raise SpecValidationError(
+            unknown[0],
+            "unknown fuzz spec key",
+            accepted=sorted(fuzz_keys | explore_keys),
+        )
+    target_name = document.get("target")
+    if target_name is not None and "program" in document:
+        raise SpecValidationError(
+            "target", "give either a built-in target or an inline program, not both"
+        )
+    if target_name is not None:
+        targets = builtin_targets()
+        _check_choice("target", target_name, sorted(targets))
+        target = targets[target_name]
+    elif "program" in document:
+        explore_doc = {
+            key: value for key, value in document.items() if key in explore_keys
+        }
+        # The fuzzer's own seed is a mutation-stream seed, not the
+        # simulation seed; the embedded configuration keeps the default.
+        target = resolve_target(_explore_config(explore_doc))
+    else:
+        raise SpecValidationError(
+            "target", "a fuzz spec needs a built-in target or an inline program"
+        )
+    try:
+        return FuzzSpec(
+            target=target,
+            budget=int(document.get("budget", 300)),
+            seed=int(document.get("seed", 0)),
+            corpus=document.get("corpus"),
+            guided=bool(document.get("guided", True)),
+            minimize=bool(document.get("minimize", True)),
+        )
+    except (TypeError, ValueError) as exc:
+        raise SpecValidationError("spec", str(exc)) from exc
+
+
 _CAMPAIGN_AXES = frozenset(
     {"protocols", "collectors", "workloads", "failure_counts", "networks",
      "seeds", "backends", "base_seed"}
@@ -302,6 +357,8 @@ _CAMPAIGN_AXES = frozenset(
 def _infer_kind(document: Mapping[str, Any]) -> str:
     if _CAMPAIGN_AXES & set(document):
         return "campaign"
+    if "target" in document or "budget" in document:
+        return "fuzz"
     if "program" in document:
         return "explore"
     return "simulation"
@@ -316,13 +373,26 @@ def load_spec(
     already-built :class:`CampaignSpec` / :class:`SimulationConfig` /
     :class:`ExploreConfig` (returned unchanged).  The document's ``"kind"``
     key — or the ``kind`` argument, which wins — selects ``"campaign"``,
-    ``"simulation"``, ``"explore"`` or ``"live"`` (a simulation on the live
-    backend); without either the kind is inferred: campaign axes mean a
-    campaign, a ``"program"`` means an explore spec, anything else a single
-    simulation.  Invalid documents raise :class:`SpecValidationError` naming
-    the offending field and the accepted values.
+    ``"simulation"``, ``"explore"``, ``"live"`` (a simulation on the live
+    backend) or ``"fuzz"``; without either the kind is inferred: campaign
+    axes mean a campaign, a ``"target"`` or ``"budget"`` a fuzz spec, a
+    ``"program"`` an explore spec, anything else a single simulation.
+
+    Args:
+        source: a JSON file path, a mapping, or an already-built spec.
+        kind: explicit spec kind (``"campaign"``, ``"simulation"``,
+            ``"explore"``, ``"live"``, ``"fuzz"``); wins over the
+            document's ``"kind"`` key and over inference.
+
+    Returns:
+        The matching typed configuration object.
+
+    Raises:
+        SpecValidationError: for unreadable/invalid documents, unknown
+            kinds or keys — always naming the offending field and, where
+            the domain is enumerable, the accepted values.
     """
-    if isinstance(source, (CampaignSpec, SimulationConfig, ExploreConfig)):
+    if isinstance(source, (CampaignSpec, SimulationConfig, ExploreConfig, FuzzSpec)):
         return source
     if isinstance(source, str):
         try:
@@ -349,6 +419,8 @@ def load_spec(
         return _campaign_spec(document)
     if resolved == "explore":
         return _explore_config(document)
+    if resolved == "fuzz":
+        return _fuzz_spec(document)
     return _simulation_config(
         document, backend="live" if resolved == "live" else None
     )
@@ -375,10 +447,27 @@ def run(
       backend is ``"live"``, on real OS processes — and returns a
       :class:`SimulationResult`;
     * an explore config walks its schedule space (``max_executions`` caps
-      the budget) and returns an ``ExplorationResult``.
+      the budget) and returns an ``ExplorationResult``;
+    * a fuzz spec runs the coverage-guided fuzzer
+      (:func:`repro.fuzz.fuzz`; ``max_executions`` overrides its budget)
+      and returns a :class:`~repro.fuzz.FuzzResult`.
 
-    Options that do not apply to the spec's kind raise
-    :class:`SpecValidationError` instead of being silently dropped.
+    Args:
+        spec: anything :func:`load_spec` accepts.
+        store: campaign only — SQL result-store path (claim/lease fabric).
+        traces: campaign only — directory for per-cell trace artifacts.
+        workers: campaign only — process-pool width.
+        shard: campaign only — ``(k, n)`` grid shard.
+        retry_failed: campaign only — re-execute failed cells in the store.
+        progress: campaign only — ``(done, total)`` callback.
+        max_executions: explore/fuzz only — execution budget cap.
+
+    Returns:
+        The spec's native result object, as listed above.
+
+    Raises:
+        SpecValidationError: when an option does not apply to the spec's
+            kind — options are never silently dropped.
     """
     loaded = load_spec(spec)
     if isinstance(loaded, CampaignSpec):
@@ -400,6 +489,19 @@ def run(
         "retry_failed": retry_failed or None, "progress": progress,
     }
     used = sorted(name for name, value in campaign_only.items() if value)
+    if isinstance(loaded, FuzzSpec):
+        if used:
+            raise SpecValidationError(used[0], "only applies to campaign specs")
+        from repro.fuzz.fuzzer import fuzz as run_fuzz
+
+        return run_fuzz(
+            loaded.target,
+            budget=max_executions if max_executions is not None else loaded.budget,
+            seed=loaded.seed,
+            corpus=loaded.corpus,
+            guided=loaded.guided,
+            minimize=loaded.minimize,
+        )
     if isinstance(loaded, ExploreConfig):
         if used:
             raise SpecValidationError(used[0], "only applies to campaign specs")
@@ -427,6 +529,18 @@ def query(
     Without one it returns the byte-identical campaign aggregate — a
     :class:`~repro.scenarios.campaign.aggregate.CampaignSummary` — honouring
     ``group_by`` and ``allow_incomplete``.
+
+    Args:
+        store: path to a SQL result store.
+        name: a canned query name, ``"aggregate"``, or ``None``.
+        **params: query parameters, overriding the query's defaults.
+
+    Returns:
+        The query's rows (a list of mappings), or a ``CampaignSummary``
+        for the aggregate form.
+
+    Raises:
+        SpecValidationError: for unknown query names or parameters.
     """
     from repro.scenarios.campaign.queries import QUERIES, run_query, store_summary
 

@@ -5,6 +5,7 @@ One entry point over every driver grown across the project's subsystems::
     python -m repro campaign ...   # expand/execute/aggregate experiment grids
     python -m repro trace ...      # record/replay/inspect/diff trace artifacts
     python -m repro explore ...    # schedule-space exploration + counterexamples
+    python -m repro fuzz ...       # coverage-guided schedule fuzzing + corpus
     python -m repro live ...       # one experiment on real OS processes
     python -m repro query ...      # canned analytics over a SQL result store
 
@@ -53,6 +54,11 @@ _SUBCOMMANDS: "dict[str, Tuple[str, Callable[[], Callable[[Optional[List[str]]],
         "systematically explore message-delivery schedules against the "
         "theorem oracles",
         lambda: __import__("repro.explore.cli", fromlist=["main"]).main,
+    ),
+    "fuzz": (
+        "coverage-guided fuzzing of delivery schedules and fault timings "
+        "with a persistent, replayable corpus",
+        lambda: __import__("repro.fuzz.cli", fromlist=["main"]).main,
     ),
     "live": (
         "run one experiment on real OS processes over UDP",

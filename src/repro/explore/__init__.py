@@ -21,7 +21,7 @@ a one-command repro::
     result = explore(config)          # exhaustive at this size
     assert result.ok
 
-CLI: ``python -m repro.explore {run,sweep,replay}``.
+CLI: ``python -m repro explore {run,sweep,replay}``.
 """
 
 from repro.explore.canaries import (

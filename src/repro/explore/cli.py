@@ -3,20 +3,20 @@
 Exhaustively explore the canonical 2-process configuration for one
 collector, or sweep the whole protocol × collector grid::
 
-    python -m repro.explore run --collector rdt-lgc
-    python -m repro.explore sweep --processes 2 --messages 6
-    python -m repro.explore sweep --smoke            # the CI gate sweep
-    python -m repro.explore sweep --canaries --traces counterexamples/
+    python -m repro explore run --collector rdt-lgc
+    python -m repro explore sweep --processes 2 --messages 6
+    python -m repro explore sweep --smoke            # the CI gate sweep
+    python -m repro explore sweep --canaries --traces counterexamples/
 
 Budget and reduction knobs::
 
-    python -m repro.explore sweep --processes 3 --messages 6 \\
+    python -m repro explore sweep --processes 3 --messages 6 \\
         --max-executions 20000 --no-reduction
 
 Replay a shrunk counterexample artifact (re-executes it live and
 byte-compares the fresh trace against the persisted one)::
 
-    python -m repro.explore replay counterexamples/canary-unsafe.trace.jsonl
+    python -m repro explore replay counterexamples/canary-unsafe.trace.jsonl
 """
 
 from __future__ import annotations
@@ -86,7 +86,7 @@ def _report_entry(entry: SweepEntry, *, traces: Optional[str], quiet: bool) -> b
         )
         persist_counterexample(shrunk, path)
         print(f"  counterexample trace: {path}")
-        print(f"  replay with: python -m repro.explore replay {path}")
+        print(f"  replay with: python -m repro explore replay {path}")
     return False
 
 

@@ -19,6 +19,14 @@ class PendingDeliveries:
     """Custody of in-flight message copies, keyed by message ordinal."""
 
     def __init__(self, network: Network) -> None:
+        """Attach to ``network`` and start intercepting app-message copies.
+
+        Args:
+            network: the simulation network whose application-message
+                deliveries this controller takes custody of (via
+                ``network.attach_controller``); control messages, timers
+                and partition transitions stay engine-driven.
+        """
         self._network = network
         #: message_id -> (delivery_id, receiver)
         self._pending: Dict[int, tuple[int, int]] = {}
@@ -31,6 +39,21 @@ class PendingDeliveries:
     def on_copy_in_flight(
         self, delivery_id: int, message: AppMessage, sampled_delivery_time: float
     ) -> None:
+        """Take custody of one in-flight copy the network hands over.
+
+        Args:
+            delivery_id: the network's handle for this copy, later passed
+                back to ``release_delivery``.
+            message: the application message; its ``message_id`` (the send
+                ordinal) becomes the schedule-alphabet key.
+            sampled_delivery_time: the latency the channel model drew —
+                kept only as provenance, delivery happens at release time.
+
+        Raises:
+            RuntimeError: if the message already has a pending copy — the
+                explorer only drives duplication-free channels, so a second
+                copy means the configuration is out of scope.
+        """
         if message.message_id in self._pending:
             raise RuntimeError(
                 f"message {message.message_id} produced a second in-flight copy; "
@@ -39,6 +62,13 @@ class PendingDeliveries:
         self._pending[message.message_id] = (delivery_id, message.receiver)
 
     def on_copies_discarded(self, delivery_ids: List[int]) -> None:
+        """Drop custody of copies a recovery session reclaimed.
+
+        Args:
+            delivery_ids: the network handles of the discarded copies;
+                their message ordinals leave the pending set and are
+                appended to :meth:`discarded_message_ids` in drop order.
+        """
         dropped = set(delivery_ids)
         for message_id, (delivery_id, _) in list(self._pending.items()):
             if delivery_id in dropped:
@@ -53,7 +83,14 @@ class PendingDeliveries:
         return sorted(self._pending)
 
     def receiver(self, message_id: int) -> int:
-        """The receiver of a pending message."""
+        """The receiver process of a pending message.
+
+        Args:
+            message_id: a send ordinal currently in the pending set.
+
+        Raises:
+            KeyError: if the message is not pending.
+        """
         return self._pending[message_id][1]
 
     def discarded_message_ids(self) -> List[int]:
@@ -61,7 +98,16 @@ class PendingDeliveries:
         return list(self._discarded)
 
     def deliver(self, message_id: int) -> None:
-        """Deliver a pending message now (current engine time)."""
+        """Deliver a pending message now (current engine time).
+
+        Args:
+            message_id: the send ordinal of the copy to release.
+
+        Raises:
+            ValueError: if the message is not pending — already delivered,
+                discarded by a recovery session, or never sent.  This is the
+                error the fuzzer's invalid-candidate filter keys on.
+        """
         try:
             delivery_id, _ = self._pending.pop(message_id)
         except KeyError:

@@ -22,7 +22,7 @@ property both the stateless DFS and counterexample replay rely on.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.explore.controller import PendingDeliveries
 from repro.explore.oracles import OracleStack
@@ -37,6 +37,11 @@ from repro.explore.program import (
 )
 from repro.simulation.runner import SimulationConfig, SimulationRunner
 from repro.simulation.workloads import ScriptedWorkload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    #: Observer of the final simulation state of one execution (the
+    #: fuzzer's coverage probe).  Called only on violation-free executions.
+    StateProbe = Callable[[SimulationRunner], None]
 
 
 class ScheduleExecutor:
@@ -73,6 +78,7 @@ class ScheduleExecutor:
         check_from: int = 0,
         trace_path: Optional[str] = None,
         trace_meta: Optional[Dict[str, object]] = None,
+        state_probe: Optional["StateProbe"] = None,
     ) -> ExecutionOutcome:
         """Run ``schedule`` from a fresh initial state.
 
@@ -87,6 +93,11 @@ class ScheduleExecutor:
         and ``trace_meta`` as provenance); a violating execution seals it
         with an ``aborted`` footer carrying the violation, so the artifact
         is a self-describing counterexample.
+
+        ``state_probe`` observes the final :class:`SimulationRunner` state of
+        a violation-free execution (after every token ran and, for terminal
+        schedules, after the trailing engine flush) — the hook the fuzzer's
+        coverage extraction uses.  It must not mutate the runner.
         """
         config = self._config
         runner = SimulationRunner(
@@ -121,6 +132,8 @@ class ScheduleExecutor:
             runner.trace.attach_sink(writer)
         try:
             outcome = self._drive(runner, controller, schedule, check_from)
+            if state_probe is not None and outcome.violation is None:
+                state_probe(runner)
         except BaseException:
             if writer is not None and not writer.closed:
                 writer.abort("executor crashed")

@@ -73,6 +73,16 @@ class OracleStack:
         Optimality is audited only when the collector claims it *and* the
         protocol guarantees the RDT hypothesis; the RDT-preservation oracle
         follows the protocol class.
+
+        Args:
+            config: the explore configuration whose collector/protocol pair
+                determines the default oracle set.
+            **overrides: keyword overrides for any :class:`OracleStack`
+                field (e.g. ``check_optimality=False``); they win over the
+                derived defaults.
+
+        Returns:
+            A frozen :class:`OracleStack` instance.
         """
         collector = collector_class(config.collector)
         protocol = protocol_class(config.protocol)
@@ -96,8 +106,20 @@ class OracleStack:
     ) -> Optional[Violation]:
         """Audit the runner's current state; return the first violation.
 
-        ``cross_check`` lets the executor sample the kernel cross-check over
-        terminal states (see :attr:`kernel_cross_check_period`).
+        Args:
+            runner: the live simulation runner whose current CCP and
+                per-process retained sets are audited in place.
+            step: the schedule step this state was reached at — stamped
+                into any returned :class:`Violation`.
+            final: whether this is a terminal state; the RDT-preservation
+                check and the kernel cross-check run only at terminal
+                states (intermediate states are consistent cuts of them).
+            cross_check: lets the executor sample the kernel cross-check
+                over terminal states (see :attr:`kernel_cross_check_period`).
+
+        Returns:
+            The first :class:`Violation` found, or ``None`` when every
+            enabled oracle passes.
         """
         ccp = runner.current_ccp()
         retained = {
@@ -180,7 +202,21 @@ class OracleStack:
     def check_recovery(
         self, pre_crash_ccp: CCP, record: "RecoveryRecord", step: int
     ) -> Optional[Violation]:
-        """Validate one recovery session against the pre-crash pattern."""
+        """Validate one recovery session against the pre-crash pattern.
+
+        Args:
+            pre_crash_ccp: the checkpoint-and-communication pattern as of
+                the crash (the pattern the recovery line must be valid in).
+            record: the recovery session's outcome — faulty set and the
+                restored line.
+            step: the schedule step of the crash, stamped into any
+                returned :class:`Violation`.
+
+        Returns:
+            A ``recovery-line`` :class:`Violation` when the restored line
+            is invalid (or, with :attr:`cross_check_recovery`, differs from
+            the Definition-5 brute-force line), else ``None``.
+        """
         line = GlobalCheckpoint(tuple(record.recovery_line))
         if not is_valid_recovery_line(pre_crash_ccp, line, record.faulty):
             return Violation(

@@ -1,0 +1,65 @@
+"""Coverage-guided schedule fuzzing of the checkpointing middleware.
+
+The schedule-space **explorer** (:mod:`repro.explore`) enumerates small
+configurations exhaustively; this package picks up exactly where it stops.
+A :func:`fuzz` run seeds from structural extremes and the explorer's
+deterministic budget frontier, mutates schedules and fault timings with
+domain operators (:mod:`repro.fuzz.mutate`), executes every candidate under
+the full oracle stack, and keeps the ones that exhibit novel
+checkpoint-pattern structure (:mod:`repro.fuzz.coverage`) in a
+content-addressed, replayable corpus (:mod:`repro.fuzz.corpus`).  Found
+violations are shrunk and persisted with the explorer's own machinery.
+
+Entry points: :func:`fuzz` (library), ``python -m repro fuzz`` (CLI).
+"""
+
+from repro.fuzz.corpus import (
+    Corpus,
+    CorpusEntry,
+    CorpusEntryReplay,
+    entry_id,
+    replay_corpus_entry,
+)
+from repro.fuzz.coverage import CoverageMap, Feature, state_features
+from repro.fuzz.fuzzer import (
+    FuzzFinding,
+    FuzzSpec,
+    FuzzResult,
+    FuzzStats,
+    FuzzTarget,
+    SeedSet,
+    builtin_targets,
+    eager_schedule,
+    fuzz,
+    lazy_schedule,
+    resolve_target,
+    seed_schedules,
+)
+from repro.fuzz.mutate import MUTATORS, complete, is_wellformed, splice
+
+__all__ = [
+    "MUTATORS",
+    "Corpus",
+    "CorpusEntry",
+    "CorpusEntryReplay",
+    "CoverageMap",
+    "Feature",
+    "FuzzFinding",
+    "FuzzResult",
+    "FuzzSpec",
+    "FuzzStats",
+    "FuzzTarget",
+    "SeedSet",
+    "builtin_targets",
+    "complete",
+    "eager_schedule",
+    "entry_id",
+    "fuzz",
+    "is_wellformed",
+    "lazy_schedule",
+    "replay_corpus_entry",
+    "resolve_target",
+    "seed_schedules",
+    "splice",
+    "state_features",
+]

@@ -1,0 +1,351 @@
+"""Schedule mutations: the fuzzer's search moves.
+
+Every operator takes a *well-formed* schedule of one fixed
+:class:`~repro.explore.ExploreConfig` and produces another well-formed,
+**complete** schedule (every program step appears; deliveries are optional —
+an undelivered message simply stays in flight, the legal execution the
+explorer's ``drop_in_flight`` custody model already defines).  Operators
+return ``None`` when inapplicable so the fuzzer can fall through to another
+draw without wasting an execution.
+
+The operator set mirrors the phenomena the coverage dimensions measure:
+
+* :func:`swap_adjacent` — commute two neighbouring tokens (the minimal
+  reordering; changes which causal edges exist);
+* :func:`delay_delivery` / :func:`hasten_delivery` — move one delivery
+  later/earlier across program steps (stale-message and overtaking shapes);
+* :func:`drop_delivery` — never deliver one message (in-flight forever);
+* :func:`reinstate_delivery` — re-deliver a message a previous mutation
+  dropped (keeps drop from being an absorbing state);
+* :func:`shift_crash` — move a crash step across neighbouring deliveries
+  (the crash/recovery *instant* relative to in-flight traffic);
+* :func:`splice` — prefix of one corpus schedule continued with the token
+  choices of another (crossover).
+
+Determinism: every operator draws only from the ``random.Random`` instance
+it is given, so a fuzz run's entire trajectory is a function of its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.explore.program import (
+    ADVANCE,
+    DELIVER,
+    Choice,
+    ExploreConfig,
+    StepKind,
+    validate_schedule,
+)
+
+#: A unary mutation operator (splice is handled separately).
+Mutator = Callable[[random.Random, ExploreConfig, Sequence[Choice]], Optional[Tuple[Choice, ...]]]
+
+
+def is_wellformed(config: ExploreConfig, schedule: Sequence[Choice]) -> bool:
+    """True when ``schedule`` is a legal token sequence for ``config``.
+
+    Args:
+        config: the fixed configuration.
+        schedule: the candidate token sequence.
+
+    Returns:
+        Whether :func:`repro.explore.validate_schedule` accepts it.
+    """
+    try:
+        validate_schedule(config, schedule)
+    except ValueError:
+        return False
+    return True
+
+
+def complete(config: ExploreConfig, schedule: Sequence[Choice]) -> Tuple[Choice, ...]:
+    """Append the program steps a schedule is missing, in order.
+
+    Args:
+        config: the fixed configuration.
+        schedule: a well-formed (possibly partial) token sequence.
+
+    Returns:
+        The schedule extended with every not-yet-consumed ``("a", i)`` token
+        so the whole program runs; deliveries are left as they are.
+    """
+    consumed = sum(1 for token in schedule if token[0] == ADVANCE)
+    tail = tuple((ADVANCE, i) for i in range(consumed, len(config.program)))
+    return tuple(schedule) + tail
+
+
+def _finish(
+    config: ExploreConfig,
+    original: Sequence[Choice],
+    candidate: Sequence[Choice],
+) -> Optional[Tuple[Choice, ...]]:
+    """Complete and validate a mutation result; ``None`` if it is a no-op."""
+    completed = complete(config, candidate)
+    if completed == tuple(original) or not is_wellformed(config, completed):
+        return None
+    return completed
+
+
+def swap_adjacent(
+    rng: random.Random, config: ExploreConfig, schedule: Sequence[Choice]
+) -> Optional[Tuple[Choice, ...]]:
+    """Swap one random pair of neighbouring tokens.
+
+    Args:
+        rng: the run's random stream.
+        config: the fixed configuration.
+        schedule: the schedule to mutate.
+
+    Returns:
+        The mutated schedule, or ``None`` when no legal swap exists at the
+        drawn position.
+    """
+    if len(schedule) < 2:
+        return None
+    position = rng.randrange(len(schedule) - 1)
+    tokens = list(schedule)
+    tokens[position], tokens[position + 1] = tokens[position + 1], tokens[position]
+    return _finish(config, schedule, tokens)
+
+
+def _delivery_positions(schedule: Sequence[Choice]) -> List[int]:
+    return [i for i, token in enumerate(schedule) if token[0] == DELIVER]
+
+
+def _move_delivery(
+    rng: random.Random,
+    config: ExploreConfig,
+    schedule: Sequence[Choice],
+    *,
+    later: bool,
+) -> Optional[Tuple[Choice, ...]]:
+    positions = _delivery_positions(schedule)
+    if not positions:
+        return None
+    position = rng.choice(positions)
+    token = schedule[position]
+    rest = list(schedule[:position]) + list(schedule[position + 1:])
+    if later:
+        choices = range(position, len(rest) + 1)
+    else:
+        choices = range(0, position + 1)
+    if not choices:
+        return None
+    target = rng.choice(list(choices))
+    rest.insert(target, token)
+    return _finish(config, schedule, rest)
+
+
+def delay_delivery(
+    rng: random.Random, config: ExploreConfig, schedule: Sequence[Choice]
+) -> Optional[Tuple[Choice, ...]]:
+    """Move one delivery token to a later position.
+
+    Args:
+        rng: the run's random stream.
+        config: the fixed configuration.
+        schedule: the schedule to mutate.
+
+    Returns:
+        The mutated schedule, or ``None`` when the move is illegal or a
+        no-op.
+    """
+    return _move_delivery(rng, config, schedule, later=True)
+
+
+def hasten_delivery(
+    rng: random.Random, config: ExploreConfig, schedule: Sequence[Choice]
+) -> Optional[Tuple[Choice, ...]]:
+    """Move one delivery token to an earlier position.
+
+    Args:
+        rng: the run's random stream.
+        config: the fixed configuration.
+        schedule: the schedule to mutate.
+
+    Returns:
+        The mutated schedule, or ``None`` when the move is illegal or a
+        no-op (e.g. it would precede the message's send).
+    """
+    return _move_delivery(rng, config, schedule, later=False)
+
+
+def drop_delivery(
+    rng: random.Random, config: ExploreConfig, schedule: Sequence[Choice]
+) -> Optional[Tuple[Choice, ...]]:
+    """Remove one delivery token: the message stays in flight forever.
+
+    Args:
+        rng: the run's random stream.
+        config: the fixed configuration.
+        schedule: the schedule to mutate.
+
+    Returns:
+        The mutated schedule, or ``None`` when no delivery exists.
+    """
+    positions = _delivery_positions(schedule)
+    if not positions:
+        return None
+    position = rng.choice(positions)
+    tokens = list(schedule[:position]) + list(schedule[position + 1:])
+    return _finish(config, schedule, tokens)
+
+
+def reinstate_delivery(
+    rng: random.Random, config: ExploreConfig, schedule: Sequence[Choice]
+) -> Optional[Tuple[Choice, ...]]:
+    """Deliver a message the schedule currently never delivers.
+
+    Args:
+        rng: the run's random stream.
+        config: the fixed configuration.
+        schedule: the schedule to mutate.
+
+    Returns:
+        The mutated schedule with one ``("d", m)`` token inserted at a legal
+        position, or ``None`` when every sent message is already delivered.
+    """
+    delivered = {token[1] for token in schedule if token[0] == DELIVER}
+    undelivered = [
+        m for m in range(config.message_count) if m not in delivered
+    ]
+    if not undelivered:
+        return None
+    message = rng.choice(undelivered)
+    # Legal positions start after the send's advance token.
+    send_step = next(
+        i
+        for i, step in enumerate(config.program)
+        if step.kind is StepKind.SEND and config.send_ordinal(i) == message
+    )
+    earliest = None
+    for position, token in enumerate(schedule):
+        if token[0] == ADVANCE and token[1] == send_step:
+            earliest = position + 1
+            break
+    if earliest is None:
+        return None
+    target = rng.randrange(earliest, len(schedule) + 1)
+    tokens = list(schedule)
+    tokens.insert(target, (DELIVER, message))
+    return _finish(config, schedule, tokens)
+
+
+def shift_crash(
+    rng: random.Random, config: ExploreConfig, schedule: Sequence[Choice]
+) -> Optional[Tuple[Choice, ...]]:
+    """Move a crash step across the deliveries around it.
+
+    Program steps are consumed strictly in order, so a crash token can only
+    move between its neighbouring ``("a", ...)`` tokens — which is exactly
+    the interesting axis: whether in-flight messages land before or after
+    the recovery session.
+
+    Args:
+        rng: the run's random stream.
+        config: the fixed configuration.
+        schedule: the schedule to mutate.
+
+    Returns:
+        The mutated schedule, or ``None`` when the program has no crash or
+        the crash has no room to move.
+    """
+    crash_positions = [
+        i
+        for i, token in enumerate(schedule)
+        if token[0] == ADVANCE
+        and config.program[token[1]].kind is StepKind.CRASH
+    ]
+    if not crash_positions:
+        return None
+    position = rng.choice(crash_positions)
+    lower = 0
+    for i in range(position - 1, -1, -1):
+        if schedule[i][0] == ADVANCE:
+            lower = i + 1
+            break
+    upper = len(schedule)
+    for i in range(position + 1, len(schedule)):
+        if schedule[i][0] == ADVANCE:
+            upper = i
+            break
+    slots = [slot for slot in range(lower, upper) if slot != position]
+    if not slots:
+        return None
+    target = rng.choice(slots)
+    tokens = list(schedule)
+    token = tokens.pop(position)
+    tokens.insert(target, token)
+    return _finish(config, schedule, tokens)
+
+
+def splice(
+    rng: random.Random,
+    config: ExploreConfig,
+    first: Sequence[Choice],
+    second: Sequence[Choice],
+) -> Optional[Tuple[Choice, ...]]:
+    """Continue a prefix of ``first`` with the token choices of ``second``.
+
+    The crossover walks ``second``'s tokens and keeps each one that is legal
+    in the spliced state (program steps in order, deliveries after their
+    send and at most once), then completes the program.
+
+    Args:
+        rng: the run's random stream.
+        config: the fixed configuration.
+        first: the schedule providing the prefix.
+        second: the schedule providing the continuation.
+
+    Returns:
+        The spliced schedule, or ``None`` when it degenerates to ``first``.
+    """
+    cut = rng.randrange(len(first) + 1)
+    tokens: List[Choice] = list(first[:cut])
+    next_step = sum(1 for token in tokens if token[0] == ADVANCE)
+    sent = sum(
+        1
+        for token in tokens
+        if token[0] == ADVANCE and config.program[token[1]].kind is StepKind.SEND
+    )
+    delivered = {token[1] for token in tokens if token[0] == DELIVER}
+    for kind, value in second:
+        if kind == ADVANCE:
+            if value == next_step and next_step < len(config.program):
+                tokens.append((ADVANCE, value))
+                if config.program[value].kind is StepKind.SEND:
+                    sent += 1
+                next_step += 1
+        elif value < sent and value not in delivered:
+            tokens.append((DELIVER, value))
+            delivered.add(value)
+    return _finish(config, first, tokens)
+
+
+#: The unary operator registry, in the order the fuzzer draws from.
+MUTATORS: Tuple[Tuple[str, Mutator], ...] = (
+    ("swap", swap_adjacent),
+    ("delay", delay_delivery),
+    ("hasten", hasten_delivery),
+    ("drop", drop_delivery),
+    ("reinstate", reinstate_delivery),
+    ("shift-crash", shift_crash),
+)
+
+
+__all__ = [
+    "MUTATORS",
+    "Mutator",
+    "complete",
+    "delay_delivery",
+    "drop_delivery",
+    "hasten_delivery",
+    "is_wellformed",
+    "reinstate_delivery",
+    "shift_crash",
+    "splice",
+    "swap_adjacent",
+]

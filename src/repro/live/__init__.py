@@ -13,7 +13,7 @@ like a simulated one.
 
 Entry points: :func:`run_live` (programmatic; also reached through
 :func:`repro.simulation.runner.run_simulation` with ``backend="live"``)
-and ``python -m repro.live`` (:mod:`repro.live.cli`).
+and ``python -m repro live`` (:mod:`repro.live.cli`).
 """
 
 from repro.live.coordinator import LiveOptions, LiveRunResult, run_live

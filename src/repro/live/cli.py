@@ -2,16 +2,16 @@
 
 Run the middleware on real processes and sockets::
 
-    python -m repro.live --processes 3 --duration 30 --collector rdt-lgc
+    python -m repro live --processes 3 --duration 30 --collector rdt-lgc
 
 With message loss, a SIGKILL crash/recover and a persisted artifact::
 
-    python -m repro.live --processes 3 --duration 30 --drop 0.1 \\
+    python -m repro live --processes 3 --duration 30 --drop 0.1 \\
         --crash 12:1 --trace live.trace.jsonl --audit safety
 
 The merged artifact is a standard v2 trace: inspect it with
-``python -m repro.traceio inspect`` and check its invariants with
-``python -m repro.traceio verify``.
+``python -m repro trace inspect`` and check its invariants with
+``python -m repro trace replay --verify``.
 """
 
 from __future__ import annotations

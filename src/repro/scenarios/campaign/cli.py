@@ -169,7 +169,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--traces", default=None,
         help="directory for per-cell replayable trace artifacts "
-             "(re-aggregate later with `python -m repro.traceio replay`)",
+             "(re-aggregate later with `python -m repro trace replay`)",
     )
     parser.add_argument(
         "--out", default=None,

@@ -21,6 +21,7 @@ from typing import Mapping, Optional, Sequence, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.explore.program import ExploreConfig
+    from repro.fuzz.fuzzer import FuzzSpec
 
 from repro.scenarios.campaign.aggregate import CampaignSummary, aggregate_campaign
 from repro.scenarios.campaign.executor import CampaignRun, run_campaign
@@ -285,7 +286,7 @@ def explore_sweep_configs(
     One :class:`repro.explore.ExploreConfig` per (protocol, collector) pair
     over the canonical ring program — the configuration family the
     acceptance sweep, the CI smoke gate, the nightly bounded sweep and
-    ``python -m repro.explore sweep`` all share.  Defaults to every
+    ``python -m repro explore sweep`` all share.  Defaults to every
     registered protocol × every registered collector; crash mode inserts a
     process-0 crash before the final checkpoint round so every schedule
     exercises a recovery session.
@@ -325,6 +326,47 @@ def explore_sweep_configs(
         )
         for protocol in protocols
         for name, options in collectors
+    )
+
+
+def fuzz_target_configs(
+    *,
+    targets: Optional[Sequence[str]] = None,
+    budget: int = 300,
+    seeds: Sequence[int] = (0,),
+) -> Tuple["FuzzSpec", ...]:
+    """The canonical fuzz grid: built-in targets × run seeds.
+
+    One :class:`repro.fuzz.FuzzSpec` per (target, seed) cell — the family
+    the CI fuzz gate and the nightly budgeted fuzz job share, mirroring how
+    :func:`explore_sweep_configs` feeds the exploration gates.  Defaults to
+    the clean built-in targets (the violating ones — the canaries and the
+    Manivannan–Singhal window — are *found-counterexample* gates, opted
+    into by name).
+
+    Args:
+        targets: built-in target names (default: the expected-clean ones).
+        budget: candidate executions per cell.
+        seeds: fuzzer mutation-stream seeds (one cell per seed).
+
+    Returns:
+        One spec per (target, seed), in grid order.
+    """
+    from repro.fuzz.fuzzer import FuzzSpec, builtin_targets
+
+    registry = builtin_targets()
+    if targets is None:
+        targets = ("ring", "ring-crash", "ring3-crash")
+    unknown = sorted(set(targets) - set(registry))
+    if unknown:
+        accepted = ", ".join(sorted(registry))
+        raise ValueError(
+            f"unknown fuzz target {unknown[0]!r} (accepted: {accepted})"
+        )
+    return tuple(
+        FuzzSpec(target=registry[name], budget=budget, seed=seed)
+        for name in targets
+        for seed in seeds
     )
 
 

@@ -14,7 +14,7 @@ Entry points:
 * ``run_campaign(spec, trace_dir=...)`` — every executed campaign cell
   persists one trace artifact next to the JSONL store, re-aggregatable via
   :func:`~repro.traceio.reader.campaign_records_from_traces`;
-* ``python -m repro.traceio`` — ``record`` / ``replay`` / ``inspect`` /
+* ``python -m repro trace`` — ``record`` / ``replay`` / ``inspect`` /
   ``diff`` from the shell (see :mod:`repro.traceio.cli`).
 """
 

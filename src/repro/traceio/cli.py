@@ -2,24 +2,24 @@
 
 Record a campaign sweep with per-cell trace artifacts::
 
-    python -m repro.traceio record --traces results/traces --smoke
-    python -m repro.traceio record --traces results/traces --spec my_sweep.json \\
+    python -m repro trace record --traces results/traces --smoke
+    python -m repro trace record --traces results/traces --spec my_sweep.json \\
         --store results/sweep.jsonl --out results/ --workers 8
 
 Re-aggregate a recorded sweep from its artifacts alone (no re-simulation;
 byte-identical CSV/JSON to the live run)::
 
-    python -m repro.traceio replay results/traces --out results/replayed
+    python -m repro trace replay results/traces --out results/replayed
 
 Rehydrate a single trace into its full analysis state, or audit artifacts::
 
-    python -m repro.traceio replay results/traces/<cell>.trace.jsonl
-    python -m repro.traceio replay results/traces --verify
+    python -m repro trace replay results/traces/<cell>.trace.jsonl
+    python -m repro trace replay results/traces --verify
 
 Peek at a trace without replaying it, or compare two traces::
 
-    python -m repro.traceio inspect results/traces/<cell>.trace.jsonl
-    python -m repro.traceio diff a.trace.jsonl b.trace.jsonl
+    python -m repro trace inspect results/traces/<cell>.trace.jsonl
+    python -m repro trace diff a.trace.jsonl b.trace.jsonl
 """
 
 from __future__ import annotations

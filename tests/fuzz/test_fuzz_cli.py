@@ -1,0 +1,94 @@
+"""``python -m repro fuzz`` command-line behaviour and exit codes."""
+
+from __future__ import annotations
+
+import glob
+import json
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.fuzz.cli import main
+
+
+class TestRun:
+    def test_clean_run_exits_zero_and_reports(self, tmp_path, capsys):
+        report = str(tmp_path / "report.json")
+        code = main(
+            [
+                "run", "--target", "ring", "--budget", "40",
+                "--corpus", str(tmp_path / "corpus"),
+                "--report", report,
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fuzz ring (guided)" in out
+        assert "corpus saved" in out
+        document = json.loads(open(report, encoding="utf-8").read())
+        assert document["target"] == "ring"
+        assert document["stats"]["executions"] <= 40
+        assert document["findings"] == []
+
+    def test_violating_run_exits_one_and_persists_counterexample(
+        self, tmp_path, capsys
+    ):
+        corpus = str(tmp_path / "corpus")
+        code = main(
+            [
+                "run", "--target", "canary-hoarder", "--budget", "200",
+                "--corpus", corpus, "--stop-after-findings", "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "VIOLATION [optimality]" in out
+        assert "replay with: python -m repro explore replay" in out
+        assert glob.glob(corpus + "/counterexamples/*.trace.jsonl")
+
+    def test_expect_violations_flips_the_exit_code(self, tmp_path, capsys):
+        argv = [
+            "run", "--target", "canary-hoarder", "--budget", "200",
+            "--corpus", str(tmp_path / "corpus"),
+            "--stop-after-findings", "1", "--expect-violations", "1",
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(
+            ["run", "--target", "ring", "--budget", "20",
+             "--expect-violations", "1"]
+        ) == 1
+        assert "expected exactly 1" in capsys.readouterr().err
+
+    def test_unknown_target_is_a_usage_error(self, capsys):
+        assert main(["run", "--target", "bogus"]) == 2
+        assert "accepted" in capsys.readouterr().err
+
+
+class TestReplayAndStats:
+    @pytest.fixture()
+    def corpus(self, tmp_path):
+        root = str(tmp_path / "corpus")
+        code = main(["run", "--target", "ring-crash", "--budget", "60",
+                     "--corpus", root])
+        assert code == 0
+        return root
+
+    def test_replay_round_trips_an_entry(self, corpus, capsys):
+        entry = sorted(glob.glob(corpus + "/entries/*.trace.jsonl"))[0]
+        assert main(["replay", entry]) == 0
+        assert "byte-identical re-execution: yes" in capsys.readouterr().out
+
+    def test_stats_summarises_the_corpus(self, corpus, capsys):
+        assert main(["stats", corpus]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "coverage" in out
+        assert "origins:" in out
+
+
+class TestUmbrellaDispatch:
+    def test_repro_fuzz_routes_to_the_fuzzer(self, capsys):
+        code = repro_main(["fuzz", "run", "--target", "ring", "--budget",
+                           "15", "--explorer-seeds", "0"])
+        assert code == 0
+        assert "fuzz ring (guided)" in capsys.readouterr().out

@@ -1,0 +1,163 @@
+"""Fuzz-loop tests: determinism, corpus replay, violation re-finding."""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro.explore import (
+    ExploreConfig,
+    canaries_registered,
+    replay_counterexample,
+    ring_program,
+)
+from repro.fuzz import (
+    Corpus,
+    builtin_targets,
+    fuzz,
+    replay_corpus_entry,
+    resolve_target,
+)
+
+#: Budget the violating targets must be re-found within (cold corpus).
+REFIND_BUDGET = 2000
+
+
+class TestDeterminism:
+    def test_same_seed_and_budget_reproduce_corpus_and_coverage(self, tmp_path):
+        a = fuzz("ring-crash", budget=100, seed=7, corpus=str(tmp_path / "a"))
+        b = fuzz("ring-crash", budget=100, seed=7, corpus=str(tmp_path / "b"))
+        index_a = (tmp_path / "a" / "index.json").read_text()
+        index_b = (tmp_path / "b" / "index.json").read_text()
+        assert index_a == index_b
+        assert a.stats.as_dict() == b.stats.as_dict()
+        entries_a = sorted(glob.glob(str(tmp_path / "a" / "entries" / "*")))
+        entries_b = sorted(glob.glob(str(tmp_path / "b" / "entries" / "*")))
+        assert [os.path.basename(p) for p in entries_a] == [
+            os.path.basename(p) for p in entries_b
+        ]
+        for path_a, path_b in zip(entries_a, entries_b):
+            assert open(path_a, "rb").read() == open(path_b, "rb").read()
+
+    def test_different_seeds_diverge(self):
+        a = fuzz("ring", budget=80, seed=0, explorer_seed_executions=0)
+        b = fuzz("ring", budget=80, seed=1, explorer_seed_executions=0)
+        assert set(a.corpus.entries) != set(b.corpus.entries)
+
+
+class TestCorpusReplay:
+    def test_every_persisted_entry_replays_byte_identically(self, tmp_path):
+        fuzz("ring-crash", budget=80, seed=3, corpus=str(tmp_path / "c"))
+        paths = glob.glob(str(tmp_path / "c" / "entries" / "*.trace.jsonl"))
+        assert paths
+        for path in paths:
+            replay = replay_corpus_entry(path)
+            assert replay.byte_identical, path
+            assert replay.trace_events > 0
+
+    def test_warm_corpus_resumes_without_duplicating(self, tmp_path):
+        root = str(tmp_path / "warm")
+        cold = fuzz("ring", budget=80, seed=0, corpus=root)
+        warm = fuzz("ring", budget=40, seed=1, corpus=root)
+        # The warm run loaded the cold run's coverage: nothing it reaches
+        # at this size is novel, so the corpus does not grow.
+        assert len(warm.corpus) == len(cold.corpus)
+        assert warm.stats.corpus_added == 0
+        index = json.loads((tmp_path / "warm" / "index.json").read_text())
+        assert len(index["entries"]) == len(cold.corpus)
+
+    def test_index_round_trips_through_load(self, tmp_path):
+        root = str(tmp_path / "rt")
+        run = fuzz("ring", budget=60, seed=2, corpus=root)
+        loaded = Corpus.load(root)
+        assert set(loaded.entries) == set(run.corpus.entries)
+        assert len(loaded.coverage) == len(run.corpus.coverage)
+        for entry in loaded.ordered():
+            assert entry.config == run.target.config
+            assert entry.features
+
+
+class TestViolationRefinding:
+    @pytest.mark.parametrize(
+        "target,expected_kind",
+        [
+            ("canary-unsafe", "safety"),
+            ("canary-hoarder", "optimality"),
+            ("ms-window", "safety"),
+        ],
+    )
+    def test_violating_targets_are_refound_and_shrunk(
+        self, tmp_path, target, expected_kind
+    ):
+        result = fuzz(
+            target,
+            budget=REFIND_BUDGET,
+            seed=0,
+            corpus=str(tmp_path / target),
+            stop_after_findings=1,
+        )
+        assert not result.ok
+        kinds = [finding.violation.kind for finding in result.findings]
+        assert expected_kind in kinds
+        finding = result.findings[0]
+        assert finding.shrunk is not None
+        assert len(finding.shrunk.schedule) <= len(finding.schedule)
+        # The persisted counterexample is a replayable explorer artifact.
+        assert finding.artifact is not None and os.path.exists(finding.artifact)
+        with canaries_registered():
+            replay = replay_counterexample(finding.artifact)
+        assert replay.byte_identical
+        assert replay.replayed_violation.kind == expected_kind
+
+    def test_clean_targets_stay_clean(self):
+        result = fuzz("ring", budget=150, seed=0)
+        assert result.ok
+        assert result.stats.violations == 0
+
+    def test_crash_boundary_candidates_are_invalid_not_violations(self):
+        result = fuzz("ring-crash", budget=150, seed=0)
+        assert result.ok
+        assert result.stats.invalid > 0
+
+
+class TestGuidance:
+    def test_guided_reaches_more_coverage_than_random(self):
+        guided = fuzz(
+            "ring3-crash", budget=150, seed=0,
+            guided=True, minimize=False, explorer_seed_executions=0,
+        )
+        unguided = fuzz(
+            "ring3-crash", budget=150, seed=0,
+            guided=False, minimize=False, explorer_seed_executions=0,
+        )
+        assert guided.stats.features > unguided.stats.features
+        # The baseline retains nothing: its corpus stays empty.
+        assert len(unguided.corpus) == 0
+
+    def test_budget_is_respected(self):
+        result = fuzz("ring", budget=25, seed=0, explorer_seed_executions=0)
+        assert result.stats.executions <= 25
+
+
+class TestTargets:
+    def test_builtin_targets_resolve(self):
+        targets = builtin_targets()
+        assert {
+            "ring", "ring-crash", "ring3-crash",
+            "canary-unsafe", "canary-hoarder", "ms-window",
+        } <= set(targets)
+        for name, target in targets.items():
+            assert resolve_target(name) == target
+
+    def test_unknown_target_is_a_value_error_naming_accepted(self):
+        with pytest.raises(ValueError, match="accepted"):
+            resolve_target("bogus")
+
+    def test_bare_config_becomes_a_custom_target(self):
+        config = ExploreConfig(num_processes=2, program=ring_program(2, 2))
+        target = resolve_target(config)
+        assert target.name == "custom"
+        assert target.config == config

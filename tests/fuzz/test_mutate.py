@@ -1,0 +1,140 @@
+"""Mutation-operator tests: every result is well-formed and complete."""
+
+from __future__ import annotations
+
+import random
+
+from repro.explore import ExploreConfig, ring_program, validate_schedule
+from repro.fuzz import complete, eager_schedule, lazy_schedule, splice
+from repro.fuzz.mutate import MUTATORS, is_wellformed
+
+
+def _configs():
+    return (
+        ExploreConfig(num_processes=2, program=ring_program(2, 4)),
+        ExploreConfig(num_processes=2, program=ring_program(2, 4, crash_pid=0)),
+        ExploreConfig(num_processes=3, program=ring_program(3, 6, crash_pid=1)),
+    )
+
+
+def _advance_count(schedule):
+    return sum(1 for token in schedule if token[0] == "a")
+
+
+class TestComplete:
+    def test_appends_missing_program_steps_in_order(self):
+        config = _configs()[0]
+        partial = eager_schedule(config)[:3]
+        completed = complete(config, partial)
+        assert completed[: len(partial)] == partial
+        assert _advance_count(completed) == len(config.program)
+        validate_schedule(config, completed)
+
+    def test_complete_schedule_is_untouched(self):
+        config = _configs()[0]
+        schedule = eager_schedule(config)
+        assert complete(config, schedule) == schedule
+
+
+class TestOperatorsPreserveWellFormedness:
+    def test_every_operator_yields_valid_complete_schedules(self):
+        rng = random.Random(0)
+        for config in _configs():
+            produced = {name: 0 for name, _ in MUTATORS}
+            for base in (eager_schedule(config), lazy_schedule(config)):
+                for name, mutator in MUTATORS:
+                    for _ in range(30):
+                        candidate = mutator(rng, config, base)
+                        if candidate is None:
+                            continue
+                        produced[name] += 1
+                        assert is_wellformed(config, candidate), (name, candidate)
+                        assert _advance_count(candidate) == len(config.program)
+                        assert candidate != base
+            # These operators always apply somewhere across the two bases
+            # (hasten only on the lazy base: eager deliveries are already
+            # as early as legal; shift-crash needs a delivery adjacent to
+            # the crash, which neither canonical base has).
+            for name in ("swap", "delay", "hasten", "drop"):
+                assert produced[name] > 0, name
+
+    def test_reinstate_inverts_drop(self):
+        rng = random.Random(1)
+        config = _configs()[0]
+        base = eager_schedule(config)
+        from repro.fuzz.mutate import drop_delivery, reinstate_delivery
+
+        dropped = drop_delivery(rng, config, base)
+        assert dropped is not None
+        restored = None
+        for _ in range(50):
+            restored = reinstate_delivery(rng, config, dropped)
+            if restored is not None:
+                break
+        assert restored is not None
+        deliveries = {token[1] for token in restored if token[0] == "d"}
+        assert deliveries == {0, 1, 2, 3}
+
+    def test_shift_crash_needs_a_crash_step(self):
+        rng = random.Random(2)
+        from repro.fuzz.mutate import shift_crash
+
+        crashless = _configs()[0]
+        assert shift_crash(rng, crashless, eager_schedule(crashless)) is None
+
+    def test_shift_crash_moves_crash_relative_to_deliveries(self):
+        rng = random.Random(3)
+        from repro.explore import StepKind
+        from repro.fuzz.mutate import shift_crash
+
+        config = _configs()[1]
+        # Build a base with every delivery right after the crash advance —
+        # the canonical bases keep deliveries away from the crash, where
+        # shift_crash has no room to move.
+        crash_step = next(
+            i
+            for i, step in enumerate(config.program)
+            if step.kind is StepKind.CRASH
+        )
+        deliveries = [
+            token for token in lazy_schedule(config) if token[0] == "d"
+        ]
+        base = tuple(
+            [("a", i) for i in range(crash_step + 1)]
+            + deliveries
+            + [("a", i) for i in range(crash_step + 1, len(config.program))]
+        )
+        assert is_wellformed(config, base)
+        moved = None
+        for _ in range(50):
+            moved = shift_crash(rng, config, base)
+            if moved is not None:
+                break
+        assert moved is not None
+        assert moved != base
+        assert is_wellformed(config, moved)
+
+
+class TestSplice:
+    def test_splice_crosses_two_schedules(self):
+        rng = random.Random(4)
+        for config in _configs():
+            first = eager_schedule(config)
+            second = lazy_schedule(config)
+            produced = 0
+            for _ in range(40):
+                candidate = splice(rng, config, first, second)
+                if candidate is None:
+                    continue
+                produced += 1
+                assert is_wellformed(config, candidate)
+                assert _advance_count(candidate) == len(config.program)
+            assert produced > 0
+
+    def test_splice_is_deterministic_per_rng_state(self):
+        config = _configs()[0]
+        first = eager_schedule(config)
+        second = lazy_schedule(config)
+        a = splice(random.Random(5), config, first, second)
+        b = splice(random.Random(5), config, first, second)
+        assert a == b
