@@ -122,12 +122,16 @@ class AnalysisCache:
         return self._theorem1_retained
 
     def _classic_theorem1_retained(self) -> FrozenSet[CheckpointId]:
+        # Departed processes are excluded on both sides (see CCP.departed):
+        # they can never be faulty again, so their last checkpoints pin
+        # nothing and their own checkpoints are all obsolete.
         ccp = self._ccp
+        active = ccp.active_processes
         lasts = [
-            ccp.last_stable_id(f) for f in ccp.processes if ccp.last_stable(f) >= 0
+            ccp.last_stable_id(f) for f in active if ccp.last_stable(f) >= 0
         ]
         retained = set()
-        for pid in ccp.processes:
+        for pid in active:
             for cid in ccp.stable_ids(pid):
                 successor = CheckpointId(pid, cid.index + 1)
                 for last in lasts:
@@ -150,11 +154,14 @@ class AnalysisCache:
 
     def _classic_theorem2_retained(self) -> FrozenSet[CheckpointId]:
         ccp = self._ccp
+        active = ccp.active_processes
         # last_known[i][f]: index of the latest stable checkpoint of p_f in
         # the causal past of p_i's volatile state (-1 if none) — last_k_i(f).
-        last_known = [
-            [
-                max(
+        # Only active observers/subjects matter: departed processes never
+        # become faulty again, so knowledge about them retains nothing.
+        last_known = {
+            observer: {
+                f: max(
                     (
                         cid.index
                         for cid in ccp.stable_ids(f)
@@ -162,15 +169,15 @@ class AnalysisCache:
                     ),
                     default=-1,
                 )
-                for f in ccp.processes
-            ]
-            for observer in ccp.processes
-        ]
+                for f in active
+            }
+            for observer in active
+        }
         retained = set()
-        for pid in ccp.processes:
+        for pid in active:
             known_ids = [
                 CheckpointId(f, index)
-                for f, index in enumerate(last_known[pid])
+                for f, index in last_known[pid].items()
                 if index >= 0
             ]
             for cid in ccp.stable_ids(pid):

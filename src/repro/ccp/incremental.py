@@ -42,6 +42,7 @@ from bisect import bisect_right
 from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Sequence, Tuple
 
 from repro.ccp.checkpoint import CheckpointId
+from repro.membership import MembershipError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.ccp.consistency import GlobalCheckpoint
@@ -50,8 +51,23 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 INCREMENTAL_MODES = ("off", "on", "check")
 
 
+def _entry(vector: Sequence[int], f: int) -> int:
+    """``vector[f]`` with out-of-range reads as -1 (no knowledge).
+
+    Snapshots frozen before a membership growth are shorter than the current
+    capacity; a missing column means the snapshot predates process ``f``'s
+    existence, which is exactly "no checkpoint of ``f`` known".
+    """
+    return vector[f] if f < len(vector) else -1
+
+
 class CheckpointKnowledgeTracker:
-    """Online checkpoint-knowledge state, O(P) per recorded event."""
+    """Online checkpoint-knowledge state, O(P) per recorded event.
+
+    The matrices are sized for the current capacity and grow via
+    :meth:`grow` when membership expands; out-of-range pids raise
+    :class:`~repro.membership.MembershipError` rather than IndexError.
+    """
 
     def __init__(self, num_processes: int) -> None:
         self._num_processes = num_processes
@@ -71,13 +87,57 @@ class CheckpointKnowledgeTracker:
             (-1,) * num_processes for _ in range(num_processes)
         ]
 
+    @property
+    def num_processes(self) -> int:
+        """The tracked capacity."""
+        return self._num_processes
+
+    def _check_pid(self, pid: int) -> None:
+        if not 0 <= pid < self._num_processes:
+            raise MembershipError(
+                f"process {pid} is outside the tracked capacity of "
+                f"{self._num_processes} processes (expected pid < "
+                f"{self._num_processes}); grow the tracker on join first"
+            )
+
+    def grow(self, num_processes: int) -> None:
+        """Extend the matrices to a larger capacity (membership join).
+
+        Live vectors are padded with -1 (nobody can know a checkpoint of a
+        process that did not exist); frozen snapshots (``msg_ck``,
+        ``ckpt_ck``, journal entries) are left short and read through
+        :func:`_entry`, so no history rewrite is needed.
+        """
+        if num_processes < self._num_processes:
+            raise MembershipError(
+                f"cannot shrink the tracker from {self._num_processes} to "
+                f"{num_processes} processes (leaves retire pids, they do "
+                f"not reduce capacity)"
+            )
+        if num_processes == self._num_processes:
+            return
+        pad = num_processes - self._num_processes
+        for row in self.ck:
+            row.extend([-1] * pad)
+        self.ck.extend([-1] * num_processes for _ in range(pad))
+        self.base_ck = [base + (-1,) * pad for base in self.base_ck]
+        self.base_ck.extend((-1,) * num_processes for _ in range(pad))
+        self.journal.extend([] for _ in range(pad))
+        self._num_processes = num_processes
+
+    def _full_row(self, vector: Sequence[int]) -> List[int]:
+        """A snapshot padded to the current capacity (for live ``ck`` rows)."""
+        return [_entry(vector, f) for f in range(self._num_processes)]
+
     # ------------------------------------------------------------------
     # Event notifications (called by TraceRecorder)
     # ------------------------------------------------------------------
     def note_send(self, message_id: int, sender: int) -> None:
+        self._check_pid(sender)
         self.msg_ck[message_id] = tuple(self.ck[sender])
 
     def note_receive(self, message_id: int, receiver: int, seq: int) -> None:
+        self._check_pid(receiver)
         snapshot = self.msg_ck[message_id]
         vector = self.ck[receiver]
         changed = False
@@ -89,6 +149,7 @@ class CheckpointKnowledgeTracker:
             self.journal[receiver].append((seq, tuple(vector)))
 
     def note_checkpoint(self, pid: int, index: int, seq: int) -> None:
+        self._check_pid(pid)
         self.ckpt_ck[CheckpointId(pid, index)] = tuple(self.ck[pid])
         self.ck[pid][pid] = index
         self.journal[pid].append((seq, tuple(self.ck[pid])))
@@ -102,7 +163,9 @@ class CheckpointKnowledgeTracker:
             entries = self.journal[pid]
             cut = bisect_right(entries, lengths[pid] - 1, key=lambda item: item[0])
             del entries[cut:]
-            self.ck[pid] = list(entries[-1][1] if entries else self.base_ck[pid])
+            self.ck[pid] = self._full_row(
+                entries[-1][1] if entries else self.base_ck[pid]
+            )
 
     def apply_suffix(self, starts: Sequence[int]) -> None:
         """Drop journal prefixes and re-offset seqs after the log was pruned."""
@@ -169,6 +232,10 @@ class IncrementalAnalysisView:
         bases = list(recorder.log.checkpoint_bases)
         return tracker, last_stable, bases
 
+    @property
+    def _departed(self) -> FrozenSet[int]:
+        return self._recorder.departed
+
     def _snapshot(
         self,
         tracker: CheckpointKnowledgeTracker,
@@ -186,18 +253,28 @@ class IncrementalAnalysisView:
     # ------------------------------------------------------------------
     def theorem1_retained(self) -> FrozenSet[CheckpointId]:
         """Theorem 1 over knowledge state: c_i^k is retained iff some process f
-        satisfies ``ckpt_ck[c_i^{k+1}][f] >= last(f) > ckpt_ck[c_i^k][f]``."""
+        satisfies ``ckpt_ck[c_i^{k+1}][f] >= last(f) > ckpt_ck[c_i^k][f]``.
+
+        Departed processes are excluded on both sides: they can never be
+        faulty again, so nothing pins their checkpoints and they pin
+        nothing (the garbage-of-departed invariant).
+        """
         tracker, last_stable, bases = self._state()
         n = self._recorder.num_processes
+        departed = self._departed
         retained = set()
         for pid in range(n):
+            if pid in departed:
+                continue
             for k in range(bases[pid], last_stable[pid] + 1):
                 cid = CheckpointId(pid, k)
                 current = tracker.ckpt_ck[cid]
                 successor = self._snapshot(tracker, pid, k + 1, last_stable)
                 for f in range(n):
+                    if f in departed:
+                        continue
                     last = last_stable[f]
-                    if last >= 0 and successor[f] >= last > current[f]:
+                    if last >= 0 and _entry(successor, f) >= last > _entry(current, f):
                         retained.add(cid)
                         break
         return frozenset(retained)
@@ -207,34 +284,48 @@ class IncrementalAnalysisView:
         checkpoints ``ck[i][f]`` instead of the global ``last(f)``."""
         tracker, last_stable, bases = self._state()
         n = self._recorder.num_processes
+        departed = self._departed
         retained = set()
         for pid in range(n):
+            if pid in departed:
+                continue
             known = tracker.ck[pid]
             for k in range(bases[pid], last_stable[pid] + 1):
                 cid = CheckpointId(pid, k)
                 current = tracker.ckpt_ck[cid]
                 successor = self._snapshot(tracker, pid, k + 1, last_stable)
                 for f in range(n):
+                    if f in departed:
+                        continue
                     m = known[f]
-                    if m >= 0 and successor[f] >= m > current[f]:
+                    if m >= 0 and _entry(successor, f) >= m > _entry(current, f):
                         retained.add(cid)
                         break
         return frozenset(retained)
 
     def recovery_line(self, faulty_set: FrozenSet[int]) -> "GlobalCheckpoint":
         """Lemma 1: per process the last general checkpoint not causally
-        preceded by the last stable checkpoint of any faulty process."""
+        preceded by the last stable checkpoint of any faulty process.
+
+        A departed process's component is pinned to its volatile index:
+        recovery never rolls the departed back (they hold no state), and
+        none of their checkpoints can belong to any future line.
+        """
         from repro.ccp.consistency import GlobalCheckpoint
 
         tracker, last_stable, bases = self._state()
         n = self._recorder.num_processes
+        departed = self._departed
         indices: List[int] = []
         for pid in range(n):
+            if pid in departed:
+                indices.append(last_stable[pid] + 1)
+                continue
             chosen = bases[pid] if bases[pid] <= last_stable[pid] + 1 else 0
             for gamma in range(bases[pid], last_stable[pid] + 2):
                 snapshot = self._snapshot(tracker, pid, gamma, last_stable)
                 preceded = any(
-                    snapshot[f] >= last_stable[f] for f in faulty_set
+                    _entry(snapshot, f) >= last_stable[f] for f in faulty_set
                 )
                 if not preceded:
                     chosen = gamma

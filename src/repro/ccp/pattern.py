@@ -19,7 +19,17 @@ by the rest of the library:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.causality.cuts import Cut
 from repro.causality.events import Event, EventId, EventLog
@@ -59,6 +69,7 @@ class CCP:
         recorded_dvs: Optional[Mapping[CheckpointId, Sequence[int]]] = None,
         message_intervals: Optional[Sequence[MessageInterval]] = None,
         analysis_provider: Optional[object] = None,
+        departed: Iterable[int] = (),
     ) -> None:
         """Build the CCP of the full recorded execution.
 
@@ -88,10 +99,17 @@ class CCP:
             retained sets and recovery lines from it instead of recomputing
             them from the event graph; ``provider.mode == "check"`` makes the
             cache compute both and assert equality.
+        departed:
+            Pids that left the membership before this cut.  A departed
+            process can never be faulty again, so the analyses exclude it
+            on both sides: its checkpoints pin nothing, and nothing pins
+            them (they are all obsolete — the garbage-of-departed
+            invariant).
         """
         self._log = log
         self._lazy_order = causal_order
         self._provider = analysis_provider
+        self._departed = frozenset(departed)
         self._recorded_dvs = dict(recorded_dvs) if recorded_dvs else {}
 
         self._stable_events: List[List[Event]] = [
@@ -199,6 +217,18 @@ class CCP:
     def processes(self) -> range:
         """Process ids ``0 .. n-1``."""
         return self._log.processes
+
+    @property
+    def departed(self) -> FrozenSet[int]:
+        """Pids that left the membership before this cut."""
+        return self._departed
+
+    @property
+    def active_processes(self) -> List[int]:
+        """Process ids that have not departed (dormant joiners included)."""
+        if not self._departed:
+            return list(self._log.processes)
+        return [pid for pid in self._log.processes if pid not in self._departed]
 
     def base_interval(self, pid: int) -> int:
         """The first checkpoint interval of ``pid`` retained in this pattern.

@@ -44,7 +44,9 @@ from repro.recovery.recovery_line import recovery_line
 # Definition 7 — needlessness (exhaustive)
 # ----------------------------------------------------------------------
 def _all_faulty_sets(ccp: CCP) -> Iterable[Set[int]]:
-    pids = [pid for pid in ccp.processes if ccp.last_stable(pid) >= 0]
+    # Departed processes hold no state and can never fail, so faulty sets
+    # range over the active membership only.
+    pids = [pid for pid in ccp.active_processes if ccp.last_stable(pid) >= 0]
     return (set(c) for c in chain.from_iterable(
         combinations(pids, size) for size in range(1, len(pids) + 1)
     ))
@@ -61,7 +63,9 @@ def needless_stable_checkpoints(ccp: CCP, *, singletons_only: bool = False) -> S
     needed: Set[CheckpointId] = set()
     faulty_sets: Iterable[Set[int]]
     if singletons_only:
-        faulty_sets = ({pid} for pid in ccp.processes if ccp.last_stable(pid) >= 0)
+        faulty_sets = (
+            {pid} for pid in ccp.active_processes if ccp.last_stable(pid) >= 0
+        )
     else:
         faulty_sets = _all_faulty_sets(ccp)
     for faulty in faulty_sets:

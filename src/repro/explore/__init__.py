@@ -54,8 +54,10 @@ from repro.explore.program import (
     Violation,
     checkpoint,
     crash,
+    gossip_program,
     ring_program,
     send,
+    star_program,
     validate_schedule,
 )
 from repro.explore.shrink import (
@@ -93,12 +95,14 @@ __all__ = [
     "counterexample_summary",
     "crash",
     "explore",
+    "gossip_program",
     "persist_counterexample",
     "register_canaries",
     "replay_counterexample",
     "ring_program",
     "send",
     "shrink",
+    "star_program",
     "sweep",
     "unregister_canaries",
     "validate_schedule",

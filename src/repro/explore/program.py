@@ -253,6 +253,72 @@ def ring_program(
     return tuple(steps)
 
 
+def star_program(
+    num_processes: int,
+    messages: int,
+    *,
+    crash_pid: Optional[int] = None,
+) -> Tuple[ProgramStep, ...]:
+    """A client-server star: the explorable skeleton of the skewed
+    client-server workload family (:mod:`repro.simulation.workloads`).
+
+    Process 0 is the hub.  Request ``m`` is sent by client
+    ``1 + m % (n - 1)`` to the hub, which answers with a reply; after every
+    full client round all processes take a basic checkpoint.  With
+    ``crash_pid`` set, that process crashes before the final checkpoint
+    round, so every schedule exercises a recovery session on the star.
+    """
+    if num_processes < 2:
+        raise ValueError("a star program needs a hub and at least one client")
+    if messages < 0:
+        raise ValueError("the message budget must be non-negative")
+    clients = num_processes - 1
+    steps: List[ProgramStep] = []
+    for m in range(messages):
+        client = 1 + m % clients
+        steps.append(send(client, 0))
+        steps.append(send(0, client))
+        if (m + 1) % clients == 0:
+            steps.extend(checkpoint(pid) for pid in range(num_processes))
+    if crash_pid is not None:
+        steps.append(crash(crash_pid))
+    if messages % clients != 0 or crash_pid is not None or messages == 0:
+        steps.extend(checkpoint(pid) for pid in range(num_processes))
+    return tuple(steps)
+
+
+def gossip_program(
+    num_processes: int,
+    rounds: int,
+    *,
+    fanout: int = 2,
+    crash_pid: Optional[int] = None,
+) -> Tuple[ProgramStep, ...]:
+    """A gossip fan-out: the explorable skeleton of the gossip workload
+    family (:mod:`repro.simulation.workloads`).
+
+    In round ``r`` the origin ``r % n`` pushes to its ``fanout`` ring
+    successors (the deterministic stand-in for the workload's random peer
+    sample), then every process takes a basic checkpoint.  With
+    ``crash_pid`` set, that process crashes before the final round.
+    """
+    if rounds < 0:
+        raise ValueError("the round budget must be non-negative")
+    if not 1 <= fanout < num_processes:
+        raise ValueError("fanout must be between 1 and num_processes - 1")
+    steps: List[ProgramStep] = []
+    for r in range(rounds):
+        origin = r % num_processes
+        for hop in range(1, fanout + 1):
+            steps.append(send(origin, (origin + hop) % num_processes))
+        steps.extend(checkpoint(pid) for pid in range(num_processes))
+    if crash_pid is not None:
+        steps.append(crash(crash_pid))
+    if crash_pid is not None or rounds == 0:
+        steps.extend(checkpoint(pid) for pid in range(num_processes))
+    return tuple(steps)
+
+
 @dataclass
 class ScheduleStats:
     """Bookkeeping of one exploration (reported by CLI and benchmark)."""

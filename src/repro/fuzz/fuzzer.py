@@ -42,8 +42,10 @@ from repro.explore.program import (
     StepKind,
     Violation,
     checkpoint,
+    gossip_program,
     ring_program,
     send,
+    star_program,
 )
 from repro.explore.shrink import ShrunkCounterexample, persist_counterexample, shrink
 from repro.fuzz.corpus import Corpus, CorpusEntry, entry_id
@@ -95,6 +97,10 @@ def builtin_targets() -> Dict[str, FuzzTarget]:
           (recovery-line coverage; expected clean);
         * ``ring3-crash`` — 3 processes, 9 messages, a crash: the benchmark
           target, large enough that a budgeted run cannot saturate it;
+        * ``star-crash`` — the client-server star topology (hub process 0,
+          two clients, a hub crash): the skewed client-server workload
+          family's explorable skeleton (expected clean);
+        * ``gossip`` — 3-process gossip fan-out rounds (expected clean);
         * ``canary-unsafe`` / ``canary-hoarder`` — the PR-5 conformance
           canaries (a violation *must* be found);
         * ``ms-window`` — Manivannan–Singhal quasi-synchronous collector
@@ -117,6 +123,20 @@ def builtin_targets() -> Dict[str, FuzzTarget]:
             config=ExploreConfig(
                 num_processes=3,
                 program=ring_program(3, 9, crash_pid=0),
+            ),
+        ),
+        "star-crash": FuzzTarget(
+            name="star-crash",
+            config=ExploreConfig(
+                num_processes=3,
+                program=star_program(3, 4, crash_pid=0),
+            ),
+        ),
+        "gossip": FuzzTarget(
+            name="gossip",
+            config=ExploreConfig(
+                num_processes=3,
+                program=gossip_program(3, 3, fanout=2),
             ),
         ),
         "ms-window": FuzzTarget(

@@ -185,5 +185,25 @@ class GarbageCollector(abc.ABC):
         """Other processes rolled back; this one keeps its volatile state."""
         return []
 
+    # ------------------------------------------------------------------
+    # Membership hooks
+    # ------------------------------------------------------------------
+    def on_departure_self(self) -> List[int]:
+        """This process left the membership permanently.
+
+        A departed process can never be faulty, so no recovery line ever
+        needs its checkpoints — all of them are garbage the instant it
+        leaves.  The default eliminates everything retained, through
+        :meth:`_eliminate` so elimination listeners (trace pruning) observe
+        every index.  Returns the eliminated indices.
+        """
+        collected = sorted(self._storage.retained_indices())
+        for index in collected:
+            self._eliminate(index)
+        return collected
+
+    def on_peer_departure(self, pid: int) -> None:
+        """Process ``pid`` left the membership permanently (optional hook)."""
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(pid={self._pid})"

@@ -13,7 +13,7 @@ which the integration tests check.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.core.rollback import retention_assignments
 from repro.core.uncollected import UncollectedTable
@@ -33,6 +33,7 @@ class RdtLgcCollector(GarbageCollector):
     def __init__(self, pid: int, num_processes: int, storage: StableStorage) -> None:
         super().__init__(pid, num_processes, storage)
         self._uc = UncollectedTable(num_processes, on_eliminate=self._eliminate)
+        self._departed_peers: Set[int] = set()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -61,6 +62,10 @@ class RdtLgcCollector(GarbageCollector):
     ) -> None:
         """Re-point ``UC[j]`` at the last stable checkpoint for every new dependency."""
         for j in updated_entries:
+            # A piggyback can carry transitive knowledge of a departed
+            # process; it is never again a reason to retain anything.
+            if j in self._departed_peers:
+                continue
             self._uc.release(j)
             self._uc.link(j, self._pid)
 
@@ -85,6 +90,8 @@ class RdtLgcCollector(GarbageCollector):
             tuple(last_interval_vector) if last_interval_vector is not None else tuple(dv)
         )
         assignments = retention_assignments(self._storage, dv, reference)
+        for peer in self._departed_peers:
+            assignments.pop(peer, None)
         return self._uc.rebuild(assignments, self._storage.retained_indices())
 
     def on_peer_rollback(
@@ -98,3 +105,21 @@ class RdtLgcCollector(GarbageCollector):
                 if index is not None:
                     eliminated.append(index)
         return eliminated
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def on_peer_departure(self, pid: int) -> None:
+        """Drop the checkpoint retained because of a departed process.
+
+        ``UC[pid]`` references the stable checkpoint this process keeps
+        solely in case ``p_pid`` fails (Theorem 2); a departed process can
+        never fail, so the reference is released — eliminating the
+        checkpoint if no other entry retains it.  The entry stays ``Null``
+        forever: later piggybacks carrying transitive knowledge of ``pid``
+        are ignored (see :meth:`on_receive`), and recovery-session rebuilds
+        skip its assignment.
+        """
+        if pid != self._pid:
+            self._departed_peers.add(pid)
+            self._uc.release(pid)

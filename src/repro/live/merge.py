@@ -47,35 +47,38 @@ class StorageMirror:
     """Reconstruction of every process's stable storage from the shards."""
 
     num_processes: int
-    #: Indices currently on storage, per pid.
-    retained: List[Set[int]] = field(default_factory=list)
+    #: Indices currently on storage, keyed by pid.  Membership-keyed (not a
+    #: fixed-size list) so a pid admitted after construction — a join past
+    #: the initial capacity — mirrors correctly instead of raising
+    #: ``IndexError``; absent pids simply retain nothing.
+    retained: Dict[int, Set[int]] = field(default_factory=dict)
     #: ``(pid, index) → (dv, forced, time)`` of the *current* incarnation of
     #: each checkpoint (indices are reused after rollbacks; last write wins).
     info: Dict[Tuple[int, int], Tuple[Tuple[int, ...], bool, float]] = field(
         default_factory=dict
     )
 
-    def __post_init__(self) -> None:
-        if not self.retained:
-            self.retained = [set() for _ in range(self.num_processes)]
+    def retained_for(self, pid: int) -> Set[int]:
+        """The retained-index set of ``pid`` (created on first touch)."""
+        return self.retained.setdefault(pid, set())
 
     def apply_store(
         self, pid: int, index: int, dv: Sequence[int], forced: bool, time: float
     ) -> None:
         """A checkpoint reached stable storage."""
-        self.retained[pid].add(index)
+        self.retained_for(pid).add(index)
         self.info[(pid, index)] = (tuple(int(v) for v in dv), forced, time)
 
     def apply_elimination(self, pid: int, index: int) -> None:
         """A collector eliminated a checkpoint."""
-        self.retained[pid].discard(index)
+        self.retained_for(pid).discard(index)
 
     def apply_plan(self, plan: RollbackPlan) -> None:
         """A recovery session truncated storage via ``eliminate_after``."""
         for rollback in plan.rollbacks:
             self.retained[rollback.pid] = {
                 index
-                for index in self.retained[rollback.pid]
+                for index in self.retained_for(rollback.pid)
                 if index <= rollback.rollback_index
             }
 
@@ -102,7 +105,7 @@ class StorageMirror:
         eliminated = sorted(
             index
             for index in range(rollback_index)
-            if index not in self.retained[pid]
+            if index not in self.retained_for(pid)
         )
         return {
             "stores": stores,

@@ -34,6 +34,11 @@ def _validate_faulty(ccp: CCP, faulty: Iterable[int]) -> Set[int]:
     for pid in faulty_set:
         if pid not in ccp.processes:
             raise ValueError(f"faulty process {pid} is not part of the CCP")
+        if pid in ccp.departed:
+            raise ValueError(
+                f"faulty process {pid} departed the membership; departed "
+                f"processes hold no state and cannot fail"
+            )
         if ccp.last_stable(pid) < 0:
             raise ValueError(
                 f"faulty process {pid} has no stable checkpoint; recovery is impossible"
@@ -64,6 +69,11 @@ def _recovery_line_lemma1(ccp: CCP, faulty_set: Set[int]) -> GlobalCheckpoint:
     """
     indices: List[int] = []
     for pid in ccp.processes:
+        if pid in ccp.departed:
+            # A departed process holds no state to roll back: its component
+            # is pinned to the volatile index so recovery never touches it.
+            indices.append(ccp.volatile_index(pid))
+            continue
         chosen = ccp.base_interval(pid)
         for gamma in range(ccp.base_interval(pid), ccp.volatile_index(pid) + 1):
             candidate = CheckpointId(pid, gamma)

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.gc.registry import collector_class, make_collector
+from repro.membership import MembershipSpec
 from repro.protocols.registry import protocol_class
 from repro.simulation.failures import FailureModelSpec, FailureSchedule
 from repro.simulation.network import NetworkConfig, network_config_from_mapping
@@ -115,6 +116,7 @@ class CampaignCell:
     base_seed: int
     audit: str = "off"
     backend: str = "sim"
+    membership: MembershipSpec = MembershipSpec()
 
     # ------------------------------------------------------------------
     # Identity and seed derivation
@@ -152,6 +154,10 @@ class CampaignCell:
         }
         if self.backend != "sim":
             params["backend"] = self.backend
+        if not self.membership.is_static():
+            # Same identity rule as the backend: only dynamic membership
+            # enters the hash, so static cells keep their historical ids.
+            params["membership"] = self.membership.label()
         return params
 
     @property
@@ -204,6 +210,7 @@ class CampaignCell:
             audit=self.audit,
             keep_final_ccp=False,
             backend=self.backend,
+            membership=self.membership.schedule(),
         )
 
 
@@ -228,6 +235,10 @@ class CampaignSpec:
     #: any other, so one spec can run the same cells simulated and on real
     #: processes and compare their metrics side by side.
     backends: Tuple[str, ...] = ("sim",)
+    #: Membership schedules: the static default and/or dynamic join/leave
+    #: models.  A grid axis, so one spec can compare the same cells under
+    #: fixed and churning membership.
+    memberships: Tuple[MembershipSpec, ...] = (MembershipSpec(),)
 
     def __post_init__(self) -> None:
         for axis, label in (
@@ -238,6 +249,7 @@ class CampaignSpec:
             (self.networks, "networks"),
             (self.seeds, "seeds"),
             (self.backends, "backends"),
+            (self.memberships, "memberships"),
         ):
             if not axis:
                 raise ValueError(f"a campaign needs at least one entry on the {label} axis")
@@ -264,6 +276,24 @@ class CampaignSpec:
         for backend in self.backends:
             if backend not in ("sim", "live"):
                 raise ValueError("backends entries must be 'sim' or 'live'")
+        for membership in self.memberships:
+            if not isinstance(membership, MembershipSpec):
+                raise ValueError("memberships entries must be MembershipSpec")
+            # Fail fast on schedules the grid cannot run: capacity overflow
+            # and (dynamic membership being simulator-only) live backends.
+            membership.schedule().validate_for(self.num_processes)
+            if not membership.is_static():
+                if "live" in self.backends:
+                    raise ValueError(
+                        "dynamic membership runs on the 'sim' backend only; "
+                        "drop 'live' from backends or the dynamic membership entry"
+                    )
+                for time, pid in membership.joins + membership.leaves:
+                    if time >= self.duration:
+                        raise ValueError(
+                            f"membership event for process {pid} at {time} falls "
+                            f"outside the campaign duration {self.duration}"
+                        )
 
     @property
     def cell_count(self) -> int:
@@ -276,22 +306,25 @@ class CampaignSpec:
             * len(self.networks)
             * len(self.seeds)
             * len(self.backends)
+            * len(self.memberships)
         )
 
     def cells(self) -> List[CampaignCell]:
         """Expand the grid.  The order is deterministic (axis-major), but a
         cell's identity and seeds do not depend on its position in it."""
         expanded: List[CampaignCell] = []
-        for protocol, collector, workload, failures, network, seed_index, backend in (
-            itertools.product(
-                self.protocols,
-                self.collectors,
-                self.workloads,
-                self.failure_counts,
-                self.networks,
-                self.seeds,
-                self.backends,
-            )
+        for (
+            protocol, collector, workload, failures,
+            network, seed_index, backend, membership,
+        ) in itertools.product(
+            self.protocols,
+            self.collectors,
+            self.workloads,
+            self.failure_counts,
+            self.networks,
+            self.seeds,
+            self.backends,
+            self.memberships,
         ):
             expanded.append(
                 CampaignCell(
@@ -309,6 +342,7 @@ class CampaignSpec:
                     base_seed=self.base_seed,
                     audit=self.audit,
                     backend=backend,
+                    membership=membership,
                 )
             )
         return expanded
@@ -331,7 +365,7 @@ def spec_from_mapping(document: Mapping[str, Any]) -> CampaignSpec:
     known_keys = {
         "name", "num_processes", "duration", "protocols", "collectors",
         "workloads", "failure_counts", "networks", "seeds", "base_seed", "audit",
-        "backends",
+        "backends", "memberships",
     }
     unknown = sorted(set(document) - known_keys)
     if unknown:
@@ -340,7 +374,8 @@ def spec_from_mapping(document: Mapping[str, Any]) -> CampaignSpec:
             f"known: {', '.join(sorted(known_keys))}"
         )
     for axis in (
-        "protocols", "collectors", "workloads", "failure_counts", "networks", "backends",
+        "protocols", "collectors", "workloads", "failure_counts", "networks",
+        "backends", "memberships",
     ):
         if isinstance(document.get(axis), (str, bytes)):
             # tuple("fdas") would expand to ('f','d','a','s') and produce
@@ -380,6 +415,20 @@ def spec_from_mapping(document: Mapping[str, Any]) -> CampaignSpec:
     networks = tuple(
         network_config_from_mapping(entry) for entry in document.get("networks", ({},))
     )
+
+    def _membership(entry: Any) -> MembershipSpec:
+        if entry in (None, "static"):
+            return MembershipSpec.static()
+        if not isinstance(entry, Mapping):
+            raise ValueError(
+                "memberships entries must be 'static' or mappings like "
+                "{'joins': [[20.0, 4]], 'leaves': [[60.0, 1]]}"
+            )
+        return MembershipSpec.from_mapping(entry)
+
+    memberships = tuple(
+        _membership(entry) for entry in document.get("memberships", ("static",))
+    )
     return CampaignSpec(
         name=str(document["name"]),
         num_processes=int(document.get("num_processes", 4)),
@@ -393,4 +442,5 @@ def spec_from_mapping(document: Mapping[str, Any]) -> CampaignSpec:
         base_seed=int(document.get("base_seed", 0)),
         audit=str(document.get("audit", "off")),
         backends=tuple(document.get("backends", ("sim",))),
+        memberships=memberships,
     )

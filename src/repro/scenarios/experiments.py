@@ -23,6 +23,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.explore.program import ExploreConfig
     from repro.fuzz.fuzzer import FuzzSpec
 
+from repro.membership import MembershipSpec
 from repro.scenarios.campaign.aggregate import CampaignSummary, aggregate_campaign
 from repro.scenarios.campaign.executor import CampaignRun, run_campaign
 from repro.scenarios.campaign.spec import CampaignSpec, CollectorSpec, WorkloadSpec
@@ -134,6 +135,16 @@ STUDY_WORKLOADS: Tuple[Tuple[str, Mapping[str, object]], ...] = (
     ("ring", {}),
 )
 
+#: The topology-aware workload families (beyond the paper's four shapes):
+#: Zipf-skewed client-server, gossip fan-out, and hierarchical region
+#: clusters.  They share parameter defaults with the topology campaign so
+#: the nightly grid, the ad-hoc CLI and the tests all run the same cells.
+TOPOLOGY_WORKLOADS: Tuple[Tuple[str, Mapping[str, object]], ...] = (
+    ("zipf-client-server", {"num_servers": 2}),
+    ("gossip", {"fanout": 2}),
+    ("hierarchical", {"region_size": 3}),
+)
+
 
 def paper_campaign_spec(
     *,
@@ -213,6 +224,129 @@ def fault_model_networks(
     )
 
 
+def hierarchical_network_config(
+    *,
+    num_processes: int = 6,
+    duration: float = 120.0,
+    region_size: int = 3,
+    inter_region_latency: float = 5.0,
+    partition_window: bool = True,
+) -> NetworkConfig:
+    """The fault model matching the hierarchical workload's region layout.
+
+    Regions are the same contiguous ``region_size`` blocks
+    :meth:`repro.simulation.workloads.HierarchicalWorkload.region_of`
+    computes (the last region absorbs the tail): intra-region links run at
+    the baseline latency, inter-region hops at ``inter_region_latency``.
+    With ``partition_window`` set, the first region is split off from the
+    rest over the middle third of the run and heals — the regime where
+    local checkpointing traffic continues while cross-region dependency
+    knowledge is stalled.
+    """
+    if num_processes < 1:
+        raise ValueError("the region layout needs at least one process")
+    num_regions = max(num_processes // region_size, 1)
+
+    def region_of(pid: int) -> int:
+        return min(pid // region_size, num_regions - 1)
+
+    matrix = [
+        [
+            1.0 if region_of(a) == region_of(b) else inter_region_latency
+            for b in range(num_processes)
+        ]
+        for a in range(num_processes)
+    ]
+    partitions = None
+    if partition_window and num_regions > 1:
+        first_region = tuple(
+            pid for pid in range(num_processes) if region_of(pid) == 0
+        )
+        partitions = PartitionSchedule.of(
+            [(duration / 3.0, duration * 2.0 / 3.0, (first_region,))]
+        )
+    return NetworkConfig(
+        channel=LatencyMatrixChannel.of(matrix), partitions=partitions
+    )
+
+
+def topology_campaign_spec(
+    *,
+    num_processes: int = 6,
+    duration: float = 120.0,
+    num_seeds: int = 3,
+    collectors: Optional[Sequence[Tuple[str, Mapping[str, object]]]] = None,
+    with_membership_churn: bool = True,
+    base_seed: int = 0,
+) -> CampaignSpec:
+    """The topology-aware grid: skewed/gossip/hierarchical workload families.
+
+    All three :data:`TOPOLOGY_WORKLOADS` × the chosen collectors over the
+    region-structured network of :func:`hierarchical_network_config`, with
+    (by default) a dynamic-membership axis next to the static baseline: one
+    process joins a sixth of the way in and another departs at the halfway
+    point, so every cell on that axis exercises capacity growth *and* the
+    departed-checkpoints-are-garbage obsolescence rule.
+    """
+    chosen = STUDY_COLLECTORS if collectors is None else tuple(collectors)
+    memberships: Tuple[MembershipSpec, ...] = (MembershipSpec.static(),)
+    if with_membership_churn:
+        if num_processes < 3:
+            raise ValueError("membership churn needs at least three processes")
+        memberships = memberships + (
+            MembershipSpec.of(
+                joins=[(duration / 6.0, num_processes - 1)],
+                leaves=[(duration / 2.0, 1)],
+            ),
+        )
+    return CampaignSpec(
+        name="topology-families",
+        num_processes=num_processes,
+        duration=duration,
+        collectors=tuple(CollectorSpec.of(name, options) for name, options in chosen),
+        workloads=tuple(
+            WorkloadSpec.of(name, params) for name, params in TOPOLOGY_WORKLOADS
+        ),
+        failure_counts=(0, 1),
+        networks=(
+            NetworkConfig(),
+            hierarchical_network_config(
+                num_processes=num_processes, duration=duration
+            ),
+        ),
+        seeds=tuple(range(num_seeds)),
+        base_seed=base_seed,
+        memberships=memberships,
+    )
+
+
+def membership_churn_smoke_spec(*, num_seeds: int = 2) -> CampaignSpec:
+    """A seconds-sized membership-churn campaign for the regression gate.
+
+    One join and one leave per cell (the acceptance shape of the dynamic
+    membership feature) across the optimality-claiming collector and a
+    coordinated baseline, on a topology-aware and a uniform workload.
+    """
+    return CampaignSpec(
+        name="membership-churn-smoke",
+        num_processes=4,
+        duration=40.0,
+        collectors=(
+            CollectorSpec.of("rdt-lgc"),
+            CollectorSpec.of("all-process-line", {"period": 10.0}),
+        ),
+        workloads=(
+            WorkloadSpec.of("uniform-random"),
+            WorkloadSpec.of("zipf-client-server", {"num_servers": 1}),
+        ),
+        failure_counts=(0, 1),
+        seeds=tuple(range(num_seeds)),
+        memberships=(
+            MembershipSpec.of(joins=[(10.0, 3)], leaves=[(25.0, 1)]),
+        ),
+    )
+
+
 def fault_model_campaign_spec(
     *,
     num_processes: int = 4,
@@ -280,24 +414,46 @@ def explore_sweep_configs(
     protocols: Optional[Sequence[str]] = None,
     collectors: Optional[Sequence[Tuple[str, Mapping[str, object]]]] = None,
     with_crash: bool = False,
+    program_family: str = "ring",
 ) -> Tuple["ExploreConfig", ...]:
     """The canonical schedule-exploration grid (campaign ``explore`` mode).
 
     One :class:`repro.explore.ExploreConfig` per (protocol, collector) pair
-    over the canonical ring program — the configuration family the
-    acceptance sweep, the CI smoke gate, the nightly bounded sweep and
-    ``python -m repro explore sweep`` all share.  Defaults to every
-    registered protocol × every registered collector; crash mode inserts a
-    process-0 crash before the final checkpoint round so every schedule
-    exercises a recovery session.
+    over one program family — the configuration family the acceptance
+    sweep, the CI smoke gate, the nightly bounded sweep and ``python -m
+    repro explore sweep`` all share.  ``program_family`` selects the
+    topology: the canonical ``"ring"``, the client-server ``"star"``, or
+    the ``"gossip"`` fan-out (the explorable skeletons of the topology
+    workload families).  Defaults to every registered protocol × every
+    registered collector; crash mode inserts a process-0 crash before the
+    final checkpoint round so every schedule exercises a recovery session.
     """
-    from repro.explore.program import ExploreConfig, ring_program
+    from repro.explore.program import (
+        ExploreConfig, gossip_program, ring_program, star_program,
+    )
     from repro.gc.registry import available_collectors
     from repro.protocols.registry import available_protocols
 
-    program = ring_program(
-        num_processes, messages, crash_pid=0 if with_crash else None
-    )
+    crash_pid = 0 if with_crash else None
+    if program_family == "ring":
+        program = ring_program(num_processes, messages, crash_pid=crash_pid)
+    elif program_family == "star":
+        program = star_program(num_processes, messages, crash_pid=crash_pid)
+    elif program_family == "gossip":
+        # A gossip round is `fanout` sends; size the round budget so the
+        # program's send count tracks the requested message budget.
+        fanout = min(2, num_processes - 1)
+        program = gossip_program(
+            num_processes,
+            max(messages // fanout, 1),
+            fanout=fanout,
+            crash_pid=crash_pid,
+        )
+    else:
+        raise ValueError(
+            f"unknown program family {program_family!r} "
+            f"(accepted: ring, star, gossip)"
+        )
     if protocols is None:
         protocols = available_protocols()
     if collectors is None:
@@ -356,7 +512,7 @@ def fuzz_target_configs(
 
     registry = builtin_targets()
     if targets is None:
-        targets = ("ring", "ring-crash", "ring3-crash")
+        targets = ("ring", "ring-crash", "ring3-crash", "star-crash", "gossip")
     unknown = sorted(set(targets) - set(registry))
     if unknown:
         accepted = ", ".join(sorted(registry))

@@ -325,10 +325,13 @@ class LatencyMatrixChannel(ChannelModel):
         return self.latencies[sender][receiver] + rng.uniform(0.0, self.jitter)
 
     def validate_for(self, num_processes: int) -> None:
-        if len(self.latencies) < num_processes:
+        size = len(self.latencies)
+        if size < num_processes:
             raise ValueError(
-                f"the latency matrix covers {len(self.latencies)} processes "
-                f"but the run has {num_processes}"
+                f"the latency matrix is {size}x{size} (pids 0..{size - 1}) but "
+                f"the run needs capacity for {num_processes} processes — pid "
+                f"{num_processes - 1} has no latency row; membership growth "
+                f"must re-validate the fault model, not just construction"
             )
 
 
@@ -451,8 +454,10 @@ class PartitionSchedule:
                 for pid in group:
                     if pid >= num_processes:
                         raise ValueError(
-                            f"partition names process {pid} but the run has "
-                            f"only {num_processes} processes"
+                            f"partition on [{partition.start}, {partition.end}) "
+                            f"names process {pid} but the run has only "
+                            f"{num_processes} processes (pids 0.."
+                            f"{num_processes - 1})"
                         )
 
     def describe(self) -> List[Dict[str, Any]]:

@@ -187,6 +187,7 @@ class NetworkStats:
     app_duplicates_delivered: int = 0
     app_blocked_by_partition: int = 0
     app_discarded_by_recovery: int = 0
+    app_discarded_by_departure: int = 0
     control_sent: int = 0
     control_delivered: int = 0
     partition_events: int = 0
@@ -395,6 +396,36 @@ class Network:
         if self._controller is not None and dropped_ids:
             self._controller.on_copies_discarded(dropped_ids)
         return discarded
+
+    def drop_in_flight_for(self, pid: int) -> int:
+        """Discard in-transit application copies sent by or addressed to ``pid``.
+
+        Called when ``pid`` leaves the membership: its outbound messages must
+        not land on the surviving computation and its inbound messages have no
+        recipient.  Copies between surviving processes stay in flight, unlike
+        :meth:`drop_in_flight`; controller-held copies are reclaimed the same
+        way.
+        """
+        dropped_ids = sorted(
+            delivery_id
+            for delivery_id, message in self._in_flight.items()
+            if message.sender == pid or message.receiver == pid
+        )
+        for delivery_id in dropped_ids:
+            del self._in_flight[delivery_id]
+        self.stats.app_discarded_by_departure += len(dropped_ids)
+        if self._controller is not None and dropped_ids:
+            self._controller.on_copies_discarded(dropped_ids)
+        return len(dropped_ids)
+
+    def ensure_capacity(self, num_processes: int) -> None:
+        """Re-validate the fault model against a grown membership.
+
+        Construction-time validation covers the configured capacity only; a
+        join that extends the process range must re-check that the latency
+        matrix and partition schedule still cover every pid.
+        """
+        self._config.validate_for(num_processes)
 
     # ------------------------------------------------------------------
     # Control messages

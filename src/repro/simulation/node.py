@@ -83,6 +83,7 @@ class SimulationNode:
         self._storage = storage
         self._dv = DependencyVector.initial(num_processes, pid)
         self._crashed = False
+        self._departed = False
         self.messages_sent = 0
         self.messages_received = 0
         self.duplicates_received = 0
@@ -134,6 +135,16 @@ class SimulationNode:
         """True while the process is down (between crash and recovery)."""
         return self._crashed
 
+    @property
+    def departed(self) -> bool:
+        """True once the process permanently left the membership."""
+        return self._departed
+
+    @property
+    def _inert(self) -> bool:
+        """True when the process must ignore application events."""
+        return self._crashed or self._departed
+
     # ------------------------------------------------------------------
     # Application events
     # ------------------------------------------------------------------
@@ -143,7 +154,7 @@ class SimulationNode:
 
     def send_message(self, destination: int, payload: Any = None) -> None:
         """Send an application message to ``destination``."""
-        if self._crashed:
+        if self._inert:
             return
         if destination == self._pid:
             raise ValueError("a process does not send application messages to itself")
@@ -160,7 +171,7 @@ class SimulationNode:
 
     def deliver(self, message: AppMessage) -> None:
         """Deliver an application message to this process."""
-        if self._crashed:
+        if self._inert:
             return
         if self._protocol.should_force_checkpoint(self._dv.as_tuple(), message.piggyback):
             self.take_checkpoint(forced=True)
@@ -182,7 +193,7 @@ class SimulationNode:
         trace knows the ground truth and records a causally-neutral
         duplicate event instead of a second receive.
         """
-        if self._crashed:
+        if self._inert:
             return
         if self._protocol.should_force_checkpoint(self._dv.as_tuple(), message.piggyback):
             self.take_checkpoint(forced=True)
@@ -194,7 +205,7 @@ class SimulationNode:
 
     def take_checkpoint(self, *, forced: bool = False, payload: Any = None) -> int:
         """Take a basic or forced checkpoint; returns its index."""
-        if self._crashed:
+        if self._inert:
             return self._storage.last_index()
         index = self._dv.current_interval()
         now = self._transport.now()
@@ -222,6 +233,23 @@ class SimulationNode:
         """Lose the volatile state; the process stays down until recovery."""
         self._crashed = True
         self._transport.on_crash(self._pid)
+
+    def depart(self) -> List[int]:
+        """Permanently retire from the membership.
+
+        Unlike :meth:`crash` there is no recovery: a departed process can
+        never be faulty, so every one of its stable checkpoints is garbage
+        the instant it leaves (the paper's obsolescence theory — no recovery
+        line can need them).  The collector eliminates them all, and the
+        node ignores application events from then on.  Returns the
+        eliminated indices.
+        """
+        if self._departed:
+            raise RuntimeError(f"process {self._pid} already departed")
+        collected = self._collector.on_departure_self()
+        self._departed = True
+        self._transport.on_crash(self._pid)
+        return collected
 
     def apply_rollback(
         self,

@@ -18,6 +18,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 from repro.ccp.pattern import CCP
 from repro.core.optimality import GcAudit, audit_garbage_collection
 from repro.gc.registry import make_collector
+from repro.membership import MembershipSchedule
 from repro.protocols.registry import make_protocol
 from repro.recovery.manager import RecoveryManager
 from repro.simulation.engine import SimulationEngine
@@ -66,6 +67,13 @@ class SimulationConfig:
     #: backend only when it is not the default, so every pre-existing
     #: simulated artifact keeps its identity.
     backend: str = "sim"
+    #: Membership events of the run.  ``num_processes`` is the *capacity*:
+    #: pids with a scheduled join are dormant until their join time (their
+    #: initial checkpoint ``s_i^0`` is stored when they join); a leave
+    #: permanently retires the process and makes all its checkpoints
+    #: garbage.  The default (no events) is the paper's static membership;
+    #: like ``backend``, provenance mentions membership only when dynamic.
+    membership: MembershipSchedule = field(default_factory=MembershipSchedule.static)
 
     def __post_init__(self) -> None:
         if self.num_processes <= 0:
@@ -83,6 +91,18 @@ class SimulationConfig:
         # Fail fast on fault models that cannot serve this process count
         # (undersized latency matrices, partitions naming unknown pids).
         self.network.validate_for(self.num_processes)
+        self.membership.validate_for(self.num_processes)
+        if self.membership and self.backend != "sim":
+            raise ValueError(
+                "dynamic membership runs on the 'sim' backend only"
+            )
+        for event in self.membership:
+            if event.time >= self.duration:
+                raise ValueError(
+                    f"membership {event.kind} of process {event.pid} at "
+                    f"{event.time} falls outside the run duration "
+                    f"{self.duration}"
+                )
 
 
 @dataclass(frozen=True)
@@ -250,6 +270,13 @@ class SimulationRunner:
             config.num_processes,
             incremental_analyses=config.incremental_analyses,
             prune=config.prune_trace,
+            # Static membership passes None so the recorder is bit-for-bit
+            # the pre-membership one; joiners start dormant otherwise.
+            initial_members=(
+                config.membership.initial_members(config.num_processes)
+                if config.membership
+                else None
+            ),
         )
         self._recovery_manager = RecoveryManager()
         self._nodes: List[SimulationNode] = []
@@ -382,8 +409,18 @@ class SimulationRunner:
 
     def _run(self) -> SimulationResult:
         config = self._config
+        members = config.membership.initial_members(config.num_processes)
         for node in self._nodes:
-            node.start()
+            # Joiners are dormant: their initial checkpoint s_i^0 is stored
+            # at join time, not at time 0.
+            if node.pid in members:
+                node.start()
+        for event in config.membership:
+            if event.kind == "join":
+                handler = lambda pid=event.pid: self._handle_join(pid)
+            else:
+                handler = lambda pid=event.pid: self._handle_leave(pid)
+            self._engine.schedule_at(event.time, handler)
         actions = config.workload.generate(
             config.num_processes, config.duration, self._engine.rng
         )
@@ -405,9 +442,27 @@ class SimulationRunner:
 
     def _make_action_handler(self, action: Action) -> Callable[[], None]:
         node = self._nodes[action.pid]
+        if not self._config.membership:
+            if action.kind is ActionKind.SEND:
+                return lambda: node.send_message(action.target)
+            return lambda: node.take_checkpoint(forced=False)
+        # Dynamic membership: workloads draw actions over the full capacity,
+        # so actions touching a pid that is dormant or departed at fire time
+        # simply do not happen (the application knows its membership).
+        members = self._trace.membership
         if action.kind is ActionKind.SEND:
-            return lambda: node.send_message(action.target)
-        return lambda: node.take_checkpoint(forced=False)
+
+            def send() -> None:
+                if members.is_member(action.pid) and members.is_member(action.target):
+                    node.send_message(action.target)
+
+            return send
+
+        def checkpoint() -> None:
+            if members.is_member(action.pid):
+                node.take_checkpoint(forced=False)
+
+        return checkpoint
 
     # ------------------------------------------------------------------
     # Sampling and audits
@@ -460,6 +515,39 @@ class SimulationRunner:
         return audit
 
     # ------------------------------------------------------------------
+    # Membership events
+    # ------------------------------------------------------------------
+    def _handle_join(self, pid: int) -> None:
+        """Process ``pid`` joins the membership now.
+
+        The recorder's membership view admits the pid first (rejecting
+        double joins), the fault model is re-validated against the grown
+        member range, and the node stores its initial checkpoint
+        ``s_pid^0`` — the paper's model requires every process to begin
+        with a stable checkpoint, which for a joiner happens at join time.
+        """
+        self._trace.record_join(pid, self._engine.now)
+        self._network.ensure_capacity(self._trace.num_processes)
+        self._nodes[pid].start()
+
+    def _handle_leave(self, pid: int) -> None:
+        """Process ``pid`` permanently leaves the membership now.
+
+        Departure order matters: the node retires first (eliminating every
+        stable checkpoint through the collector, so elimination listeners
+        fire while the pid is still a member), in-flight messages to and
+        from the leaver are discarded, the trace records the leave, and
+        surviving collectors hear about the departure last.
+        """
+        self._nodes[pid].depart()
+        self._network.drop_in_flight_for(pid)
+        self._trace.record_leave(pid, self._engine.now)
+        members = self._trace.membership
+        for peer in self._nodes:
+            if peer.pid != pid and members.is_member(peer.pid):
+                peer.collector.on_peer_departure(pid)
+
+    # ------------------------------------------------------------------
     # Failure handling
     # ------------------------------------------------------------------
     def inject_crash(self, pid: int) -> None:
@@ -471,6 +559,10 @@ class SimulationRunner:
         self._handle_crash(pid)
 
     def _handle_crash(self, pid: int) -> None:
+        if self._config.membership and not self._trace.membership.is_member(pid):
+            # A dormant process has no state to lose and a departed one can
+            # never be faulty: the scheduled crash does not happen.
+            return
         node = self._nodes[pid]
         if node.storage.retained_count() == 0:
             raise RuntimeError(f"process {pid} crashed before storing any checkpoint")
@@ -479,7 +571,13 @@ class SimulationRunner:
         ccp = self.current_ccp()
         plan = self._recovery_manager.plan(ccp, [pid])
         collected = 0
+        members = self._trace.membership
         for process in self._nodes:
+            if process.pid != pid and not members.is_member(process.pid):
+                # Dormant and departed processes take no part in the
+                # recovery session (their line component is their volatile
+                # index by construction).
+                continue
             directive = plan.rollback_for(process.pid)
             if directive is not None:
                 collected += len(

@@ -68,7 +68,18 @@ written from pruned runs remain complete and replayable.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Protocol, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.causality.events import EventKind, EventLog
 from repro.causality.happens_before import CausalOrder
@@ -79,6 +90,7 @@ from repro.ccp.incremental import (
     IncrementalAnalysisView,
 )
 from repro.ccp.pattern import CCP, MessageInterval
+from repro.membership import MembershipView
 from repro.recovery.rollback_plan import RollbackPlan
 
 
@@ -120,6 +132,12 @@ class TraceSink(Protocol):
     def on_recovery(self, plan: RollbackPlan) -> None:
         """A recovery session truncated the recorded history."""
 
+    def on_join(self, pid: int, time: float) -> None:
+        """A process joined the membership."""
+
+    def on_leave(self, pid: int, time: float) -> None:
+        """A process left the membership permanently."""
+
 
 class TraceRecorder:
     """Records a simulated execution as an event log plus checkpoint vectors."""
@@ -131,6 +149,7 @@ class TraceRecorder:
         incremental_analyses: str = "off",
         prune: bool = False,
         prune_threshold: int = 512,
+        initial_members: Optional[Iterable[int]] = None,
     ) -> None:
         if incremental_analyses not in INCREMENTAL_MODES:
             raise ValueError(
@@ -143,6 +162,12 @@ class TraceRecorder:
             # knowledge state.
             incremental_analyses = "on"
         self._num_processes = num_processes
+        # Membership: pids without a join event are members from the start;
+        # dormant joiners exist in the log (empty history) until they join.
+        self._membership = MembershipView(
+            num_processes,
+            None if initial_members is None else frozenset(initial_members),
+        )
         self._log = EventLog(num_processes)
         self._recorded_dvs: Dict[CheckpointId, Tuple[int, ...]] = {}
         self._dropped_messages: set[int] = set()
@@ -167,7 +192,9 @@ class TraceRecorder:
         # Obsolescence-driven pruning state.
         self._prune_enabled = prune
         self._prune_threshold = prune_threshold
-        self._eliminated: List[Set[int]] = [set() for _ in range(num_processes)]
+        # Membership-keyed (not a fixed-size list): a pid joining after
+        # construction must not alias or corrupt a neighbour's set.
+        self._eliminated: Dict[int, Set[int]] = {}
         self._prune_floor: List[int] = [0] * num_processes
         self._pruned_pending: Dict[int, Tuple[int, int]] = {}
         self._pruned_delivered: Dict[int, int] = {}
@@ -219,6 +246,16 @@ class TraceRecorder:
         """Per-process count of stable checkpoints taken (volatile index)."""
         return tuple(self._checkpoints_taken)
 
+    @property
+    def membership(self) -> MembershipView:
+        """The membership state threaded through this recorder."""
+        return self._membership
+
+    @property
+    def departed(self) -> FrozenSet[int]:
+        """Pids that permanently left the membership."""
+        return self._membership.departed
+
     def recorded_checkpoint_dvs(self) -> Dict[CheckpointId, Tuple[int, ...]]:
         """Dependency vectors stored with the currently existing stable checkpoints."""
         return dict(self._recorded_dvs)
@@ -241,6 +278,7 @@ class TraceRecorder:
         self, sender: int, receiver: int, message_id: int, time: float
     ) -> None:
         """Record the sending of an application message."""
+        self._require_member(sender)
         event, _ = self._log.add_send(
             sender, receiver, message_id=message_id, time=time
         )
@@ -340,6 +378,7 @@ class TraceRecorder:
         time: float,
     ) -> None:
         """Record a stable checkpoint and the vector stored with it."""
+        self._require_member(pid)
         event = self._log.add_checkpoint(pid, index, time=time, forced=forced)
         cid = CheckpointId(pid, index)
         self._recorded_dvs[cid] = tuple(dependency_vector)
@@ -359,6 +398,69 @@ class TraceRecorder:
             sink.on_internal(pid, time)
 
     # ------------------------------------------------------------------
+    # Membership events
+    # ------------------------------------------------------------------
+    def _require_member(self, pid: int) -> None:
+        from repro.membership import MembershipError
+
+        if not self._membership.is_member(pid):
+            state = "departed" if pid in self._membership.departed else (
+                "dormant (not yet joined)"
+                if 0 <= pid < self._num_processes
+                else "outside the capacity"
+            )
+            raise MembershipError(
+                f"process {pid} is {state} and cannot originate events "
+                f"(capacity {self._num_processes})"
+            )
+
+    def record_join(self, pid: int, time: float) -> None:
+        """Record a process joining the membership.
+
+        A dormant pid within the provisioned capacity becomes live; a pid at
+        or beyond the capacity grows every per-process structure first (the
+        event log, the knowledge tracker, interval bookkeeping).  Joining an
+        already-live or departed pid raises
+        :class:`~repro.membership.MembershipError`.
+        """
+        self._membership.join(pid)  # validates; grows the view's capacity
+        if pid >= self._num_processes:
+            self._grow_to(pid + 1)
+        self._version += 1
+        self._ccp_cache = None
+        for sink in self._sinks:
+            sink.on_join(pid, time)
+
+    def record_leave(self, pid: int, time: float) -> None:
+        """Record a process leaving the membership permanently.
+
+        From this point the pid is excluded from every analysis: it cannot
+        be faulty, recovery lines pin it to its volatile index, and all its
+        checkpoints are obsolete (the collectors eliminate them at
+        departure).  Leaving a non-member raises
+        :class:`~repro.membership.MembershipError`.
+        """
+        self._membership.leave(pid)
+        self._version += 1
+        self._ccp_cache = None
+        for sink in self._sinks:
+            sink.on_leave(pid, time)
+
+    def _grow_to(self, num_processes: int) -> None:
+        """Extend every per-process structure to a larger capacity."""
+        self._log.grow_to(num_processes)
+        if self._tracker is not None:
+            self._tracker.grow(num_processes)
+        pad = num_processes - self._num_processes
+        self._checkpoints_taken.extend([0] * pad)
+        self._prune_floor.extend([0] * pad)
+        self._num_processes = num_processes
+        if self._order is not None:
+            # The causal order's clocks are sized at construction; joins are
+            # rare, so a fresh replay is simpler than widening every clock.
+            self._order = CausalOrder(self._log)
+
+    # ------------------------------------------------------------------
     # Obsolescence-driven pruning
     # ------------------------------------------------------------------
     def record_elimination(self, pid: int, index: int) -> None:
@@ -376,10 +478,11 @@ class TraceRecorder:
             )
         if index < self._prune_floor[pid]:
             return  # already below the garbage frontier
-        self._eliminated[pid].add(index)
+        eliminated = self._eliminated.setdefault(pid, set())
+        eliminated.add(index)
         floor = self._prune_floor[pid]
-        while floor in self._eliminated[pid]:
-            self._eliminated[pid].discard(floor)
+        while floor in eliminated:
+            eliminated.discard(floor)
             floor += 1
         self._prune_floor[pid] = floor
         self.maybe_prune()
@@ -560,7 +663,7 @@ class TraceRecorder:
             # taint their successors.
             self._eliminated[pid] = {
                 index
-                for index in self._eliminated[pid]
+                for index in self._eliminated.get(pid, set())
                 if index <= rollback.rollback_index
             }
             self._prune_floor[pid] = min(
@@ -671,6 +774,7 @@ class TraceRecorder:
             recorded_dvs=recorded,
             message_intervals=intervals,
             analysis_provider=provider,
+            departed=self._membership.departed,
         )
         self._ccp_cache = (self._version, fingerprint, ccp)
         return ccp

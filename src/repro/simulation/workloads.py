@@ -22,6 +22,19 @@ Provided workloads:
   its ``n`` retained checkpoints per process bound (Figure 5);
 * :class:`ScriptedWorkload` — an explicit list of actions, used to reproduce
   the paper's hand-drawn figures event for event.
+
+Topology-aware families (datacenter-shaped traffic; pair them with the
+matching fault models from :func:`repro.scenarios.experiments` — a
+``LatencyMatrixChannel`` for the region layout, inter-region
+``PartitionSchedule``\\s for WAN cuts):
+
+* :class:`ZipfClientServerWorkload` — clients call one of several servers
+  picked with Zipf skew, so a hot server accumulates causal dependencies
+  from almost everyone;
+* :class:`GossipWorkload` — epidemic broadcast: each process periodically
+  pushes to a random fan-out of peers;
+* :class:`HierarchicalWorkload` — region clusters with biased local traffic
+  and occasional cross-region messages.
 """
 
 from __future__ import annotations
@@ -274,6 +287,192 @@ class WorstCaseWorkload(Workload):
         return (num_processes + 2) * self._round_length
 
 
+class ZipfClientServerWorkload(Workload):
+    """Clients call one of ``num_servers`` servers with Zipf-skewed choice.
+
+    Servers are pids ``0 .. num_servers - 1``; the remaining pids are
+    clients.  Each request picks the server of rank ``k`` with probability
+    proportional to ``1 / (k + 1) ** skew`` — the hot-key distribution of
+    real key-value front-ends.  The hot server becomes a causal hub: its
+    checkpoints are known to almost every client, which is exactly the
+    regime where Theorem-2 knowledge lets an optimal collector eliminate
+    aggressively.
+    """
+
+    name = "zipf-client-server"
+
+    def __init__(
+        self,
+        *,
+        num_servers: int = 2,
+        skew: float = 1.2,
+        mean_request_gap: float = 3.0,
+        server_think_time: float = 1.0,
+        mean_checkpoint_gap: float = 12.0,
+    ) -> None:
+        if num_servers < 1:
+            raise ValueError("the workload needs at least one server")
+        if skew <= 0:
+            raise ValueError("the Zipf skew must be positive")
+        if mean_request_gap <= 0 or mean_checkpoint_gap <= 0:
+            raise ValueError("mean gaps must be positive")
+        if server_think_time < 0:
+            raise ValueError("the server think time must be non-negative")
+        self._num_servers = num_servers
+        self._skew = skew
+        self._request_gap = mean_request_gap
+        self._think_time = server_think_time
+        self._checkpoint_gap = mean_checkpoint_gap
+
+    def _pick_server(self, rng: random.Random, num_servers: int) -> int:
+        weights = [1.0 / (rank + 1) ** self._skew for rank in range(num_servers)]
+        total = sum(weights)
+        draw = rng.random() * total
+        for server, weight in enumerate(weights):
+            draw -= weight
+            if draw < 0:
+                return server
+        return num_servers - 1
+
+    def generate(
+        self, num_processes: int, duration: float, rng: random.Random
+    ) -> List[Action]:
+        if num_processes <= self._num_servers:
+            raise ValueError(
+                f"the zipf client/server workload needs at least "
+                f"{self._num_servers + 1} processes "
+                f"({self._num_servers} servers plus one client)"
+            )
+        actions: List[Action] = []
+        for client in range(self._num_servers, num_processes):
+            time = rng.expovariate(1.0 / self._request_gap)
+            while time < duration:
+                server = self._pick_server(rng, self._num_servers)
+                actions.append(Action(time, client, ActionKind.SEND, server))
+                reply_time = time + self._think_time + rng.uniform(0.0, self._think_time)
+                if reply_time < duration:
+                    actions.append(Action(reply_time, server, ActionKind.SEND, client))
+                time += rng.expovariate(1.0 / self._request_gap)
+        for pid in range(num_processes):
+            time = rng.expovariate(1.0 / self._checkpoint_gap)
+            while time < duration:
+                actions.append(Action(time, pid, ActionKind.CHECKPOINT))
+                time += rng.expovariate(1.0 / self._checkpoint_gap)
+        return self._sorted(actions)
+
+
+class GossipWorkload(Workload):
+    """Epidemic broadcast: periodic pushes to a random fan-out of peers.
+
+    Every gossip round spreads the sender's causal knowledge to ``fanout``
+    peers at once, so dependency information disseminates in ``O(log n)``
+    rounds — the fastest-mixing regime for checkpoint-knowledge propagation
+    and the stress case for broadcast-heavy recovery lines.
+    """
+
+    name = "gossip"
+
+    def __init__(
+        self,
+        *,
+        fanout: int = 2,
+        mean_round_gap: float = 4.0,
+        mean_checkpoint_gap: float = 10.0,
+    ) -> None:
+        if fanout < 1:
+            raise ValueError("the gossip fan-out must be at least one")
+        if mean_round_gap <= 0 or mean_checkpoint_gap <= 0:
+            raise ValueError("mean gaps must be positive")
+        self._fanout = fanout
+        self._round_gap = mean_round_gap
+        self._checkpoint_gap = mean_checkpoint_gap
+
+    def generate(
+        self, num_processes: int, duration: float, rng: random.Random
+    ) -> List[Action]:
+        actions: List[Action] = []
+        for pid in range(num_processes):
+            time = rng.expovariate(1.0 / self._round_gap)
+            while time < duration and num_processes > 1:
+                peers = [p for p in range(num_processes) if p != pid]
+                fanout = min(self._fanout, len(peers))
+                for target in rng.sample(peers, fanout):
+                    actions.append(Action(time, pid, ActionKind.SEND, target))
+                time += rng.expovariate(1.0 / self._round_gap)
+            time = rng.expovariate(1.0 / self._checkpoint_gap)
+            while time < duration:
+                actions.append(Action(time, pid, ActionKind.CHECKPOINT))
+                time += rng.expovariate(1.0 / self._checkpoint_gap)
+        return self._sorted(actions)
+
+
+class HierarchicalWorkload(Workload):
+    """Region clusters: mostly-local traffic with occasional WAN messages.
+
+    Processes are grouped into contiguous regions of ``region_size`` pids
+    (the last region absorbs any remainder).  Each message stays inside the
+    sender's region with probability ``local_bias``; otherwise it crosses to
+    a uniformly random process of another region.  Pair it with the
+    region-shaped :class:`~repro.simulation.channels.LatencyMatrixChannel`
+    and inter-region partitions from
+    :func:`repro.scenarios.experiments.hierarchical_network_config`.
+    """
+
+    name = "hierarchical"
+
+    def __init__(
+        self,
+        *,
+        region_size: int = 3,
+        local_bias: float = 0.8,
+        mean_message_gap: float = 2.0,
+        mean_checkpoint_gap: float = 10.0,
+    ) -> None:
+        if region_size < 1:
+            raise ValueError("regions need at least one process")
+        if not 0.0 <= local_bias <= 1.0:
+            raise ValueError("the local bias must be in [0, 1]")
+        if mean_message_gap <= 0 or mean_checkpoint_gap <= 0:
+            raise ValueError("mean gaps must be positive")
+        self._region_size = region_size
+        self._local_bias = local_bias
+        self._message_gap = mean_message_gap
+        self._checkpoint_gap = mean_checkpoint_gap
+
+    def region_of(self, pid: int, num_processes: int) -> int:
+        """The region index of ``pid`` (the last region absorbs the tail)."""
+        num_regions = max(num_processes // self._region_size, 1)
+        return min(pid // self._region_size, num_regions - 1)
+
+    def generate(
+        self, num_processes: int, duration: float, rng: random.Random
+    ) -> List[Action]:
+        actions: List[Action] = []
+        regions: Dict[int, List[int]] = {}
+        for pid in range(num_processes):
+            regions.setdefault(self.region_of(pid, num_processes), []).append(pid)
+        for pid in range(num_processes):
+            home = self.region_of(pid, num_processes)
+            local_peers = [p for p in regions[home] if p != pid]
+            remote_peers = [
+                p for p in range(num_processes)
+                if self.region_of(p, num_processes) != home
+            ]
+            time = rng.expovariate(1.0 / self._message_gap)
+            while time < duration and num_processes > 1:
+                go_local = local_peers and (
+                    not remote_peers or rng.random() < self._local_bias
+                )
+                pool = local_peers if go_local else remote_peers
+                actions.append(Action(time, pid, ActionKind.SEND, rng.choice(pool)))
+                time += rng.expovariate(1.0 / self._message_gap)
+            time = rng.expovariate(1.0 / self._checkpoint_gap)
+            while time < duration:
+                actions.append(Action(time, pid, ActionKind.CHECKPOINT))
+                time += rng.expovariate(1.0 / self._checkpoint_gap)
+        return self._sorted(actions)
+
+
 class ScriptedWorkload(Workload):
     """An explicit, fully deterministic list of actions."""
 
@@ -345,3 +544,14 @@ def register_workload(cls: Type[Workload]) -> Type[Workload]:
         )
     _WORKLOADS[cls.name] = cls
     return cls
+
+
+# The topology-aware families register through the same extension point
+# campaign plugins use, so their campaign/fuzz wiring is the registry entry.
+for _topology_workload in (
+    ZipfClientServerWorkload,
+    GossipWorkload,
+    HierarchicalWorkload,
+):
+    register_workload(_topology_workload)
+del _topology_workload

@@ -37,6 +37,8 @@ tag     payload
 ``p``   ``[kind, time, [[pid...]...]]`` — partition transition
         (``kind`` is ``cut`` or ``heal``); provenance only, replay
         collects but does not feed them to the recorder
+``j``   ``[pid, time]`` — a process joined the membership
+``l``   ``[pid, time]`` — a process left the membership permanently
 ======  ============================================================
 
 Versioning: :data:`FORMAT_VERSION` is bumped whenever a record's shape
@@ -44,7 +46,11 @@ changes incompatibly.  Version 2 added the ``d``/``p`` records and the
 fault-model provenance in the header ``network`` object (channel model,
 partition schedule, FIFO discipline — absent for the default uniform
 transport, so default-config headers are byte-identical to version 1's).
-Version-1 traces remain readable (their tag set is a strict subset).
+Membership records (``j``/``l``) and the header ``membership`` key are a
+backward-compatible extension of version 2: traces without membership
+events carry neither and parse exactly as before, so the version is not
+bumped.  Version-1 traces remain readable (their tag set is a strict
+subset).
 Readers refuse newer versions (:class:`TraceVersionError`) rather than
 misinterpreting records, and refuse structurally invalid content
 (:class:`TraceFormatError`) rather than replaying a corrupted history.
@@ -78,6 +84,8 @@ TAG_INTERNAL = "i"
 TAG_RECOVERY = "v"
 TAG_SAMPLE = "S"
 TAG_PARTITION = "p"
+TAG_JOIN = "j"
+TAG_LEAVE = "l"
 
 #: Tags the current version knows how to replay.
 KNOWN_TAGS = frozenset(
@@ -90,6 +98,8 @@ KNOWN_TAGS = frozenset(
         TAG_RECOVERY,
         TAG_SAMPLE,
         TAG_PARTITION,
+        TAG_JOIN,
+        TAG_LEAVE,
     )
 )
 
@@ -258,6 +268,10 @@ def make_header(
     }
     if config.backend != "sim":
         header["backend"] = config.backend
+    # Membership provenance only when dynamic: static-membership headers
+    # keep their exact pre-membership shape (and byte identity).
+    if config.membership:
+        header["membership"] = config.membership.describe()
     return header
 
 
@@ -426,6 +440,8 @@ def validate_record(record: Any, *, line: int, path: str = "<trace>") -> List[An
         TAG_RECOVERY: 5,
         TAG_SAMPLE: 3,
         TAG_PARTITION: 4,
+        TAG_JOIN: 3,
+        TAG_LEAVE: 3,
     }.get(tag)
     if arity is None:
         raise TraceFormatError(f"{path}:{line}: unknown record tag {tag!r}")

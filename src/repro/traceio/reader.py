@@ -30,6 +30,8 @@ from repro.traceio.format import (
     TAG_CHECKPOINT,
     TAG_DUPLICATE,
     TAG_INTERNAL,
+    TAG_JOIN,
+    TAG_LEAVE,
     TAG_PARTITION,
     TAG_RECEIVE,
     TAG_RECOVERY,
@@ -111,6 +113,28 @@ class ReplayedTrace:
             for pid, dv in enumerate(self.footer["final_volatile_dvs"])
         }
         return self.recorder.ccp(volatile_dvs=volatile)
+
+
+def _recorder_for_header(header: Dict[str, Any]) -> TraceRecorder:
+    """A fresh recorder matching the header's capacity and membership.
+
+    Headers without a ``membership`` key (every trace written before
+    dynamic membership, and every static-membership trace after) get the
+    plain all-members recorder; a ``membership`` key restricts the initial
+    member set so replayed ``j``/``l`` records land on the same view
+    state the live run had.
+    """
+    num_processes = header["num_processes"]
+    description = header.get("membership")
+    if not description:
+        return TraceRecorder(num_processes)
+    from repro.membership import MembershipSchedule
+
+    schedule = MembershipSchedule.from_description(description)
+    return TraceRecorder(
+        num_processes,
+        initial_members=schedule.initial_members(num_processes),
+    )
 
 
 class TraceReader:
@@ -229,7 +253,7 @@ class TraceReader:
             for line, parsed in self.lines():
                 if header is None:
                     header = validate_header(parsed, path=self._path)
-                    recorder = TraceRecorder(header["num_processes"])
+                    recorder = _recorder_for_header(header)
                     continue
                 if footer is not None:
                     raise TraceFormatError(
@@ -322,6 +346,14 @@ class TraceReader:
             _, pid, time = record
             recorder.record_internal(pid, time)
             return 1
+        if tag == TAG_JOIN:
+            _, pid, time = record
+            recorder.record_join(pid, time)
+            return 0
+        if tag == TAG_LEAVE:
+            _, pid, time = record
+            recorder.record_leave(pid, time)
+            return 0
         if tag == TAG_RECOVERY:
             _, faulty, line_indices, rollbacks, last_interval = record
             plan = RollbackPlan(

@@ -20,6 +20,8 @@ from repro.traceio.format import (
     TAG_CHECKPOINT,
     TAG_DUPLICATE,
     TAG_INTERNAL,
+    TAG_JOIN,
+    TAG_LEAVE,
     TAG_PARTITION,
     TAG_RECEIVE,
     TAG_RECOVERY,
@@ -129,6 +131,14 @@ class TraceWriter:
         """Persist an internal application event."""
         self._events += 1
         self._write_record([TAG_INTERNAL, pid, time])
+
+    def on_join(self, pid: int, time: float) -> None:
+        """Persist a membership join (``pid`` becomes an active member)."""
+        self._write_record([TAG_JOIN, pid, time])
+
+    def on_leave(self, pid: int, time: float) -> None:
+        """Persist a membership leave (``pid`` retires permanently)."""
+        self._write_record([TAG_LEAVE, pid, time])
 
     def on_recovery(self, plan: "RollbackPlan") -> None:
         """Persist a recovery session (the full rollback plan)."""

@@ -11,8 +11,10 @@ from repro.explore import (
     OracleStack,
     checkpoint,
     explore,
+    gossip_program,
     ring_program,
     send,
+    star_program,
     validate_schedule,
 )
 from repro.protocols.registry import available_protocols
@@ -216,6 +218,64 @@ class TestFoundFailureModes:
         )
         result = explore(config, max_executions=20000)
         assert result.ok
+
+
+class TestTopologyPrograms:
+    """The star and gossip program families (topology workload skeletons)."""
+
+    def test_star_program_shape(self):
+        program = star_program(3, 2)
+        sends = [s for s in program if s.kind.value == "send"]
+        # Each request has a hub reply; clients alternate.
+        assert [(s.pid, s.target) for s in sends] == [
+            (1, 0), (0, 1), (2, 0), (0, 2),
+        ]
+
+    def test_star_program_validation(self):
+        with pytest.raises(ValueError, match="hub"):
+            star_program(1, 2)
+        with pytest.raises(ValueError):
+            star_program(3, -1)
+
+    def test_gossip_program_shape(self):
+        program = gossip_program(3, 2, fanout=2)
+        sends = [s for s in program if s.kind.value == "send"]
+        assert [(s.pid, s.target) for s in sends] == [
+            (0, 1), (0, 2), (1, 2), (1, 0),
+        ]
+
+    def test_gossip_program_validation(self):
+        with pytest.raises(ValueError, match="fanout"):
+            gossip_program(3, 2, fanout=3)
+        with pytest.raises(ValueError):
+            gossip_program(3, -1)
+
+    def test_star_crash_explores_clean(self):
+        config = ExploreConfig(
+            num_processes=2, program=star_program(2, 1, crash_pid=0)
+        )
+        result = explore(config)
+        assert result.ok and result.stats.complete
+
+    def test_gossip_explores_clean(self):
+        config = ExploreConfig(num_processes=3, program=gossip_program(3, 1))
+        result = explore(config)
+        assert result.ok and result.stats.complete
+
+    def test_sweep_config_program_families(self):
+        from repro.scenarios.experiments import explore_sweep_configs
+
+        for family in ("ring", "star", "gossip"):
+            configs = explore_sweep_configs(
+                num_processes=3,
+                messages=4,
+                protocols=("fdas",),
+                collectors=(("rdt-lgc", {}),),
+                program_family=family,
+            )
+            assert len(configs) == 1 and configs[0].program
+        with pytest.raises(ValueError, match="unknown program family"):
+            explore_sweep_configs(program_family="mesh")
 
 
 class TestAcceptanceSweep:

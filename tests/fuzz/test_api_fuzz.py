@@ -101,7 +101,7 @@ class TestExperimentGrid:
         specs = fuzz_target_configs(budget=10)
         assert specs
         assert {spec.target.name for spec in specs} == {
-            "ring", "ring-crash", "ring3-crash",
+            "ring", "ring-crash", "ring3-crash", "star-crash", "gossip",
         }
         assert all(isinstance(spec, FuzzSpec) for spec in specs)
         assert all(spec.budget == 10 for spec in specs)

@@ -146,7 +146,7 @@ class TestTargets:
     def test_builtin_targets_resolve(self):
         targets = builtin_targets()
         assert {
-            "ring", "ring-crash", "ring3-crash",
+            "ring", "ring-crash", "ring3-crash", "star-crash", "gossip",
             "canary-unsafe", "canary-hoarder", "ms-window",
         } <= set(targets)
         for name, target in targets.items():

@@ -16,10 +16,14 @@ from repro.scenarios.campaign import (
     spec_from_mapping,
 )
 from repro.scenarios.campaign.cli import main as campaign_main
+from repro.membership import MembershipSpec
 from repro.scenarios.experiments import (
     fault_model_campaign_spec,
+    hierarchical_network_config,
+    membership_churn_smoke_spec,
     paper_campaign_spec,
     smoke_campaign_spec,
+    topology_campaign_spec,
 )
 from repro.simulation.channels import (
     GilbertElliottChannel,
@@ -226,6 +230,128 @@ class TestBackendAxis:
         assert spec.backends == ("sim", "live")
         with pytest.raises(ValueError, match="must be a list"):
             spec_from_mapping({"name": "x", "backends": "live"})
+
+
+class TestMembershipAxis:
+    """Membership schedules are a grid axis; static cells keep their identity."""
+
+    def _mixed_spec(self):
+        return CampaignSpec(
+            name="churny",
+            num_processes=4,
+            duration=40.0,
+            collectors=(CollectorSpec.of("rdt-lgc"),),
+            workloads=(WorkloadSpec.of("uniform-random"),),
+            memberships=(
+                MembershipSpec.static(),
+                MembershipSpec.of(joins=[(10.0, 3)], leaves=[(25.0, 1)]),
+            ),
+        )
+
+    def test_memberships_axis_expands_and_materialises(self):
+        spec = self._mixed_spec()
+        assert spec.cell_count == 2
+        static_cell, dynamic_cell = spec.cells()
+        assert static_cell.membership.is_static()
+        assert not dynamic_cell.membership.is_static()
+        config = dynamic_cell.config()
+        assert len(config.membership.joins) == 1
+        assert len(config.membership.leaves) == 1
+
+    def test_static_cells_keep_their_pre_membership_identity(self):
+        static_cell, dynamic_cell = self._mixed_spec().cells()
+        assert "membership" not in static_cell.params()
+        assert dynamic_cell.params()["membership"] == (
+            "membership(join=3@10.0,leave=1@25.0)"
+        )
+        assert static_cell.cell_id != dynamic_cell.cell_id
+        static_only = CampaignSpec(
+            name="churny",
+            num_processes=4,
+            duration=40.0,
+            collectors=(CollectorSpec.of("rdt-lgc"),),
+            workloads=(WorkloadSpec.of("uniform-random"),),
+        ).cells()[0]
+        assert static_cell.cell_id == static_only.cell_id
+
+    def test_schedule_outside_grid_shape_rejected(self):
+        with pytest.raises(ValueError, match="outside the campaign duration"):
+            CampaignSpec(
+                name="x",
+                num_processes=4,
+                duration=40.0,
+                memberships=(MembershipSpec.of(leaves=[(50.0, 1)]),),
+            )
+        with pytest.raises(Exception, match="only 2 processes"):
+            CampaignSpec(
+                name="x",
+                num_processes=2,
+                memberships=(MembershipSpec.of(joins=[(10.0, 5)]),),
+            )
+
+    def test_dynamic_membership_with_live_backend_rejected(self):
+        with pytest.raises(ValueError, match="'sim' backend only"):
+            CampaignSpec(
+                name="x",
+                num_processes=4,
+                duration=40.0,
+                backends=("sim", "live"),
+                memberships=(MembershipSpec.of(leaves=[(20.0, 1)]),),
+            )
+
+    def test_memberships_from_mapping(self):
+        spec = spec_from_mapping(
+            {
+                "name": "x",
+                "num_processes": 4,
+                "duration": 40.0,
+                "collectors": ["rdt-lgc"],
+                "memberships": [
+                    "static",
+                    {"joins": [[10.0, 3]], "leaves": [[25.0, 1]]},
+                ],
+            }
+        )
+        assert spec.memberships[0].is_static()
+        assert spec.memberships[1].joins == ((10.0, 3),)
+        with pytest.raises(ValueError, match="must be a list"):
+            spec_from_mapping({"name": "x", "memberships": "static"})
+        with pytest.raises(ValueError, match="unknown membership keys"):
+            spec_from_mapping(
+                {"name": "x", "memberships": [{"join": [[1.0, 0]]}]}
+            )
+
+    def test_membership_churn_cell_executes_end_to_end(self, tmp_path):
+        """The acceptance path: a campaign cell with a join and a leave runs,
+        writes a replay-verified trace, and the departed pid retains nothing."""
+        from repro.traceio.reader import TraceReader, verify_trace
+
+        spec = CampaignSpec(
+            name="churn-accept",
+            num_processes=4,
+            duration=40.0,
+            collectors=(CollectorSpec.of("rdt-lgc"),),
+            workloads=(WorkloadSpec.of("uniform-random"),),
+            seeds=(0,),
+            memberships=(MembershipSpec.of(joins=[(10.0, 3)], leaves=[(25.0, 1)]),),
+        )
+        run = run_campaign(spec, trace_dir=str(tmp_path))
+        assert run.executed == 1 and not run.failed_records
+        trace_path = tmp_path / f"{spec.cells()[0].cell_id}.trace.jsonl"
+        assert trace_path.exists()
+        assert verify_trace(str(trace_path)) == []
+        replayed = TraceReader(str(trace_path)).replay()
+        assert replayed.recorder.departed == frozenset({1})
+        assert replayed.recorder.membership.members == frozenset({0, 2, 3})
+
+    def test_topology_and_smoke_specs_expand(self):
+        assert topology_campaign_spec(num_seeds=1).cell_count > 0
+        smoke = membership_churn_smoke_spec(num_seeds=1)
+        assert all(not m.is_static() for m in smoke.memberships)
+        network = hierarchical_network_config(num_processes=6, duration=60.0)
+        network.validate_for(6)
+        with pytest.raises(ValueError):
+            network.validate_for(7)
 
 
 class TestFaultModelAxes:

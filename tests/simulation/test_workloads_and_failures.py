@@ -9,12 +9,15 @@ from repro.simulation.workloads import (
     Action,
     ActionKind,
     ClientServerWorkload,
+    GossipWorkload,
+    HierarchicalWorkload,
     PipelineWorkload,
     RingWorkload,
     ScriptedWorkload,
     UniformRandomWorkload,
     Workload,
     WorstCaseWorkload,
+    ZipfClientServerWorkload,
     available_workloads,
     make_workload,
 )
@@ -60,6 +63,9 @@ class TestGeneratedWorkloads:
             ClientServerWorkload(),
             PipelineWorkload(),
             RingWorkload(),
+            ZipfClientServerWorkload(),
+            GossipWorkload(),
+            HierarchicalWorkload(),
         ],
     )
     def test_actions_are_valid_and_within_duration(self, workload):
@@ -123,6 +129,75 @@ class TestGeneratedWorkloads:
         from_server = sum(1 for a in sends if a.pid == 0)
         assert to_server > 0 and from_server > 0
         assert to_server + from_server == len(sends)
+
+
+class TestTopologyWorkloads:
+    def test_registered_by_name(self):
+        names = available_workloads()
+        for name in ("zipf-client-server", "gossip", "hierarchical"):
+            assert name in names
+            assert make_workload(name).name == name
+
+    def test_zipf_traffic_is_skewed_toward_the_hot_server(self):
+        workload = ZipfClientServerWorkload(num_servers=2, skew=1.5)
+        actions = workload.generate(6, 400.0, random.Random(3))
+        requests = [
+            a for a in actions
+            if a.kind is ActionKind.SEND and a.pid >= 2 and a.target in (0, 1)
+        ]
+        hot = sum(1 for a in requests if a.target == 0)
+        assert hot > len(requests) - hot  # rank 0 gets the majority
+
+    def test_zipf_needs_a_client(self):
+        with pytest.raises(ValueError, match="2 servers plus one client"):
+            ZipfClientServerWorkload(num_servers=2).generate(
+                2, 50.0, random.Random(0)
+            )
+
+    def test_gossip_rounds_send_fanout_messages(self):
+        workload = GossipWorkload(fanout=3, mean_round_gap=5.0)
+        actions = workload.generate(5, 100.0, random.Random(1))
+        sends = [a for a in actions if a.kind is ActionKind.SEND]
+        by_instant = {}
+        for a in sends:
+            by_instant.setdefault((a.time, a.pid), set()).add(a.target)
+        for (_, pid), targets in by_instant.items():
+            assert len(targets) == 3
+            assert pid not in targets
+
+    def test_gossip_fanout_clamped_to_peer_count(self):
+        workload = GossipWorkload(fanout=5)
+        actions = workload.generate(3, 60.0, random.Random(2))
+        sends = [a for a in actions if a.kind is ActionKind.SEND]
+        assert sends  # 2 peers available, fanout clamps instead of raising
+
+    def test_hierarchical_traffic_is_mostly_local(self):
+        workload = HierarchicalWorkload(region_size=3, local_bias=0.9)
+        actions = workload.generate(6, 400.0, random.Random(4))
+        sends = [a for a in actions if a.kind is ActionKind.SEND]
+        local = sum(
+            1 for a in sends
+            if workload.region_of(a.pid, 6) == workload.region_of(a.target, 6)
+        )
+        assert local / len(sends) > 0.7
+
+    def test_hierarchical_last_region_absorbs_tail(self):
+        workload = HierarchicalWorkload(region_size=3)
+        assert [workload.region_of(pid, 7) for pid in range(7)] == [
+            0, 0, 0, 1, 1, 1, 1,
+        ]
+
+    def test_topology_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ZipfClientServerWorkload(num_servers=0)
+        with pytest.raises(ValueError):
+            ZipfClientServerWorkload(skew=0.0)
+        with pytest.raises(ValueError):
+            GossipWorkload(fanout=0)
+        with pytest.raises(ValueError):
+            HierarchicalWorkload(local_bias=1.5)
+        with pytest.raises(ValueError):
+            HierarchicalWorkload(region_size=0)
 
 
 class TestWorstCaseWorkload:
